@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyRunner keeps every figure branch executable in a few seconds.
+func tinyRunner() *runner {
+	return &runner{union: 256, runs: 2, seed: 7, eps: 0.3}
+}
+
+func TestRunEachFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	r := tinyRunner()
+	for _, fig := range []string{"7a", "memory"} {
+		if err := r.run(fig); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := tinyRunner().run("nope"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestBaselinesFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison is slow")
+	}
+	if err := tinyRunner().baselines(timeNow()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shootout is slow")
+	}
+	if err := tinyRunner().distinct(timeNow()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ratio sweep is slow")
+	}
+	if err := tinyRunner().ratio(timeNow()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactIntersectionAndRelError(t *testing.T) {
+	if relError(110, 100) != 0.1 {
+		t.Error("relError wrong")
+	}
+	if relError(90, 100) != 0.1 {
+		t.Error("relError not absolute")
+	}
+	if relError(5, 0) != 5 {
+		t.Error("relError at zero truth")
+	}
+}
+
+// timeNow avoids importing time in every test call site.
+func timeNow() (t2 time.Time) { return time.Now() }

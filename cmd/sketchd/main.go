@@ -1,0 +1,179 @@
+// Command sketchd runs the distributed pieces of the paper's Figure 1
+// architecture over TCP: a coordinator daemon that merges synopses and
+// answers set-expression queries, a site mode that summarizes a local
+// update-stream file and pushes the synopses, and a query mode.
+//
+//	sketchd serve -listen :7070 [-copies 512] [-s 32] [-seed 1]
+//	sketchd push  -addr host:7070 -site edge1 -in updates.txt [...coins]
+//	sketchd query -addr host:7070 -expr '(A & B) - C' [-eps 0.1]
+//	sketchd streams -addr host:7070
+//
+// All parties must share the stored-coins parameters (-copies, -s,
+// -wise, -seed); mismatches are rejected by the coordinator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"setsketch/internal/core"
+	"setsketch/internal/distributed"
+	"setsketch/internal/streamio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "push":
+		err = runPush(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "streams":
+		err = runStreams(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sketchd {serve|push|query|streams} [flags]")
+	os.Exit(2)
+}
+
+// coinFlags registers the shared stored-coins flags on a flag set.
+func coinFlags(fs *flag.FlagSet) func() distributed.Coins {
+	copies := fs.Int("copies", 512, "sketch copies r per stream")
+	s := fs.Int("s", 32, "second-level hash functions")
+	wise := fs.Int("wise", 8, "first-level independence degree")
+	seed := fs.Uint64("seed", 1, "stored-coins master seed")
+	return func() distributed.Coins {
+		cfg := core.DefaultConfig()
+		cfg.SecondLevel = *s
+		cfg.FirstWise = *wise
+		return distributed.Coins{Config: cfg, Seed: *seed, Copies: *copies}
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":7070", "address to listen on")
+	coins := coinFlags(fs)
+	fs.Parse(args)
+
+	coord, err := distributed.NewCoordinator(coins())
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := distributed.NewServer(coord)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "sketchd: shutting down")
+		srv.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "sketchd: coordinator listening on %s\n", l.Addr())
+	return srv.Serve(l)
+}
+
+func runPush(args []string) error {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	siteName := fs.String("site", "site", "site name (diagnostics)")
+	in := fs.String("in", "-", "update-stream file (- for stdin)")
+	coins := coinFlags(fs)
+	fs.Parse(args)
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	ups, err := streamio.Read(r)
+	if err != nil {
+		return err
+	}
+	site, err := distributed.NewSite(*siteName, coins())
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		if err := site.Update(u.Stream, u.Elem, u.Delta); err != nil {
+			return err
+		}
+	}
+	cli, err := distributed.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if err := cli.PushSnapshot(*siteName, site.Snapshot()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sketchd: pushed %d streams (%d updates) from site %q\n",
+		len(site.Streams()), len(ups), *siteName)
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	exprStr := fs.String("expr", "", "set expression (required)")
+	eps := fs.Float64("eps", 0.1, "relative accuracy parameter ε")
+	fs.Parse(args)
+	if *exprStr == "" {
+		return fmt.Errorf("query: -expr is required")
+	}
+	cli, err := distributed.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	est, err := cli.Query(*exprStr, *eps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("|%s| ≈ %.0f ± %.0f  (û = %.0f, level %d, %d/%d valid copies, %d witnesses)\n",
+		*exprStr, est.Value, est.StdError, est.Union, est.Level, est.Valid, est.Copies, est.Witnesses)
+	return nil
+}
+
+func runStreams(args []string) error {
+	fs := flag.NewFlagSet("streams", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	fs.Parse(args)
+	cli, err := distributed.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	names, err := cli.Streams()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}

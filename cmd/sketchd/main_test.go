@@ -1,0 +1,119 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"setsketch/internal/core"
+	"setsketch/internal/distributed"
+)
+
+// startCoordinator runs an in-process coordinator server matching the
+// default coin flags with small copies for speed.
+func startCoordinator(t *testing.T, coins distributed.Coins) (addr string, stop func()) {
+	t.Helper()
+	coord, err := distributed.NewCoordinator(coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := distributed.NewServer(coord)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	return l.Addr().String(), func() {
+		srv.Close()
+		<-done
+	}
+}
+
+func testCoins() distributed.Coins {
+	cfg := core.DefaultConfig()
+	cfg.SecondLevel = 8
+	return distributed.Coins{Config: cfg, Seed: 1, Copies: 64}
+}
+
+func writeUpdates(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "u.txt")
+	content := ""
+	for e := 0; e < 300; e++ {
+		content += "A " + itoa(e) + " 1\n"
+		if e >= 100 {
+			content += "B " + itoa(e) + " 1\n"
+		}
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// coinArgs renders the stored-coins flags matching testCoins.
+func coinArgs() []string {
+	return []string{"-copies", "64", "-s", "8", "-wise", "8", "-seed", "1"}
+}
+
+func TestPushQueryStreamsEndToEnd(t *testing.T) {
+	addr, stop := startCoordinator(t, testCoins())
+	defer stop()
+	stream := writeUpdates(t)
+
+	args := append([]string{"-addr", addr, "-site", "edge1", "-in", stream}, coinArgs()...)
+	if err := runPush(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-addr", addr, "-expr", "A & B", "-eps", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStreams([]string{"-addr", addr}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushWrongCoinsRejected(t *testing.T) {
+	addr, stop := startCoordinator(t, testCoins())
+	defer stop()
+	stream := writeUpdates(t)
+	// Different seed: the coordinator must reject the push.
+	args := []string{"-addr", addr, "-site", "edge1", "-in", stream,
+		"-copies", "64", "-s", "8", "-wise", "8", "-seed", "42"}
+	if err := runPush(args); err == nil {
+		t.Fatal("push with mismatched coins succeeded")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	addr, stop := startCoordinator(t, testCoins())
+	defer stop()
+	if err := runQuery([]string{"-addr", addr}); err == nil {
+		t.Error("query without -expr succeeded")
+	}
+	if err := runQuery([]string{"-addr", addr, "-expr", "MISSING"}); err == nil {
+		t.Error("query over unknown stream succeeded")
+	}
+	if err := runQuery([]string{"-addr", "127.0.0.1:1", "-expr", "A"}); err == nil {
+		t.Error("query against dead coordinator succeeded")
+	}
+	if err := runPush([]string{"-addr", addr, "-in", "/nonexistent"}); err == nil {
+		t.Error("push of missing file succeeded")
+	}
+}

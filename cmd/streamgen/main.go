@@ -1,0 +1,81 @@
+// Command streamgen generates controlled synthetic update streams with
+// the methodology of the paper's experimental study (§5.1): a fixed
+// union cardinality, a target cardinality for a given set expression,
+// and optional deletion churn that leaves the net multi-sets unchanged.
+//
+// Usage:
+//
+//	streamgen -expr '(A - B) & C' -union 262144 -target 8192 \
+//	          -phantoms 0.5 -overcount 0.25 -seed 7 > updates.txt
+//
+// The output is one update triple per line: "<stream> <element> <delta>".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"setsketch/internal/datagen"
+	"setsketch/internal/expr"
+	"setsketch/internal/hashing"
+	"setsketch/internal/streamio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "streamgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the generator; split from main for testability.
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("streamgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exprStr   = fs.String("expr", "A & B", "set expression whose cardinality is targeted")
+		union     = fs.Int("union", 1<<18, "union cardinality u = |∪ streams|")
+		target    = fs.Int("target", 1<<13, "target expression cardinality |E|")
+		seed      = fs.Uint64("seed", 1, "random seed (same seed, same stream)")
+		phantoms  = fs.Float64("phantoms", 0, "phantom churn ratio: extra elements inserted then fully deleted")
+		overcount = fs.Float64("overcount", 0, "overcount churn ratio: elements inserted ×3 then deleted ×2")
+		out       = fs.String("out", "-", "output file (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	node, err := expr.Parse(*exprStr)
+	if err != nil {
+		return err
+	}
+	rng := hashing.NewRNG(*seed)
+	w, err := datagen.Generate(datagen.Spec{Expr: node, Union: *union, Target: *target, Balance: true}, rng)
+	if err != nil {
+		return err
+	}
+	ups, err := datagen.RenderUpdates(w, datagen.ChurnSpec{Phantoms: *phantoms, Overcount: *overcount}, rng)
+	if err != nil {
+		return err
+	}
+
+	dst := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	fmt.Fprintf(dst, "# streamgen expr=%q union=%d target=%d achieved=%d seed=%d phantoms=%g overcount=%g\n",
+		*exprStr, *union, *target, w.TargetSize, *seed, *phantoms, *overcount)
+	if err := streamio.Write(dst, ups); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d updates; exact |%s| = %d, |union| = %d\n",
+		len(ups), node.String(), w.TargetSize, w.UnionSize)
+	return nil
+}

@@ -1,0 +1,128 @@
+package setsketch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestContinuousQueryFires(t *testing.T) {
+	p := newProcessor(t, Options{Copies: 128, SecondLevel: 16, FirstWise: 8, Seed: 3})
+	var results []Estimate
+	var errs []error
+	id, err := p.RegisterContinuous("A & B", 0.25, 100, func(e Estimate, err error) {
+		results = append(results, e)
+		errs = append(errs, err)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ContinuousQueries() != 1 {
+		t.Fatalf("registered queries = %d", p.ContinuousQueries())
+	}
+	// 300 updates touching A and B → interval 100 fires 6 times
+	// (each loop iteration updates both streams).
+	for e := uint64(0); e < 300; e++ {
+		mustUpdate(t, p, "A", e, 1)
+		mustUpdate(t, p, "B", e, 1) // identical streams: A & B = A
+	}
+	if len(results) != 6 {
+		t.Fatalf("query fired %d times, want 6", len(results))
+	}
+	// The final estimates should be in the vicinity of the true count.
+	last := results[len(results)-1]
+	if errs[len(errs)-1] != nil {
+		t.Fatalf("final estimate errored: %v", errs[len(errs)-1])
+	}
+	if last.Value <= 0 || math.Abs(last.Value-300)/300 > 0.6 {
+		t.Errorf("final continuous estimate %v, want ≈ 300", last.Value)
+	}
+
+	// Updates to unrelated streams must not advance the counter.
+	before := len(results)
+	for e := uint64(0); e < 500; e++ {
+		mustUpdate(t, p, "C", e, 1)
+	}
+	if len(results) != before {
+		t.Error("updates to stream C fired an A & B query")
+	}
+
+	if !p.UnregisterContinuous(id) {
+		t.Error("unregister of live query returned false")
+	}
+	if p.UnregisterContinuous(id) {
+		t.Error("double unregister returned true")
+	}
+	for e := uint64(300); e < 500; e++ {
+		mustUpdate(t, p, "A", e, 1)
+	}
+	if len(results) != before {
+		t.Error("unregistered query still fired")
+	}
+}
+
+func TestContinuousQueryValidation(t *testing.T) {
+	p := newProcessor(t, Options{Copies: 16, SecondLevel: 8, FirstWise: 4, Seed: 1})
+	cb := func(Estimate, error) {}
+	if _, err := p.RegisterContinuous("A &", 0.2, 10, cb); err == nil {
+		t.Error("garbage expression accepted")
+	}
+	if _, err := p.RegisterContinuous("A", 0.2, 0, cb); err == nil {
+		t.Error("interval 0 accepted")
+	}
+	if _, err := p.RegisterContinuous("A", 0.2, 10, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	if _, err := p.RegisterContinuous("A", 0, 10, cb); err == nil {
+		t.Error("eps 0 accepted")
+	}
+}
+
+func TestContinuousQueryEarlyStreamErrors(t *testing.T) {
+	// Before stream B exists, the estimate must surface an error (the
+	// expression references an unknown stream) rather than silently
+	// reporting nonsense.
+	p := newProcessor(t, Options{Copies: 16, SecondLevel: 8, FirstWise: 4, Seed: 2})
+	var lastErr error
+	fired := 0
+	if _, err := p.RegisterContinuous("A & B", 0.3, 1, func(e Estimate, err error) {
+		fired++
+		lastErr = err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, p, "A", 1, 1)
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if lastErr == nil {
+		t.Error("estimate over missing stream B reported no error")
+	}
+	// Once B exists the query starts succeeding.
+	mustUpdate(t, p, "B", 1, 1)
+	if lastErr != nil {
+		t.Errorf("estimate still failing after B appeared: %v", lastErr)
+	}
+}
+
+func TestContinuousMultipleQueries(t *testing.T) {
+	p := newProcessor(t, Options{Copies: 32, SecondLevel: 8, FirstWise: 4, Seed: 4})
+	counts := map[string]int{}
+	for _, q := range []string{"A", "A | B", "B - A"} {
+		q := q
+		if _, err := p.RegisterContinuous(q, 0.3, 50, func(Estimate, error) {
+			counts[q]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := uint64(0); e < 100; e++ {
+		mustUpdate(t, p, "A", e, 1)
+	}
+	// "A" and "A | B" and "B - A"? B-A references A too: all three
+	// reference A, so all fire twice on 100 A-updates.
+	for q, c := range counts {
+		if c != 2 {
+			t.Errorf("query %q fired %d times, want 2", q, c)
+		}
+	}
+}

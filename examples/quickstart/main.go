@@ -1,0 +1,121 @@
+// Quickstart: maintain 2-level hash sketch synopses over two update
+// streams and estimate union, intersection, and difference
+// cardinalities, comparing against exact answers computed on the side.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"setsketch"
+)
+
+func main() {
+	// A Processor is the stream query-processing engine: it keeps one
+	// small synopsis per stream and never stores stream elements.
+	p, err := setsketch.NewProcessor(setsketch.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed two overlapping streams of 20k distinct elements each:
+	// the first 10k of A are shared with B, the rest are private.
+	rng := rand.New(rand.NewSource(1))
+	exactA := make(map[uint64]bool)
+	exactB := make(map[uint64]bool)
+	for len(exactA) < 20000 {
+		e := uint64(rng.Int63n(1 << 40))
+		if exactA[e] {
+			continue
+		}
+		exactA[e] = true
+		must(p.Insert("A", e))
+		if len(exactA) <= 10000 { // first half is shared with B
+			exactB[e] = true
+			must(p.Insert("B", e))
+		}
+	}
+	for len(exactB) < 20000 {
+		e := uint64(rng.Int63n(1 << 40))
+		if exactA[e] || exactB[e] {
+			continue
+		}
+		exactB[e] = true
+		must(p.Insert("B", e))
+	}
+
+	// Deletions are first-class: remove 2000 of the shared elements
+	// from B again. The synopsis needs no rescan of past items.
+	removed := 0
+	for e := range exactA {
+		if !exactB[e] || removed >= 2000 {
+			continue
+		}
+		delete(exactB, e)
+		must(p.Delete("B", e))
+		removed++
+	}
+
+	exact := map[string]int{
+		"A | B": count(union(exactA, exactB)),
+		"A & B": count(intersect(exactA, exactB)),
+		"A - B": count(diff(exactA, exactB)),
+		"B - A": count(diff(exactB, exactA)),
+	}
+	fmt.Printf("synopsis footprint: %.1f MiB for %d distinct elements across 2 streams\n\n",
+		float64(p.MemoryBytes())/(1<<20), count(union(exactA, exactB)))
+	fmt.Printf("%-8s  %10s  %10s  %8s\n", "query", "estimate", "exact", "error")
+	for _, q := range []string{"A | B", "A & B", "A - B", "B - A"} {
+		est, err := p.Estimate(q, 0.1)
+		if err != nil {
+			log.Fatalf("estimate %q: %v", q, err)
+		}
+		relErr := 0.0
+		if exact[q] > 0 {
+			relErr = (est.Value - float64(exact[q])) / float64(exact[q])
+		}
+		fmt.Printf("%-8s  %6.0f±%-5.0f  %10d  %+7.1f%%\n", q, est.Value, est.StdError, exact[q], relErr*100)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func count(m map[uint64]bool) int { return len(m) }
+
+func union(a, b map[uint64]bool) map[uint64]bool {
+	out := make(map[uint64]bool, len(a)+len(b))
+	for e := range a {
+		out[e] = true
+	}
+	for e := range b {
+		out[e] = true
+	}
+	return out
+}
+
+func intersect(a, b map[uint64]bool) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for e := range a {
+		if b[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func diff(a, b map[uint64]bool) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for e := range a {
+		if !b[e] {
+			out[e] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Retail-chain transaction processing (§1's second motivating domain):
+// three regional stores stream purchase records — and returns, which
+// are deletions — keyed by customer id. Marketing questions are set
+// expressions over the per-store customer multisets:
+//
+//	customers active in EVERY region:      east & west & online
+//	in-store-only customers:              (east | west) - online
+//	online-only customers:                 online - (east | west)
+//
+// A returned purchase must stop counting the customer in that store
+// once their net purchase count there reaches zero; the synopses track
+// this exactly because deletions cancel insertions.
+//
+// Run with: go run ./examples/retail
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"setsketch"
+)
+
+func main() {
+	p, err := setsketch.NewProcessor(setsketch.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	stores := []string{"east", "west", "online"}
+	// Exact net purchase counts per store per customer (ground truth
+	// for the demo; the synopses never see this table).
+	net := map[string]map[uint64]int64{
+		"east": {}, "west": {}, "online": {},
+	}
+
+	const customers = 60000
+	type purchase struct {
+		store    string
+		customer uint64
+	}
+	var history []purchase
+
+	buy := func() {
+		c := uint64(rng.Int63n(customers))
+		// Customers skew to their home region but shop everywhere;
+		// online is popular across the board.
+		var store string
+		switch home := c % 3; {
+		case rng.Float64() < 0.25:
+			store = "online"
+		case home == 0:
+			store = "east"
+		case home == 1:
+			store = "west"
+		default:
+			store = stores[rng.Intn(2)]
+		}
+		if net[store][c] == 0 {
+			if err := p.Insert(store, c); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			// Repeat purchase: update net frequency in the synopsis
+			// too — multiplicities are tracked, distinctness is what
+			// queries count.
+			if err := p.Update(store, c, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		net[store][c]++
+		history = append(history, purchase{store, c})
+	}
+
+	returnOne := func() {
+		if len(history) == 0 {
+			return
+		}
+		i := rng.Intn(len(history))
+		pu := history[i]
+		history[i] = history[len(history)-1]
+		history = history[:len(history)-1]
+		if net[pu.store][pu.customer] == 0 {
+			return // already fully returned
+		}
+		net[pu.store][pu.customer]--
+		if net[pu.store][pu.customer] == 0 {
+			delete(net[pu.store], pu.customer)
+		}
+		if err := p.Update(pu.store, pu.customer, -1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A season of trade: 150k purchases, 15% return rate.
+	for i := 0; i < 150000; i++ {
+		buy()
+		if rng.Float64() < 0.15 {
+			returnOne()
+		}
+	}
+
+	queries := []string{
+		"east & west & online",
+		"(east | west) - online",
+		"online - (east | west)",
+		"east | west | online",
+	}
+	fmt.Println("marketing queries over per-store customer streams (after returns):")
+	fmt.Printf("\n%-26s %12s %12s %9s\n", "query", "estimate", "exact", "error")
+	for _, q := range queries {
+		est, err := p.Estimate(q, 0.1)
+		if err != nil {
+			log.Fatalf("estimate %q: %v", q, err)
+		}
+		trueCount := exactAnswer(net, q)
+		relErr := 0.0
+		if trueCount > 0 {
+			relErr = (est.Value - float64(trueCount)) / float64(trueCount) * 100
+		}
+		fmt.Printf("%-26s %12.0f %12d %+8.1f%%\n", q, est.Value, trueCount, relErr)
+	}
+	fmt.Printf("\nsynopsis memory: %.1f MiB across %d stores\n",
+		float64(p.MemoryBytes())/(1<<20), len(stores))
+}
+
+// exactAnswer evaluates the four demo queries against the ground truth.
+func exactAnswer(net map[string]map[uint64]int64, q string) int {
+	in := func(store string, c uint64) bool { return net[store][c] > 0 }
+	n := 0
+	for c := uint64(0); c < 60000; c++ {
+		var ok bool
+		switch q {
+		case "east & west & online":
+			ok = in("east", c) && in("west", c) && in("online", c)
+		case "(east | west) - online":
+			ok = (in("east", c) || in("west", c)) && !in("online", c)
+		case "online - (east | west)":
+			ok = in("online", c) && !(in("east", c) || in("west", c))
+		case "east | west | online":
+			ok = in("east", c) || in("west", c) || in("online", c)
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}

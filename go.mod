@@ -1,0 +1,3 @@
+module setsketch
+
+go 1.22

@@ -1,0 +1,249 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"setsketch/internal/hashing"
+)
+
+func distinctElems(rng *hashing.RNG, n int) []uint64 {
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		e := rng.Uint64n(1 << 32)
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestFMAccuracy(t *testing.T) {
+	rng := hashing.NewRNG(1)
+	for _, n := range []int{1000, 10000} {
+		f, err := NewFM(7, 64, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range distinctElems(rng, n) {
+			f.Insert(e)
+			f.Insert(e) // duplicates must not matter
+		}
+		est := f.Estimate()
+		if rel := math.Abs(est-float64(n)) / float64(n); rel > 0.5 {
+			t.Errorf("n = %d: FM estimate %.0f (rel err %.2f)", n, est, rel)
+		}
+	}
+}
+
+func TestFMEmpty(t *testing.T) {
+	f, err := NewFM(7, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 2 on an empty stream: leftmost zero is 0 everywhere, so the
+	// estimate is the constant 1.2928 — FM's floor, not a true zero.
+	if est := f.Estimate(); est != fmPhi {
+		t.Errorf("empty FM estimate %v, want %v", est, fmPhi)
+	}
+}
+
+func TestFMRejectsDeletions(t *testing.T) {
+	f, err := NewFM(7, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(5)
+	if err := f.Delete(5); !errors.Is(err, ErrDeletionsUnsupported) {
+		t.Errorf("Delete err = %v, want ErrDeletionsUnsupported", err)
+	}
+}
+
+func TestFMMergeIsUnion(t *testing.T) {
+	rng := hashing.NewRNG(2)
+	a, _ := NewFM(9, 64, 32)
+	b, _ := NewFM(9, 64, 32)
+	both, _ := NewFM(9, 64, 32)
+	elems := distinctElems(rng, 4000)
+	for i, e := range elems {
+		if i%2 == 0 {
+			a.Insert(e)
+		} else {
+			b.Insert(e)
+		}
+		both.Insert(e)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != both.Estimate() {
+		t.Errorf("merged estimate %.0f differs from combined-stream estimate %.0f",
+			a.Estimate(), both.Estimate())
+	}
+	c, _ := NewFM(9, 32, 32)
+	if err := a.Merge(c); err == nil {
+		t.Error("merge of incompatible FM synopses succeeded")
+	}
+}
+
+func TestFMValidation(t *testing.T) {
+	if _, err := NewFM(1, 0, 32); err == nil {
+		t.Error("r = 0 accepted")
+	}
+	if _, err := NewFM(1, 4, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NewFM(1, 4, 99); err == nil {
+		t.Error("width 99 accepted")
+	}
+	f, _ := NewFM(1, 4, 32)
+	if f.MemoryBytes() == 0 {
+		t.Error("MemoryBytes = 0")
+	}
+}
+
+func TestMIPsJaccardAccuracy(t *testing.T) {
+	rng := hashing.NewRNG(3)
+	const u, inter = 4000, 1000 // true Jaccard 0.25
+	elems := distinctElems(rng, u)
+	a, _ := NewMIPs(11, 512)
+	b, _ := NewMIPs(11, 512)
+	for i, e := range elems {
+		switch {
+		case i < inter:
+			a.Insert(e)
+			b.Insert(e)
+		case i%2 == 0:
+			a.Insert(e)
+		default:
+			b.Insert(e)
+		}
+	}
+	j, err := Jaccard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-0.25) > 0.06 {
+		t.Errorf("Jaccard estimate %.3f, want ≈ 0.25", j)
+	}
+	est, err := IntersectionEstimate(a, b, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-inter)/inter > 0.3 {
+		t.Errorf("intersection estimate %.0f, want ≈ %d", est, inter)
+	}
+	sizeA := float64(inter + (u-inter+1)/2)
+	d, err := DifferenceEstimate(a, b, u, sizeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueDiff := sizeA - inter
+	if math.Abs(d-trueDiff)/trueDiff > 0.35 {
+		t.Errorf("difference estimate %.0f, want ≈ %.0f", d, trueDiff)
+	}
+}
+
+// TestMIPsDepletion demonstrates the paper's central criticism: deleting
+// stream items destroys MIPs coordinates, and with enough deletions the
+// synopsis cannot estimate at all — while 2-level hash sketches are
+// untouched by the same workload (TestEstimateIntersectionUnderDeletions
+// in internal/core).
+func TestMIPsDepletion(t *testing.T) {
+	rng := hashing.NewRNG(4)
+	elems := distinctElems(rng, 2000)
+	a, _ := NewMIPs(13, 128)
+	for _, e := range elems {
+		a.Insert(e)
+	}
+	if a.Usable() != 128 {
+		t.Fatalf("fresh synopsis has %d usable coordinates", a.Usable())
+	}
+	// Delete the whole stream: every coordinate's minimum dies.
+	for _, e := range elems {
+		a.Delete(e)
+	}
+	if a.Depleted() != 128 {
+		t.Errorf("full deletion left %d of 128 coordinates alive", 128-a.Depleted())
+	}
+	b, _ := NewMIPs(13, 128)
+	b.Insert(1)
+	if _, err := Jaccard(a, b); !errors.Is(err, ErrDepleted) {
+		t.Errorf("Jaccard on depleted synopsis: err = %v, want ErrDepleted", err)
+	}
+}
+
+// TestMIPsPartialDepletionDegrades quantifies graceful degradation: each
+// deleted element kills the coordinates it was the minimum of, so the
+// usable-coordinate count decreases monotonically with deletions.
+func TestMIPsPartialDepletionDegrades(t *testing.T) {
+	rng := hashing.NewRNG(5)
+	elems := distinctElems(rng, 2000)
+	a, _ := NewMIPs(17, 256)
+	for _, e := range elems {
+		a.Insert(e)
+	}
+	usable := []int{a.Usable()}
+	for i := 0; i < 1000; i++ {
+		a.Delete(elems[i])
+		if i%250 == 249 {
+			usable = append(usable, a.Usable())
+		}
+	}
+	for i := 1; i < len(usable); i++ {
+		if usable[i] > usable[i-1] {
+			t.Fatalf("usable coordinates increased after deletions: %v", usable)
+		}
+	}
+	if usable[len(usable)-1] == usable[0] {
+		t.Error("1000 deletions depleted no coordinate; depletion model broken")
+	}
+}
+
+func TestMIPsDeleteNonMinimumHarmless(t *testing.T) {
+	a, _ := NewMIPs(19, 64)
+	rng := hashing.NewRNG(6)
+	elems := distinctElems(rng, 100)
+	for _, e := range elems {
+		a.Insert(e)
+	}
+	// Deleting an element that is no coordinate's minimum changes nothing.
+	outside := uint64(1 << 40)
+	before := a.Usable()
+	a.Delete(outside)
+	if a.Usable() != before {
+		t.Error("deleting an untracked element depleted coordinates")
+	}
+}
+
+func TestMIPsValidation(t *testing.T) {
+	if _, err := NewMIPs(1, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	a, _ := NewMIPs(1, 8)
+	b, _ := NewMIPs(1, 16)
+	if _, err := Jaccard(a, b); err == nil {
+		t.Error("mismatched MIPs sizes accepted")
+	}
+}
+
+func TestMIPsIdenticalStreams(t *testing.T) {
+	rng := hashing.NewRNG(7)
+	elems := distinctElems(rng, 500)
+	a, _ := NewMIPs(23, 64)
+	b, _ := NewMIPs(23, 64)
+	for _, e := range elems {
+		a.Insert(e)
+		b.Insert(e)
+	}
+	j, err := Jaccard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Errorf("Jaccard of identical streams = %v, want 1", j)
+	}
+}

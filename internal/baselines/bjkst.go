@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"errors"
+	"sort"
+
+	"setsketch/internal/hashing"
+)
+
+// BJKST is the k-minimum-values distinct-count estimator in the style
+// of Bar-Yossef, Jayram, Kumar, Sivakumar, Trevisan (RANDOM 2002; the
+// paper's reference [4]): retain the k smallest distinct hash values
+// seen; if v_k is the k-th smallest as a fraction of the hash range,
+// the distinct count is ≈ (k−1)/v_k.
+//
+// Like every minimum-retention synopsis, it is insert-only in spirit:
+// deleting a retained value leaves a hole that cannot be refilled
+// without rescanning (the k+1-st smallest hash was discarded). Delete
+// models this by marking the synopsis damaged once a retained value is
+// removed; estimates remain available but the (ε, δ) guarantee is
+// void, which Damaged reports.
+type BJKST struct {
+	h    *hashing.Poly
+	k    int
+	vals map[uint64]uint64 // element → hash, the ≤ k smallest retained
+	// maxRetained caches the largest retained hash for O(1) admission.
+	maxRetained uint64
+	damaged     bool
+}
+
+// NewBJKST builds a k-minimum-values synopsis.
+func NewBJKST(seed uint64, k int) (*BJKST, error) {
+	if k < 2 {
+		return nil, errors.New("baselines: BJKST needs k ≥ 2")
+	}
+	return &BJKST{h: hashing.NewPoly(seed, 2), k: k, vals: make(map[uint64]uint64)}, nil
+}
+
+// Insert adds one occurrence of e.
+func (b *BJKST) Insert(e uint64) {
+	hv := b.h.Hash(e)
+	if _, ok := b.vals[e]; ok {
+		return // already retained; duplicates don't matter
+	}
+	if len(b.vals) < b.k {
+		b.vals[e] = hv
+		if hv > b.maxRetained {
+			b.maxRetained = hv
+		}
+		return
+	}
+	if hv >= b.maxRetained {
+		return // not among the k smallest
+	}
+	// Evict the current maximum and admit e.
+	var evict uint64
+	var evictHash uint64
+	for el, h := range b.vals {
+		if h >= evictHash {
+			evict, evictHash = el, h
+		}
+	}
+	delete(b.vals, evict)
+	b.vals[e] = hv
+	b.maxRetained = 0
+	for _, h := range b.vals {
+		if h > b.maxRetained {
+			b.maxRetained = h
+		}
+	}
+}
+
+// Delete removes e. If e was retained, the synopsis is permanently
+// damaged: the next-smallest hash beyond the retained set was thrown
+// away and only a rescan could restore it.
+func (b *BJKST) Delete(e uint64) {
+	if _, ok := b.vals[e]; !ok {
+		return
+	}
+	delete(b.vals, e)
+	b.damaged = true
+}
+
+// Damaged reports whether deletions have voided the estimator's
+// guarantee.
+func (b *BJKST) Damaged() bool { return b.damaged }
+
+// Estimate returns the distinct-count estimate. With fewer than k
+// retained values the count is exact (every distinct value is
+// retained); otherwise (k−1)/v_k scaled to the hash range.
+func (b *BJKST) Estimate() float64 {
+	if len(b.vals) < b.k {
+		return float64(len(b.vals))
+	}
+	hashes := make([]uint64, 0, len(b.vals))
+	for _, h := range b.vals {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	vk := float64(hashes[b.k-1]) / float64(hashing.MersennePrime)
+	if vk == 0 {
+		return float64(len(b.vals))
+	}
+	return float64(b.k-1) / vk
+}
+
+// Retained returns the current number of retained values.
+func (b *BJKST) Retained() int { return len(b.vals) }

@@ -1,0 +1,210 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"setsketch/internal/hashing"
+)
+
+func TestDistinctSampleExactWhenSmall(t *testing.T) {
+	d, err := NewDistinctSample(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 500; e++ {
+		d.Insert(e)
+		d.Insert(e) // duplicates don't change the sample
+	}
+	// Below capacity the sample holds every distinct value exactly.
+	if d.Threshold() != 0 || d.SampleSize() != 500 {
+		t.Fatalf("threshold %d, sample %d; want 0, 500", d.Threshold(), d.SampleSize())
+	}
+	if d.Estimate() != 500 {
+		t.Errorf("estimate %v, want exactly 500", d.Estimate())
+	}
+}
+
+func TestDistinctSampleAccuracy(t *testing.T) {
+	rng := hashing.NewRNG(2)
+	for _, n := range []int{5000, 50000} {
+		d, err := NewDistinctSample(7, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]bool, n)
+		for len(seen) < n {
+			e := rng.Uint64n(1 << 40)
+			if !seen[e] {
+				seen[e] = true
+				d.Insert(e)
+			}
+		}
+		est := d.Estimate()
+		if rel := math.Abs(est-float64(n)) / float64(n); rel > 0.25 {
+			t.Errorf("n = %d: estimate %.0f (rel err %.2f)", n, est, rel)
+		}
+		if d.SampleSize() > 512 {
+			t.Errorf("sample overflowed capacity: %d", d.SampleSize())
+		}
+	}
+}
+
+// TestDistinctSampleDepletion reproduces the §1 criticism of
+// sampling-based synopses: after heavy deletions the sample shrinks
+// and cannot re-grow, flagging the need for a rescan.
+func TestDistinctSampleDepletion(t *testing.T) {
+	rng := hashing.NewRNG(3)
+	d, err := NewDistinctSample(9, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := make([]uint64, 0, 20000)
+	seen := make(map[uint64]bool)
+	for len(elems) < 20000 {
+		e := rng.Uint64n(1 << 40)
+		if !seen[e] {
+			seen[e] = true
+			elems = append(elems, e)
+			d.Insert(e)
+		}
+	}
+	if d.NeedsRescan() {
+		t.Fatal("fresh synopsis claims to need a rescan")
+	}
+	// Delete 99% of the stream: the true distinct count drops to 200,
+	// which a fresh synopsis would hold exactly at threshold 0 — but
+	// this one is stuck at a high threshold with a near-empty sample.
+	for _, e := range elems[:19800] {
+		d.Delete(e)
+	}
+	if !d.NeedsRescan() {
+		t.Errorf("synopsis not flagged for rescan: threshold %d, sample %d",
+			d.Threshold(), d.SampleSize())
+	}
+	// The estimate is now unusably coarse: granularity is 2^threshold.
+	if d.Threshold() < 4 {
+		t.Errorf("threshold %d unexpectedly low after 20k distinct inserts at capacity 256", d.Threshold())
+	}
+}
+
+func TestDistinctSampleDeleteFiltered(t *testing.T) {
+	d, err := NewDistinctSample(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the capacity to force a positive threshold.
+	for e := uint64(0); e < 100; e++ {
+		d.Insert(e)
+	}
+	thr := d.Threshold()
+	if thr == 0 {
+		t.Fatal("threshold did not rise at capacity 4")
+	}
+	// Deleting values that were never sampled must be a no-op.
+	before := d.SampleSize()
+	for e := uint64(0); e < 100; e++ {
+		if d.level(e) < thr {
+			d.Delete(e)
+		}
+	}
+	if d.SampleSize() != before {
+		t.Error("deleting filtered values changed the sample")
+	}
+}
+
+func TestDistinctSampleValidation(t *testing.T) {
+	if _, err := NewDistinctSample(1, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestBJKSTExactWhenSmall(t *testing.T) {
+	b, err := NewBJKST(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 50; e++ {
+		b.Insert(e)
+		b.Insert(e)
+	}
+	if b.Estimate() != 50 || b.Retained() != 50 {
+		t.Errorf("estimate %v retained %d, want 50, 50", b.Estimate(), b.Retained())
+	}
+}
+
+func TestBJKSTAccuracy(t *testing.T) {
+	rng := hashing.NewRNG(4)
+	for _, n := range []int{5000, 50000} {
+		b, err := NewBJKST(11, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]bool, n)
+		for len(seen) < n {
+			e := rng.Uint64n(1 << 40)
+			if !seen[e] {
+				seen[e] = true
+				b.Insert(e)
+			}
+		}
+		est := b.Estimate()
+		if rel := math.Abs(est-float64(n)) / float64(n); rel > 0.25 {
+			t.Errorf("n = %d: estimate %.0f (rel err %.2f)", n, est, rel)
+		}
+		if b.Retained() != 256 {
+			t.Errorf("retained %d, want 256", b.Retained())
+		}
+	}
+}
+
+func TestBJKSTDamagedByDeletions(t *testing.T) {
+	rng := hashing.NewRNG(5)
+	b, err := NewBJKST(13, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := make([]uint64, 2000)
+	for i := range elems {
+		elems[i] = rng.Uint64n(1 << 40)
+		b.Insert(elems[i])
+	}
+	if b.Damaged() {
+		t.Fatal("insert-only synopsis reports damage")
+	}
+	// Deleting non-retained values is harmless; deleting everything
+	// guarantees retained values die.
+	for _, e := range elems {
+		b.Delete(e)
+	}
+	if !b.Damaged() {
+		t.Error("mass deletion did not damage the synopsis")
+	}
+	if b.Retained() != 0 {
+		t.Errorf("retained %d after deleting everything", b.Retained())
+	}
+}
+
+func TestBJKSTValidation(t *testing.T) {
+	if _, err := NewBJKST(1, 1); err == nil {
+		t.Error("k = 1 accepted")
+	}
+}
+
+func TestBJKSTDuplicateInsertStable(t *testing.T) {
+	b, _ := NewBJKST(17, 8)
+	rng := hashing.NewRNG(6)
+	for i := 0; i < 100; i++ {
+		b.Insert(rng.Uint64n(1 << 30))
+	}
+	est1 := b.Estimate()
+	// Re-inserting retained elements must not change anything.
+	for i := 0; i < 5; i++ {
+		for e := range b.vals {
+			b.Insert(e)
+		}
+	}
+	if b.Estimate() != est1 {
+		t.Error("duplicate inserts changed the estimate")
+	}
+}

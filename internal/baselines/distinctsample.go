@@ -1,0 +1,113 @@
+package baselines
+
+import (
+	"errors"
+
+	"setsketch/internal/hashing"
+)
+
+// DistinctSample is Gibbons' distinct sampling synopsis (VLDB 2001;
+// the paper's reference [14]): a bounded-size uniform sample of the
+// *distinct* values in a stream, maintained by hash-based level
+// filtering. Each value has a permanent level LSB(h(v)); the synopsis
+// keeps every distinct value whose level is at least the current
+// threshold, raising the threshold (and evicting the newly
+// sub-threshold values) whenever the sample overflows its capacity.
+// The distinct count is estimated as |sample| · 2^threshold.
+//
+// Insertions are handled exactly. Deletions expose the structural
+// problem the 2-level hash sketch paper highlights (§1): a deletion
+// can remove a sampled value, but values evicted at earlier threshold
+// raises are gone — the synopsis cannot re-grow the sample without
+// rescanning past stream items. NeedsRescan reports when deletions
+// have shrunk the sample below the occupancy a fresh synopsis would
+// have, i.e. when estimates are degraded and only a rescan would
+// restore the guarantee.
+type DistinctSample struct {
+	h         *hashing.Poly
+	capacity  int
+	threshold int
+	// counts tracks net frequencies of the sampled distinct values.
+	counts map[uint64]int64
+	// evictions counts values dropped at threshold raises; > 0 means a
+	// rescan would be needed to repopulate after mass deletions.
+	evictions int
+}
+
+// NewDistinctSample builds a synopsis holding at most capacity
+// distinct values.
+func NewDistinctSample(seed uint64, capacity int) (*DistinctSample, error) {
+	if capacity < 1 {
+		return nil, errors.New("baselines: distinct sample needs positive capacity")
+	}
+	return &DistinctSample{
+		h:        hashing.NewPoly(seed, 2),
+		capacity: capacity,
+		counts:   make(map[uint64]int64),
+	}, nil
+}
+
+// level returns the permanent sampling level of a value.
+func (d *DistinctSample) level(e uint64) int {
+	return hashing.LSB(d.h.Hash(e), hashing.FieldBits)
+}
+
+// Insert adds one occurrence of e.
+func (d *DistinctSample) Insert(e uint64) {
+	if d.level(e) < d.threshold {
+		return // filtered out at the current threshold
+	}
+	d.counts[e]++
+	for len(d.counts) > d.capacity {
+		d.raiseThreshold()
+	}
+}
+
+// raiseThreshold increments the level threshold and evicts values that
+// no longer qualify.
+func (d *DistinctSample) raiseThreshold() {
+	d.threshold++
+	for e := range d.counts {
+		if d.level(e) < d.threshold {
+			delete(d.counts, e)
+			d.evictions++
+		}
+	}
+}
+
+// Delete removes one occurrence of e. Deleting a sampled value down to
+// net frequency zero removes it from the sample; the freed slot cannot
+// be refilled with previously evicted values (that information is
+// gone), which is exactly the depletion criticism of [14, 15].
+func (d *DistinctSample) Delete(e uint64) {
+	if d.level(e) < d.threshold {
+		return // value was filtered; its deletions are too
+	}
+	if c, ok := d.counts[e]; ok {
+		if c <= 1 {
+			delete(d.counts, e)
+		} else {
+			d.counts[e] = c - 1
+		}
+	}
+}
+
+// Estimate returns the distinct-count estimate |sample| · 2^threshold.
+func (d *DistinctSample) Estimate() float64 {
+	return float64(len(d.counts)) * float64(uint64(1)<<uint(d.threshold))
+}
+
+// SampleSize returns the current number of sampled distinct values.
+func (d *DistinctSample) SampleSize() int { return len(d.counts) }
+
+// Threshold returns the current level threshold.
+func (d *DistinctSample) Threshold() int { return d.threshold }
+
+// NeedsRescan reports whether deletions have degraded the synopsis:
+// the sample is badly under-occupied (below a quarter of capacity)
+// even though values were evicted at threshold raises — a fresh pass
+// over the surviving stream would yield a larger sample at a lower
+// threshold, but the one-pass synopsis cannot recover it.
+func (d *DistinctSample) NeedsRescan() bool {
+	return d.evictions > 0 && d.threshold > 0 && len(d.counts) < d.capacity/4
+}

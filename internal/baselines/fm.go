@@ -1,0 +1,108 @@
+// Package baselines implements the prior-art estimators the paper
+// positions itself against: the Flajolet–Martin bitmap distinct-count
+// estimator (paper Fig. 2), which handles union over insert-only
+// streams but cannot express deletions, and a min-wise independent
+// permutations (MIPs) synopsis, the only pre-existing technique for
+// intersection/difference — which the paper shows is depleted by
+// deletions. The exact baseline is internal/multiset.
+package baselines
+
+import (
+	"errors"
+	"math"
+
+	"setsketch/internal/hashing"
+)
+
+// fmPhi is the Flajolet–Martin bias-correction constant: the estimator
+// returns 1.2928 · 2^(sum/r) (paper Fig. 2, step 6, where
+// 1.2928 ≈ 1/φ with φ ≈ 0.77351).
+const fmPhi = 1.2928
+
+// FM is the Flajolet–Martin synopsis of paper Fig. 2: r bit-vectors of
+// Θ(log M) bits, bit LSB(h_i(e)) set on every insertion of e.
+//
+// FM is insert-only: bits cannot be unset, so deletions are
+// unsupported — exactly the limitation that motivates counter-based
+// 2-level hash sketches.
+type FM struct {
+	width  int
+	hashes []*hashing.Poly
+	bits   [][]uint64 // r bitmaps, each width bits packed into words
+}
+
+// NewFM builds an FM estimator with r independent hash instances over
+// a domain of width bits (Θ(log M)).
+func NewFM(seed uint64, r, width int) (*FM, error) {
+	if r < 1 {
+		return nil, errors.New("baselines: FM needs at least one hash instance")
+	}
+	if width < 1 || width > hashing.FieldBits {
+		return nil, errors.New("baselines: FM width out of range")
+	}
+	f := &FM{width: width, hashes: make([]*hashing.Poly, r), bits: make([][]uint64, r)}
+	for i := range f.hashes {
+		f.hashes[i] = hashing.NewPoly(hashing.DeriveSeed(seed, uint64(i)), 2)
+		f.bits[i] = make([]uint64, (width+63)/64)
+	}
+	return f, nil
+}
+
+// Insert records one occurrence of e (Fig. 2 steps 3–4). Multiplicity
+// is irrelevant: the bitmap saturates.
+func (f *FM) Insert(e uint64) {
+	for i, h := range f.hashes {
+		b := hashing.LSB(h.Hash(e), f.width)
+		f.bits[i][b/64] |= 1 << uint(b%64)
+	}
+}
+
+// ErrDeletionsUnsupported is returned by Delete: FM bitmaps cannot
+// express deletions.
+var ErrDeletionsUnsupported = errors.New("baselines: FM bitmaps cannot process deletions")
+
+// Delete always fails; it exists to make the baseline's limitation
+// explicit at the type level for the comparison harness.
+func (f *FM) Delete(uint64) error { return ErrDeletionsUnsupported }
+
+// Merge ORs another FM synopsis built with the same seed/shape into f,
+// giving the synopsis of the union of the inputs.
+func (f *FM) Merge(g *FM) error {
+	if len(f.bits) != len(g.bits) || f.width != g.width {
+		return errors.New("baselines: merging incompatible FM synopses")
+	}
+	for i := range f.bits {
+		for w := range f.bits[i] {
+			f.bits[i][w] |= g.bits[i][w]
+		}
+	}
+	return nil
+}
+
+// Estimate returns the Fig. 2 distinct-count estimate
+// R = 1.2928 · 2^(sum/r), where sum accumulates each bitmap's
+// leftmost-zero index.
+func (f *FM) Estimate() float64 {
+	sum := 0
+	for i := range f.bits {
+		sum += f.leftmostZero(i)
+	}
+	return fmPhi * math.Pow(2, float64(sum)/float64(len(f.bits)))
+}
+
+// leftmostZero returns the lowest bit index not set in bitmap i
+// (Fig. 2 scans from the top down to find the last zero seen, which is
+// the same position).
+func (f *FM) leftmostZero(i int) int {
+	for b := 0; b < f.width; b++ {
+		if f.bits[i][b/64]&(1<<uint(b%64)) == 0 {
+			return b
+		}
+	}
+	return f.width
+}
+
+// MemoryBytes reports the bitmap footprint.
+func (f *FM) MemoryBytes() int {
+	return len(f.bits) * len(f.bits[0]) * 8
+}

@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+
+	"setsketch/internal/hashing"
+)
+
+// MIPs is a min-wise independent permutations synopsis (Broder et al.;
+// Cohen; Indyk — the paper's §1 "Prior Work"): k independent
+// (approximately min-wise) hash functions, each retaining the minimum
+// hash value — and the element attaining it — over the inserted
+// multi-set. Two MIPs synopses built with the same seed estimate the
+// Jaccard coefficient |A ∩ B| / |A ∪ B| as the fraction of coordinates
+// whose minima agree, from which intersection and difference
+// cardinalities follow given a union estimate.
+//
+// MIPs handles insert-only streams well but is structurally unable to
+// process deletions: when the current minimum element is deleted, the
+// replacement minimum is unknown without rescanning past items. Delete
+// models this honestly — deleting a tracked minimum marks the
+// coordinate depleted, and depleted coordinates are excluded from
+// estimation. Under enough deletions every coordinate depletes and the
+// synopsis is useless; see TestMIPsDepletion and the churn experiment.
+type MIPs struct {
+	hashes   []*hashing.Poly
+	minVal   []uint64
+	minElem  []uint64
+	occupied []bool
+	depleted []bool
+}
+
+// NewMIPs builds a k-coordinate MIPs synopsis. Synopses with equal
+// (seed, k) are comparable.
+func NewMIPs(seed uint64, k int) (*MIPs, error) {
+	if k < 1 {
+		return nil, errors.New("baselines: MIPs needs at least one permutation")
+	}
+	m := &MIPs{
+		hashes:   make([]*hashing.Poly, k),
+		minVal:   make([]uint64, k),
+		minElem:  make([]uint64, k),
+		occupied: make([]bool, k),
+		depleted: make([]bool, k),
+	}
+	for i := range m.hashes {
+		// Degree-4 polynomials give approximately min-wise behaviour
+		// (Indyk '99 shows O(log 1/ε)-wise independence suffices).
+		m.hashes[i] = hashing.NewPoly(hashing.DeriveSeed(seed, uint64(i)), 4)
+	}
+	return m, nil
+}
+
+// Insert records one occurrence of e.
+func (m *MIPs) Insert(e uint64) {
+	for i, h := range m.hashes {
+		v := h.Hash(e)
+		if !m.occupied[i] || v < m.minVal[i] {
+			m.occupied[i] = true
+			m.minVal[i] = v
+			m.minElem[i] = e
+			// A fresh, smaller minimum repairs a depleted coordinate
+			// only by luck; real systems cannot rely on it, but we
+			// keep the coordinate depleted to model the guarantee
+			// loss: once the true minimum was lost, agreement between
+			// synopses is no longer the Jaccard indicator.
+		}
+	}
+}
+
+// Delete attempts to remove e. If e is the tracked minimum of a
+// coordinate, that coordinate becomes depleted: the true next minimum
+// cannot be recovered from the synopsis ("deletions can easily deplete
+// the MIP synopsis", §1). Deletions of non-minimum elements are
+// ignorable because they cannot change any minimum.
+func (m *MIPs) Delete(e uint64) {
+	for i := range m.hashes {
+		if m.occupied[i] && m.minElem[i] == e {
+			m.occupied[i] = false
+			m.depleted[i] = true
+		}
+	}
+}
+
+// Usable returns the number of coordinates still carrying a valid
+// minimum (never depleted).
+func (m *MIPs) Usable() int {
+	n := 0
+	for i := range m.occupied {
+		if m.occupied[i] && !m.depleted[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Depleted returns the number of coordinates ruined by deletions.
+func (m *MIPs) Depleted() int {
+	n := 0
+	for _, d := range m.depleted {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrDepleted is returned when too few coordinates survive to estimate.
+var ErrDepleted = errors.New("baselines: MIPs synopsis depleted by deletions; estimation impossible without rescanning the stream")
+
+// Jaccard estimates |A ∩ B| / |A ∪ B| from two comparable synopses as
+// the agreement fraction over coordinates valid in both.
+func Jaccard(a, b *MIPs) (float64, error) {
+	if len(a.hashes) != len(b.hashes) {
+		return 0, errors.New("baselines: comparing MIPs of different sizes")
+	}
+	valid, agree := 0, 0
+	for i := range a.hashes {
+		if a.depleted[i] || b.depleted[i] || !a.occupied[i] || !b.occupied[i] {
+			continue
+		}
+		valid++
+		if a.minElem[i] == b.minElem[i] {
+			agree++
+		}
+	}
+	if valid == 0 {
+		return 0, ErrDepleted
+	}
+	return float64(agree) / float64(valid), nil
+}
+
+// IntersectionEstimate converts a Jaccard estimate into |A ∩ B| given
+// the union cardinality (exact or separately estimated).
+func IntersectionEstimate(a, b *MIPs, union float64) (float64, error) {
+	j, err := Jaccard(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return j * union, nil
+}
+
+// DifferenceEstimate converts a Jaccard estimate into |A − B| given the
+// union cardinality and |A| (exact or separately estimated):
+// |A − B| = |A| − |A ∩ B| = |A| − J·|A ∪ B|, clamped at zero.
+func DifferenceEstimate(a, b *MIPs, union, sizeA float64) (float64, error) {
+	j, err := Jaccard(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(0, sizeA-j*union), nil
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"testing"
+
+	"setsketch/internal/hashing"
+)
+
+// checkCfg keeps second-level small enough to be cheap but large enough
+// that Lemma 3.1's 2^−s error probability is negligible in tests.
+var checkCfg = Config{Buckets: 61, SecondLevel: 16, FirstWise: 4}
+
+// bucketOf returns the first-level bucket a sketch's hash places e in.
+func bucketOf(x *Sketch, e uint64) int {
+	return hashing.LSB(x.h.Hash(e), x.cfg.Buckets)
+}
+
+func TestSingletonBucketEmpty(t *testing.T) {
+	x := mustSketch(t, checkCfg, 1)
+	for b := 0; b < checkCfg.Buckets; b++ {
+		if x.SingletonBucket(b) {
+			t.Fatalf("empty bucket %d reported singleton", b)
+		}
+	}
+}
+
+func TestSingletonBucketSingle(t *testing.T) {
+	x := mustSketch(t, checkCfg, 1)
+	x.Update(42, 5) // multiplicity must not matter, only distinctness
+	b := bucketOf(x, 42)
+	if !x.SingletonBucket(b) {
+		t.Fatal("bucket holding one distinct element not reported singleton")
+	}
+	// Deleting down to one copy keeps it a singleton.
+	x.Update(42, -4)
+	if !x.SingletonBucket(b) {
+		t.Fatal("singleton lost after partial deletion")
+	}
+	// Deleting the last copy empties the bucket.
+	x.Update(42, -1)
+	if x.SingletonBucket(b) {
+		t.Fatal("empty bucket reported singleton after full deletion")
+	}
+}
+
+func TestSingletonBucketDetectsPairs(t *testing.T) {
+	// For many random pairs colliding in a first-level bucket, the
+	// check must (almost) always detect non-singletons.
+	rng := hashing.NewRNG(9)
+	failures := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		x := mustSketch(t, checkCfg, rng.Uint64())
+		e1 := rng.Uint64n(1 << 30)
+		e2 := rng.Uint64n(1 << 30)
+		for e2 == e1 {
+			e2 = rng.Uint64n(1 << 30)
+		}
+		// Force both into the same bucket by retrying until collision.
+		b1 := bucketOf(x, e1)
+		for bucketOf(x, e2) != b1 {
+			e2 = rng.Uint64n(1 << 30)
+			for e2 == e1 {
+				e2 = rng.Uint64n(1 << 30)
+			}
+		}
+		x.Insert(e1)
+		x.Insert(e2)
+		if x.SingletonBucket(b1) {
+			failures++
+		}
+	}
+	// Lemma 3.1: error probability ≤ 2^−16 per trial; even one failure
+	// in 500 trials is exceedingly unlikely.
+	if failures > 0 {
+		t.Errorf("SingletonBucket fooled on %d of %d two-element buckets (expected ≈ %d)",
+			failures, trials, trials>>16)
+	}
+}
+
+func TestSingletonBucketAfterDeletionsRevealsSurvivor(t *testing.T) {
+	// Start with two elements in a bucket, delete one; the bucket must
+	// become a singleton again — a behaviour bitmap sketches cannot
+	// express and the reason the paper uses counters.
+	x := mustSketch(t, checkCfg, 123)
+	rng := hashing.NewRNG(4)
+	e1 := rng.Uint64n(1 << 30)
+	e2 := rng.Uint64n(1 << 30)
+	for bucketOf(x, e2) != bucketOf(x, e1) || e2 == e1 {
+		e2 = rng.Uint64n(1 << 30)
+	}
+	b := bucketOf(x, e1)
+	x.Insert(e1)
+	x.Insert(e2)
+	if x.SingletonBucket(b) {
+		t.Fatal("two-element bucket reported singleton")
+	}
+	x.Delete(e2)
+	if !x.SingletonBucket(b) {
+		t.Fatal("bucket not singleton after deleting one of two elements")
+	}
+}
+
+func TestIdenticalSingletonBucket(t *testing.T) {
+	a := mustSketch(t, checkCfg, 5)
+	b := mustSketch(t, checkCfg, 5)
+	a.Insert(100)
+	b.Insert(100)
+	bkt := bucketOf(a, 100)
+	if !IdenticalSingletonBucket(a, b, bkt) {
+		t.Fatal("identical singletons not recognized")
+	}
+
+	// Different values in the same bucket must be told apart.
+	rng := hashing.NewRNG(6)
+	misses := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		x := mustSketch(t, checkCfg, rng.Uint64())
+		y := mustSketch(t, x.cfg, x.seed)
+		e1 := rng.Uint64n(1 << 30)
+		e2 := rng.Uint64n(1 << 30)
+		for bucketOf(x, e2) != bucketOf(x, e1) || e2 == e1 {
+			e2 = rng.Uint64n(1 << 30)
+		}
+		x.Insert(e1)
+		y.Insert(e2)
+		if IdenticalSingletonBucket(x, y, bucketOf(x, e1)) {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("IdenticalSingletonBucket confused distinct values %d/%d times", misses, trials)
+	}
+}
+
+func TestIdenticalSingletonBucketRejects(t *testing.T) {
+	a := mustSketch(t, checkCfg, 5)
+	b := mustSketch(t, checkCfg, 5)
+	a.Insert(100)
+	bkt := bucketOf(a, 100)
+	// b's bucket is empty: not identical singletons.
+	if IdenticalSingletonBucket(a, b, bkt) {
+		t.Fatal("singleton vs empty reported identical")
+	}
+	// Unaligned sketches are rejected outright.
+	c := mustSketch(t, checkCfg, 6)
+	c.Insert(100)
+	if IdenticalSingletonBucket(a, c, bkt) {
+		t.Fatal("unaligned sketches compared")
+	}
+}
+
+func TestSingletonUnionBucket(t *testing.T) {
+	cfg := checkCfg
+	newPair := func() (a, b *Sketch) {
+		return mustSketch(t, cfg, 77), mustSketch(t, cfg, 77)
+	}
+
+	// Case 1: singleton in A, empty in B.
+	a, b := newPair()
+	a.Insert(1)
+	if !SingletonUnionBucket(a, b, bucketOf(a, 1)) {
+		t.Error("singleton ∪ empty not recognized")
+	}
+	// Case 2: empty in A, singleton in B.
+	a, b = newPair()
+	b.Insert(2)
+	if !SingletonUnionBucket(a, b, bucketOf(b, 2)) {
+		t.Error("empty ∪ singleton not recognized")
+	}
+	// Case 3: same singleton in both.
+	a, b = newPair()
+	a.Insert(3)
+	b.Insert(3)
+	if !SingletonUnionBucket(a, b, bucketOf(a, 3)) {
+		t.Error("identical singletons not recognized as singleton union")
+	}
+	// Case 4: both empty.
+	a, b = newPair()
+	if SingletonUnionBucket(a, b, 0) {
+		t.Error("empty ∪ empty reported singleton")
+	}
+	// Case 5: distinct singletons in the same bucket → union of size 2.
+	a, b = newPair()
+	rng := hashing.NewRNG(11)
+	e1 := rng.Uint64n(1 << 30)
+	e2 := rng.Uint64n(1 << 30)
+	for bucketOf(a, e2) != bucketOf(a, e1) || e2 == e1 {
+		e2 = rng.Uint64n(1 << 30)
+	}
+	a.Insert(e1)
+	b.Insert(e2)
+	if SingletonUnionBucket(a, b, bucketOf(a, e1)) {
+		t.Error("two distinct values reported as singleton union")
+	}
+}
+
+func TestSingletonUnionBucketNMatchesBinary(t *testing.T) {
+	// The n-way generalization must agree with the paper's binary
+	// procedure on two sketches, across random states.
+	cfg := checkCfg
+	rng := hashing.NewRNG(21)
+	for trial := 0; trial < 200; trial++ {
+		a := mustSketch(t, cfg, 31)
+		b := mustSketch(t, cfg, 31)
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			a.Insert(rng.Uint64n(256))
+		}
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			b.Insert(rng.Uint64n(256))
+		}
+		for bkt := 0; bkt < 10; bkt++ {
+			want := SingletonUnionBucket(a, b, bkt)
+			got := SingletonUnionBucketN([]*Sketch{a, b}, bkt)
+			if got != want {
+				t.Fatalf("trial %d bucket %d: N-way = %v, binary = %v", trial, bkt, got, want)
+			}
+		}
+	}
+}
+
+func TestSingletonUnionBucketNGroundTruth(t *testing.T) {
+	// Compare the n-way check against exact bucket contents for three
+	// streams.
+	cfg := checkCfg
+	rng := hashing.NewRNG(33)
+	for trial := 0; trial < 100; trial++ {
+		sketches := make([]*Sketch, 3)
+		for i := range sketches {
+			sketches[i] = mustSketch(t, cfg, 55)
+		}
+		// elements per bucket across the union
+		union := make(map[int]map[uint64]bool)
+		for i := 0; i < 12; i++ {
+			e := rng.Uint64n(512)
+			k := rng.Intn(3)
+			sketches[k].Insert(e)
+			b := bucketOf(sketches[k], e)
+			if union[b] == nil {
+				union[b] = make(map[uint64]bool)
+			}
+			union[b][e] = true
+		}
+		for bkt := 0; bkt < cfg.Buckets; bkt++ {
+			want := len(union[bkt]) == 1
+			got := SingletonUnionBucketN(sketches, bkt)
+			if got != want && len(union[bkt]) >= 2 {
+				// Allowed to fail only with probability 2^−16.
+				t.Fatalf("trial %d bucket %d: got %v for %d-element union bucket",
+					trial, bkt, got, len(union[bkt]))
+			}
+			if got != want && len(union[bkt]) <= 1 {
+				t.Fatalf("trial %d bucket %d: deterministic case wrong (%d elements, got %v)",
+					trial, bkt, len(union[bkt]), got)
+			}
+		}
+	}
+}
+
+func TestSingletonUnionBucketNEdgeCases(t *testing.T) {
+	if SingletonUnionBucketN(nil, 0) {
+		t.Error("empty sketch list reported singleton")
+	}
+	a := mustSketch(t, checkCfg, 1)
+	b := mustSketch(t, checkCfg, 2) // unaligned
+	a.Insert(1)
+	if SingletonUnionBucketN([]*Sketch{a, b}, bucketOf(a, 1)) {
+		t.Error("unaligned sketches accepted")
+	}
+	// Single sketch: reduces to SingletonBucket.
+	if !SingletonUnionBucketN([]*Sketch{a}, bucketOf(a, 1)) {
+		t.Error("one-sketch case broken")
+	}
+}
+
+// TestChecksRespectDeletions: property checks observe the net multiset.
+func TestChecksRespectDeletions(t *testing.T) {
+	a := mustSketch(t, checkCfg, 13)
+	b := mustSketch(t, checkCfg, 13)
+	a.Insert(500)
+	b.Insert(500)
+	bkt := bucketOf(a, 500)
+	if !IdenticalSingletonBucket(a, b, bkt) {
+		t.Fatal("setup failed")
+	}
+	b.Delete(500)
+	if IdenticalSingletonBucket(a, b, bkt) {
+		t.Fatal("identical-singleton check ignored deletion")
+	}
+	if !SingletonUnionBucket(a, b, bkt) {
+		t.Fatal("singleton ∪ empty (after deletion) not recognized")
+	}
+}

@@ -1,0 +1,573 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"setsketch/internal/expr"
+)
+
+// This file implements the paper's estimators:
+//
+//   - EstimateUnion / EstimateUnionMulti — procedure SetUnionEstimator
+//     (Fig. 5): scan first-level bucket indices for the first whose
+//     non-empty fraction drops below (1+ε)/8, then invert the occupancy
+//     probability p = 1 − (1 − 1/R)^u.
+//   - EstimateDifference / EstimateIntersection — procedures
+//     SetDifferenceEstimator / SetIntersectionEstimator (Fig. 6, §3.5):
+//     pick level j = ⌈log₂(β·û/(1−ε))⌉ with β = 2; count, among copies
+//     whose level-j union bucket is a singleton, the fraction that
+//     witness the operator; scale by û.
+//   - EstimateExpression — the general §4 estimator: the same witness
+//     scheme with the witness condition replaced by the Boolean mapping
+//     B(E) over per-stream bucket-occupancy flags.
+
+// Beta is the paper's β constant for witness-level selection; §3.4
+// derives β = 2 as the value minimizing the required number of sketch
+// copies (together with ε₁ = (√5−1)/2).
+const Beta = 2.0
+
+// ErrNoObservations is returned by witness-based estimators when none
+// of the sketch copies produced a valid 0/1 observation (no copy had a
+// singleton union bucket at the chosen level). With r = Θ(log(1/δ))
+// copies this happens with probability at most δ; callers should add
+// copies or treat the expression cardinality as too small to resolve.
+var ErrNoObservations = errors.New("core: no sketch copy yielded a valid witness observation; increase the number of copies")
+
+// ErrMissingStream is returned by EstimateExpression when the
+// expression references a stream with no registered family.
+type ErrMissingStream struct{ Name string }
+
+func (e *ErrMissingStream) Error() string {
+	return fmt.Sprintf("core: expression references stream %q with no registered synopsis", e.Name)
+}
+
+// Estimate is a cardinality estimate with its diagnostics.
+type Estimate struct {
+	// Value is the estimated cardinality |E|.
+	Value float64
+	// Level is the first-level bucket index the estimate was read from.
+	Level int
+	// Copies is the number of sketch copies r consulted.
+	Copies int
+	// Valid is the number of valid 0/1 witness observations (r' in the
+	// paper's analysis); equal to Copies for the union estimator.
+	Valid int
+	// Witnesses is the number of positive witness observations.
+	Witnesses int
+	// Union is the union-cardinality estimate û the witness estimators
+	// scale by; zero for the direct union estimator.
+	Union float64
+	// StdError is an approximate standard error of Value, when the
+	// estimator can compute one (the ML union estimator via observed
+	// Fisher information; witness estimators by combining binomial
+	// witness noise with the û uncertainty). Zero when unavailable
+	// (the paper-literal single-level estimators do not report one).
+	StdError float64
+}
+
+// occupancy abstracts "bucket b is non-empty for the union of the
+// estimator's input streams" over one sketch copy index.
+type occupancy func(copy, bucket int) bool
+
+// estimateUnionFrom runs the Fig. 5 level scan over r copies with the
+// given occupancy oracle.
+func estimateUnionFrom(cfg Config, r int, occ occupancy, eps float64) (Estimate, error) {
+	if eps <= 0 || eps >= 1 {
+		return Estimate{}, fmt.Errorf("core: relative accuracy ε = %v out of (0, 1)", eps)
+	}
+	f := (1 + eps) * float64(r) / 8
+	index := 0
+	count := 0
+	for ; index < cfg.Buckets; index++ {
+		count = 0
+		for i := 0; i < r; i++ {
+			if occ(i, index) {
+				count++
+			}
+		}
+		if float64(count) <= f {
+			break // first index with count ≤ f (Fig. 5 step 9)
+		}
+	}
+	if index == cfg.Buckets {
+		// Cannot happen for domains within the sketch width: the
+		// occupancy probability at the top level is ≈ u/2^Buckets < f/r.
+		return Estimate{}, fmt.Errorf("core: union estimator exhausted all %d levels", cfg.Buckets)
+	}
+	est := Estimate{Level: index, Copies: r, Valid: r, Witnesses: count}
+	if count == 0 {
+		// No copy saw a live element at this level; with index = 0 the
+		// union is empty, otherwise p̂ = 0 still inverts to 0, which is
+		// the natural floor of the Fig. 5 formula.
+		est.Value = 0
+		return est, nil
+	}
+	p := float64(count) / float64(r)
+	// R = 2^(index+1); Pr[element maps to bucket index] = 1/R.
+	invR := math.Pow(2, -float64(index+1))
+	// u = log(1−p̂)/log(1−1/R) (Fig. 5 step 13); Log1p keeps precision
+	// for the deep levels where 1/R underflows ordinary Log(1−x).
+	est.Value = math.Log1p(-p) / math.Log1p(-invR)
+	return est, nil
+}
+
+// EstimateUnion estimates |A ∪ B| from aligned sketch families
+// (procedure SetUnionEstimator, Fig. 5). Only the first-level bucket
+// totals are consulted — as the paper notes, set union does not need
+// the second-level structure.
+func EstimateUnion(a, b *Family, eps float64) (Estimate, error) {
+	return EstimateUnionMulti([]*Family{a, b}, eps)
+}
+
+// EstimateUnionMulti estimates |∪_i A_i| over any number of aligned
+// families. It is both the n-ary union estimator and the source of the
+// û estimate that the witness-based estimators scale by.
+func EstimateUnionMulti(fams []*Family, eps float64) (Estimate, error) {
+	if len(fams) == 0 {
+		return Estimate{}, errors.New("core: union estimator needs at least one family")
+	}
+	r, err := alignedCopies(fams)
+	if err != nil {
+		return Estimate{}, err
+	}
+	cfg := fams[0].cfg
+	occ := func(i, b int) bool {
+		for _, f := range fams {
+			if f.copies[i].totals[b] != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return estimateUnionFrom(cfg, r, occ, eps)
+}
+
+// EstimateDistinct estimates |A| for a single stream — the classic
+// distinct-count problem — by running the union estimator on one
+// family. Unlike bitmap-based FM sketches, it remains exact under
+// deletions of the underlying multi-set.
+func EstimateDistinct(a *Family, eps float64) (Estimate, error) {
+	return EstimateUnionMulti([]*Family{a}, eps)
+}
+
+// alignedCopies verifies that all families are mutually aligned and
+// returns the usable copy count (the minimum across families).
+func alignedCopies(fams []*Family) (int, error) {
+	first := fams[0]
+	r := first.Copies()
+	for _, f := range fams[1:] {
+		if !first.Aligned(f) {
+			return 0, ErrNotAligned
+		}
+		if f.Copies() < r {
+			r = f.Copies()
+		}
+	}
+	if r < 1 {
+		return 0, errors.New("core: family has no copies")
+	}
+	return r, nil
+}
+
+// AtomicDiff is procedure AtomicDiffEstimator (Fig. 6) for one sketch
+// copy pair at the chosen level: it returns (0, false) when the level-j
+// union bucket is not a singleton (the paper's noEstimate flag), and
+// otherwise (1, true) when the singleton witnesses A − B — bucket j a
+// non-empty singleton for A and empty for B — or (0, true) when it does
+// not.
+func AtomicDiff(xa, xb *Sketch, level int) (estimate int, valid bool) {
+	if !SingletonUnionBucket(xa, xb, level) {
+		return 0, false
+	}
+	if xa.SingletonBucket(level) && xb.totals[level] == 0 {
+		return 1, true
+	}
+	return 0, true
+}
+
+// AtomicIntersect is the AtomicIntersectEstimator variant (§3.5): the
+// witness condition becomes "singleton in both A and B" (conditioned on
+// the union bucket being a singleton, both singletons are necessarily
+// the same element).
+func AtomicIntersect(xa, xb *Sketch, level int) (estimate int, valid bool) {
+	if !SingletonUnionBucket(xa, xb, level) {
+		return 0, false
+	}
+	if xa.SingletonBucket(level) && xb.SingletonBucket(level) {
+		return 1, true
+	}
+	return 0, true
+}
+
+// EstimateDifference estimates |A − B| (procedure SetDifferenceEstimator,
+// Fig. 6). The union estimate û it needs is computed internally from
+// the same families at accuracy ε/3, per §3.4.
+func EstimateDifference(a, b *Family, eps float64) (Estimate, error) {
+	return estimateWitnessBinary(a, b, eps, AtomicDiff)
+}
+
+// EstimateIntersection estimates |A ∩ B| (procedure
+// SetIntersectionEstimator, §3.5).
+func EstimateIntersection(a, b *Family, eps float64) (Estimate, error) {
+	return estimateWitnessBinary(a, b, eps, AtomicIntersect)
+}
+
+func estimateWitnessBinary(a, b *Family, eps float64, atomic func(xa, xb *Sketch, level int) (int, bool)) (Estimate, error) {
+	if eps <= 0 || eps >= 1 {
+		return Estimate{}, fmt.Errorf("core: relative accuracy ε = %v out of (0, 1)", eps)
+	}
+	r, err := alignedCopies([]*Family{a, b})
+	if err != nil {
+		return Estimate{}, err
+	}
+	u, err := EstimateUnion(a, b, eps/3)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{Copies: r, Union: u.Value}
+	if u.Value == 0 {
+		return est, nil // empty union ⇒ empty difference/intersection
+	}
+	level := chooseWitnessLevel(a.cfg, u.Value, Beta, eps)
+	est.Level = level
+	for i := 0; i < r; i++ {
+		if obs, ok := atomic(a.copies[i], b.copies[i], level); ok {
+			est.Valid++
+			est.Witnesses += obs
+		}
+	}
+	if est.Valid == 0 {
+		return est, ErrNoObservations
+	}
+	// |A op B| ≈ p̂ · û with p̂ the fraction of valid observations that
+	// witnessed the operator (Fig. 6 step 8).
+	est.Value = float64(est.Witnesses) / float64(est.Valid) * u.Value
+	return est, nil
+}
+
+// exprOracle abstracts the per-copy, per-bucket observations the
+// witness estimators read, so the same estimation logic runs over
+// counter synopses (general update streams) and bit synopses (the
+// paper's insert-only experimental variant, §5.2).
+type exprOracle interface {
+	config() Config
+	copies() int
+	// occupied reports whether stream k's copy-i bucket b is non-empty.
+	occupied(k, i, b int) bool
+	// unionSingleton reports whether the union of all streams' copy-i
+	// bucket-b contents is a single distinct element.
+	unionSingleton(i, b int) bool
+}
+
+// counterOracle adapts aligned counter families.
+type counterOracle struct {
+	fams    []*Family
+	scratch []*Sketch
+}
+
+func (o *counterOracle) config() Config { return o.fams[0].cfg }
+func (o *counterOracle) copies() int {
+	r := o.fams[0].Copies()
+	for _, f := range o.fams[1:] {
+		if f.Copies() < r {
+			r = f.Copies()
+		}
+	}
+	return r
+}
+func (o *counterOracle) occupied(k, i, b int) bool {
+	return o.fams[k].copies[i].totals[b] != 0
+}
+func (o *counterOracle) unionSingleton(i, b int) bool {
+	for k, f := range o.fams {
+		o.scratch[k] = f.copies[i]
+	}
+	return SingletonUnionBucketN(o.scratch, b)
+}
+
+// bitOracle adapts aligned bit families: union contents are the OR of
+// the per-stream bit signatures (bits saturate, so OR is set union).
+type bitOracle struct {
+	fams []*BitFamily
+}
+
+func (o *bitOracle) config() Config { return o.fams[0].cfg }
+func (o *bitOracle) copies() int {
+	r := o.fams[0].Copies()
+	for _, f := range o.fams[1:] {
+		if f.Copies() < r {
+			r = f.Copies()
+		}
+	}
+	return r
+}
+func (o *bitOracle) occupied(k, i, b int) bool {
+	return !o.fams[k].copies[i].BucketEmpty(b)
+}
+func (o *bitOracle) unionSingleton(i, b int) bool {
+	// Fast path: every element sets one of the two g_1 cells, so a
+	// bucket empty in every stream is decided by j = 0 alone — and
+	// most (copy, level) pairs are empty.
+	anyOccupied := false
+	for _, f := range o.fams {
+		if !f.copies[i].BucketEmpty(b) {
+			anyOccupied = true
+			break
+		}
+	}
+	if !anyOccupied {
+		return false
+	}
+	s := o.fams[0].cfg.SecondLevel
+	for j := 0; j < s; j++ {
+		var or0, or1 bool
+		for _, f := range o.fams {
+			x := f.copies[i]
+			or0 = or0 || x.bit(b, j, 0)
+			or1 = or1 || x.bit(b, j, 1)
+		}
+		if or0 && or1 {
+			return false // two distinct elements split by g_j
+		}
+	}
+	return true
+}
+
+// estimateExpressionOracle is the shared §4 witness estimator. With
+// multiLevel false it reads the single chosen level and the Fig. 5
+// single-level û (the paper's pseudo-code, verbatim); with multiLevel
+// true it harvests witnesses from every level AND scales by the
+// all-levels maximum-likelihood û (see EstimateExpressionMultiLevel and
+// estimateUnionMLFrom) — the same synopsis read more thoroughly on
+// both axes.
+func estimateExpressionOracle(e expr.Node, names []string, o exprOracle, eps float64, multiLevel bool) (Estimate, error) {
+	if eps <= 0 || eps >= 1 {
+		return Estimate{}, fmt.Errorf("core: relative accuracy ε = %v out of (0, 1)", eps)
+	}
+	cfg := o.config()
+	r := o.copies()
+	if r < 1 {
+		return Estimate{}, errors.New("core: family has no copies")
+	}
+	occ := func(i, b int) bool {
+		for k := range names {
+			if o.occupied(k, i, b) {
+				return true
+			}
+		}
+		return false
+	}
+	var u Estimate
+	var err error
+	if multiLevel {
+		u, err = estimateUnionMLFrom(cfg, r, occ)
+	} else {
+		u, err = estimateUnionFrom(cfg, r, occ, eps/3)
+	}
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{Copies: r, Union: u.Value}
+	if u.Value == 0 {
+		return est, nil
+	}
+	lo := chooseWitnessLevel(cfg, u.Value, Beta, eps)
+	hi := lo
+	if multiLevel {
+		lo, hi = 0, cfg.Buckets-1
+	}
+	est.Level = chooseWitnessLevel(cfg, u.Value, Beta, eps)
+
+	flags := make(map[string]bool, len(names))
+	for i := 0; i < r; i++ {
+		for level := lo; level <= hi; level++ {
+			if !o.unionSingleton(i, level) {
+				continue // noEstimate: union bucket is not a singleton
+			}
+			est.Valid++
+			for k, name := range names {
+				flags[name] = o.occupied(k, i, level)
+			}
+			if e.EvalBool(flags) {
+				est.Witnesses++
+			}
+		}
+	}
+	if est.Valid == 0 {
+		return est, ErrNoObservations
+	}
+	p := float64(est.Witnesses) / float64(est.Valid)
+	est.Value = p * u.Value
+	// Delta-method error bar: Var(p̂·û) ≈ û²·p(1−p)/valid + p²·Var(û).
+	// Witness observations within one sketch are correlated across
+	// levels, so this mildly understates multi-level noise; it is an
+	// indicator, not a guarantee.
+	varP := p * (1 - p) / float64(est.Valid)
+	est.StdError = math.Sqrt(u.Value*u.Value*varP + p*p*u.StdError*u.StdError)
+	return est, nil
+}
+
+// orderedFamilies resolves an expression's stream names against a
+// family map, in sorted-name order.
+func orderedFamilies[F any](e expr.Node, fams map[string]F, isNil func(F) bool) ([]string, []F, error) {
+	names := expr.Streams(e)
+	ordered := make([]F, 0, len(names))
+	for _, name := range names {
+		f, ok := fams[name]
+		if !ok || isNil(f) {
+			return nil, nil, &ErrMissingStream{Name: name}
+		}
+		ordered = append(ordered, f)
+	}
+	return names, ordered, nil
+}
+
+// EstimateExpression estimates |E| for a general set expression over
+// named update streams (§4). fams maps stream names to their aligned
+// synopsis families; every stream referenced by e must be present.
+//
+// Per sketch copy, the estimator (1) requires the chosen level-j bucket
+// to be a singleton for ∪_i A_i — checked by SingletonUnionBucketN over
+// the summed counters — and (2) evaluates the Boolean mapping B(E) on
+// the per-stream occupancy flags of that bucket: leaves are "bucket j
+// non-empty in X_{A_i}", ∪ ↦ ∨, ∩ ↦ ∧, − ↦ ∧¬. The fraction of valid
+// copies satisfying B(E), scaled by û = |∪_i A_i|, estimates |E|.
+func EstimateExpression(e expr.Node, fams map[string]*Family, eps float64) (Estimate, error) {
+	names, ordered, err := orderedFamilies(e, fams, func(f *Family) bool { return f == nil })
+	if err != nil {
+		return Estimate{}, err
+	}
+	if _, err := alignedCopies(ordered); err != nil {
+		return Estimate{}, err
+	}
+	o := &counterOracle{fams: ordered, scratch: make([]*Sketch, len(ordered))}
+	return estimateExpressionOracle(e, names, o, eps, false)
+}
+
+// alignedBitCopies verifies mutual alignment of bit families.
+func alignedBitCopies(fams []*BitFamily) error {
+	first := fams[0]
+	for _, f := range fams[1:] {
+		if !first.Aligned(f) {
+			return ErrNotAligned
+		}
+	}
+	return nil
+}
+
+// EstimateExpressionBits is EstimateExpression over the paper's
+// insert-only bit synopses (§5.2). Estimates are identical to the
+// counter version on the same insert stream and coins.
+func EstimateExpressionBits(e expr.Node, fams map[string]*BitFamily, eps float64) (Estimate, error) {
+	names, ordered, err := orderedFamilies(e, fams, func(f *BitFamily) bool { return f == nil })
+	if err != nil {
+		return Estimate{}, err
+	}
+	if err := alignedBitCopies(ordered); err != nil {
+		return Estimate{}, err
+	}
+	return estimateExpressionOracle(e, names, &bitOracle{fams: ordered}, eps, false)
+}
+
+// EstimateExpressionMultiLevelBits is EstimateExpressionMultiLevel
+// over bit synopses.
+func EstimateExpressionMultiLevelBits(e expr.Node, fams map[string]*BitFamily, eps float64) (Estimate, error) {
+	names, ordered, err := orderedFamilies(e, fams, func(f *BitFamily) bool { return f == nil })
+	if err != nil {
+		return Estimate{}, err
+	}
+	if err := alignedBitCopies(ordered); err != nil {
+		return Estimate{}, err
+	}
+	return estimateExpressionOracle(e, names, &bitOracle{fams: ordered}, eps, true)
+}
+
+// EstimateUnionBits estimates |∪_i A_i| over bit families with the
+// specialized Fig. 5 estimator.
+func EstimateUnionBits(fams []*BitFamily, eps float64) (Estimate, error) {
+	if len(fams) == 0 {
+		return Estimate{}, errors.New("core: union estimator needs at least one family")
+	}
+	if err := alignedBitCopies(fams); err != nil {
+		return Estimate{}, err
+	}
+	o := &bitOracle{fams: fams}
+	occ := func(i, b int) bool {
+		for k := range fams {
+			if o.occupied(k, i, b) {
+				return true
+			}
+		}
+		return false
+	}
+	return estimateUnionFrom(o.config(), o.copies(), occ, eps)
+}
+
+// EstimateExpressionMultiLevel estimates |E| like EstimateExpression but
+// harvests witness observations from *every* first-level bucket instead
+// of only the chosen level j.
+//
+// The key identity of the §3.4/§4 analysis — the conditional witness
+// probability Pr[bucket non-empty singleton for E | bucket singleton
+// for ∪A_i] = |E|/|∪A_i| — holds at every level, because both the
+// numerator and denominator carry the same (1−1/R)^(|U|−1) factor
+// regardless of R. The level choice in Fig. 6 only tunes the *yield*
+// of valid observations at one bucket; summing over all Θ(log M)
+// buckets raises the expected yield per sketch from (u/R)e^(−u/R) ≈
+// 0.06–0.14 to Σ_j (u/2^j)e^(−u/2^j) ≈ 1/ln 2 ≈ 1.44 — an order of
+// magnitude more valid observations from identical storage. This is
+// the variant that reproduces the absolute error levels of the paper's
+// experimental figures (§5.2); see EXPERIMENTS.md. Observations within
+// one sketch are slightly negatively correlated across levels, which
+// only helps concentration.
+func EstimateExpressionMultiLevel(e expr.Node, fams map[string]*Family, eps float64) (Estimate, error) {
+	names, ordered, err := orderedFamilies(e, fams, func(f *Family) bool { return f == nil })
+	if err != nil {
+		return Estimate{}, err
+	}
+	if _, err := alignedCopies(ordered); err != nil {
+		return Estimate{}, err
+	}
+	o := &counterOracle{fams: ordered, scratch: make([]*Sketch, len(ordered))}
+	return estimateExpressionOracle(e, names, o, eps, true)
+}
+
+// RecommendedCopies returns the Θ(log(1/δ)/ε²) copy count for the union
+// estimator's (ε, δ) guarantee, using the explicit constant from the
+// §3.3 Chernoff analysis: r ≥ 256·ln(1/δ)/(7ε²). Witness-based
+// estimators additionally scale with |∪A_i|/|E| (Theorems 3.4, 3.5,
+// 4.1); use RecommendedWitnessCopies when a bound on that ratio is
+// known.
+func RecommendedCopies(eps, delta float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	return int(math.Ceil(256 * math.Log(1/delta) / (7 * eps * eps)))
+}
+
+// RecommendedWitnessCopies returns a copy count for the difference /
+// intersection / expression estimators given a bound on the ratio
+// |∪A_i| / |E|. It scales the Chernoff requirement r'·p ≥ 2·ln(1/δ)/ε²
+// by the valid-observation yield (1−ε₁)(β−1)/β² from §3.4 with the
+// optimal constants β = 2, ε₁ = (√5−1)/2.
+func RecommendedWitnessCopies(eps, delta, unionToResultRatio float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 || unionToResultRatio < 1 {
+		return 0
+	}
+	eps1 := (math.Sqrt(5) - 1) / 2
+	yield := (1 - eps1) * (Beta - 1) / (Beta * Beta)
+	need := 2 * math.Log(1/delta) / (eps * eps) * unionToResultRatio
+	return int(math.Ceil(need / yield))
+}
+
+// SortStreams returns the expression's stream names in the order
+// EstimateExpression binds them (sorted), for callers that want to
+// pre-validate their family maps.
+func SortStreams(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

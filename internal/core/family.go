@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"setsketch/internal/hashing"
+)
+
+// Family is the r-fold replicated synopsis the estimators consume: r
+// independent 2-level hash sketches of one update stream, with copy i's
+// hash functions derived deterministically from (master seed, i).
+//
+// Families for different streams built from the same master seed and
+// configuration are aligned copy-by-copy — the "stored coins" of the
+// distributed-streams model: every site derives the identical hash
+// functions from the shared seed, so synopses shipped to a coordinator
+// merge and compare exactly.
+type Family struct {
+	cfg    Config
+	seed   uint64
+	copies []*Sketch
+}
+
+// NewFamily builds a family of r empty sketches from a master seed.
+func NewFamily(cfg Config, seed uint64, r int) (*Family, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("core: family needs at least 1 copy, got %d", r)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	copies := make([]*Sketch, r)
+	for i := range copies {
+		sk, err := NewSketch(cfg, hashing.DeriveSeed(seed, uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		copies[i] = sk
+	}
+	return &Family{cfg: cfg, seed: seed, copies: copies}, nil
+}
+
+// Config returns the family's sketch configuration.
+func (f *Family) Config() Config { return f.cfg }
+
+// Seed returns the master seed the family's coins were derived from.
+func (f *Family) Seed() uint64 { return f.seed }
+
+// Copies returns the number of independent sketch copies r.
+func (f *Family) Copies() int { return len(f.copies) }
+
+// Copy returns the i-th sketch copy.
+func (f *Family) Copy(i int) *Sketch { return f.copies[i] }
+
+// Update applies the stream update ⟨e, ±v⟩ to every copy.
+func (f *Family) Update(e uint64, v int64) {
+	for _, x := range f.copies {
+		x.Update(e, v)
+	}
+}
+
+// Insert is Update(e, +1).
+func (f *Family) Insert(e uint64) { f.Update(e, 1) }
+
+// Delete is Update(e, −1).
+func (f *Family) Delete(e uint64) { f.Update(e, -1) }
+
+// Aligned reports whether g was built with the same master seed and
+// configuration (and hence the same per-copy hash functions) as f.
+// Only the copy-count prefix min(f.Copies(), g.Copies()) is usable by
+// estimators that take both.
+func (f *Family) Aligned(g *Family) bool {
+	return f.cfg == g.cfg && f.seed == g.seed
+}
+
+// Merge adds g's counters into f copy-by-copy, making f the synopsis of
+// the combined update stream. The families must be aligned and have the
+// same number of copies.
+func (f *Family) Merge(g *Family) error {
+	if !f.Aligned(g) {
+		return ErrNotAligned
+	}
+	if len(f.copies) != len(g.copies) {
+		return fmt.Errorf("core: merging families with %d and %d copies", len(f.copies), len(g.copies))
+	}
+	for i := range f.copies {
+		if err := f.copies[i].Merge(g.copies[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the family.
+func (f *Family) Clone() *Family {
+	copies := make([]*Sketch, len(f.copies))
+	for i, x := range f.copies {
+		copies[i] = x.Clone()
+	}
+	return &Family{cfg: f.cfg, seed: f.seed, copies: copies}
+}
+
+// Reset zeroes every copy's counters.
+func (f *Family) Reset() {
+	for _, x := range f.copies {
+		x.Reset()
+	}
+}
+
+// Truncate returns a view of the family restricted to its first r
+// copies, sharing counter storage with f. Estimating from a prefix of
+// a larger family is how the experiment harness sweeps the
+// accuracy-vs-space trade-off without rebuilding synopses.
+func (f *Family) Truncate(r int) (*Family, error) {
+	if r < 1 || r > len(f.copies) {
+		return nil, fmt.Errorf("core: truncating %d-copy family to %d copies", len(f.copies), r)
+	}
+	return &Family{cfg: f.cfg, seed: f.seed, copies: f.copies[:r]}, nil
+}
+
+// Equal reports whether both families are aligned and every pair of
+// corresponding copies holds identical counters.
+func (f *Family) Equal(g *Family) bool {
+	if !f.Aligned(g) || len(f.copies) != len(g.copies) {
+		return false
+	}
+	for i := range f.copies {
+		if !f.copies[i].Equal(g.copies[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the internal invariants of every copy.
+func (f *Family) Validate() error {
+	for i, x := range f.copies {
+		if err := x.Validate(); err != nil {
+			return fmt.Errorf("copy %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MemoryBytes reports the total counter footprint across all copies.
+func (f *Family) MemoryBytes() int {
+	var n int
+	for _, x := range f.copies {
+		n += x.MemoryBytes()
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFamily hardens deserialization: arbitrary bytes must be
+// rejected cleanly (error, not panic, not unbounded allocation), and
+// any input that IS accepted must re-serialize to a working family.
+func FuzzReadFamily(f *testing.F) {
+	// Seed with a genuine serialized family and some mutations.
+	fam, err := NewFamily(Config{Buckets: 61, SecondLevel: 4, FirstWise: 2}, 3, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fam.Insert(42)
+	fam.Update(7, 3)
+	var buf bytes.Buffer
+	if _, err := fam.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("2LHS"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFamily(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent and round-trip.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted family does not re-serialize: %v", err)
+		}
+		again, err := ReadFamily(&out)
+		if err != nil {
+			t.Fatalf("re-serialized family rejected: %v", err)
+		}
+		if !again.Equal(got) {
+			t.Fatal("round trip of accepted family changed it")
+		}
+	})
+}

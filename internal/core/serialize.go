@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Serialization of sketch families, used to ship synopses from stream
+// sites to the coordinator (paper Fig. 1) and to persist them on disk.
+//
+// Format (little-endian):
+//
+//	magic   "2LHS"            4 bytes
+//	version u8                currently 1
+//	buckets u16, secondLevel u16, firstWise u16
+//	seed    u64               family master seed
+//	copies  u32
+//	per copy: totals then counts, each as zig-zag varint int64
+//	crc32   u32 (IEEE, over everything after the magic)
+//
+// Counters are varint-encoded because most of a sketch is zero or small:
+// a fresh 512-copy family serializes to a few hundred KB instead of the
+// 16 MB of raw counters.
+
+const (
+	familyMagic   = "2LHS"
+	familyVersion = 1
+)
+
+// ErrBadFormat is returned when deserialization encounters data that is
+// not a serialized sketch family or fails its checksum.
+var ErrBadFormat = errors.New("core: malformed sketch-family encoding")
+
+// crcWriter tees writes into a CRC32 accumulator.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the family. It implements io.WriterTo.
+func (f *Family) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(familyMagic); err != nil {
+		return 0, err
+	}
+	cw := &crcWriter{w: bw}
+	var header [15]byte
+	header[0] = familyVersion
+	binary.LittleEndian.PutUint16(header[1:], uint16(f.cfg.Buckets))
+	binary.LittleEndian.PutUint16(header[3:], uint16(f.cfg.SecondLevel))
+	binary.LittleEndian.PutUint16(header[5:], uint16(f.cfg.FirstWise))
+	binary.LittleEndian.PutUint64(header[7:], f.seed)
+	if _, err := cw.Write(header[:]); err != nil {
+		return cw.n + 4, err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(f.copies)))
+	if _, err := cw.Write(u32[:]); err != nil {
+		return cw.n + 4, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeCounters := func(cs []int64) error {
+		for _, c := range cs {
+			n := binary.PutVarint(buf[:], c)
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, x := range f.copies {
+		if err := writeCounters(x.totals); err != nil {
+			return cw.n + 4, err
+		}
+		if err := writeCounters(x.counts); err != nil {
+			return cw.n + 4, err
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], cw.crc)
+	if _, err := bw.Write(u32[:]); err != nil {
+		return cw.n + 4, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n + 8, err
+	}
+	return cw.n + 8, nil
+}
+
+// crcReader tees reads into a CRC32 accumulator.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// ReadFamily deserializes a family written by WriteTo, verifying the
+// checksum and reconstructing the hash functions from the stored seed.
+func ReadFamily(r io.Reader) (*Family, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != familyMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	cr := &crcReader{r: br}
+	header := make([]byte, 19)
+	if _, err := io.ReadFull(cr, header); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	if header[0] != familyVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, header[0])
+	}
+	cfg := Config{
+		Buckets:     int(binary.LittleEndian.Uint16(header[1:])),
+		SecondLevel: int(binary.LittleEndian.Uint16(header[3:])),
+		FirstWise:   int(binary.LittleEndian.Uint16(header[5:])),
+	}
+	seed := binary.LittleEndian.Uint64(header[7:])
+	copies := int(binary.LittleEndian.Uint32(header[15:]))
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	const maxCopies = 1 << 20
+	if copies < 1 || copies > maxCopies {
+		return nil, fmt.Errorf("%w: copy count %d out of range", ErrBadFormat, copies)
+	}
+	fam, err := NewFamily(cfg, seed, copies)
+	if err != nil {
+		return nil, err
+	}
+	// Varint decoding needs byte-granular reads that also feed the CRC.
+	byter := &crcByteReader{cr: cr}
+	readCounters := func(cs []int64) error {
+		for i := range cs {
+			v, err := binary.ReadVarint(byter)
+			if err != nil {
+				return err
+			}
+			cs[i] = v
+		}
+		return nil
+	}
+	for _, x := range fam.copies {
+		if err := readCounters(x.totals); err != nil {
+			return nil, fmt.Errorf("%w: truncated counters: %v", ErrBadFormat, err)
+		}
+		if err := readCounters(x.counts); err != nil {
+			return nil, fmt.Errorf("%w: truncated counters: %v", ErrBadFormat, err)
+		}
+	}
+	wantCRC := cr.crc
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrBadFormat, err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %#x, want %#x)", ErrBadFormat, got, wantCRC)
+	}
+	return fam, nil
+}
+
+// crcByteReader adapts crcReader to io.ByteReader for varint decoding.
+type crcByteReader struct {
+	cr  *crcReader
+	buf [1]byte
+}
+
+func (b *crcByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.cr, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}

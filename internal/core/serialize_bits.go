@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization of bit families mirrors the counter-family format with
+// magic "2LHB"; cell words are unsigned varints (mostly zero or
+// small for sparse synopses).
+
+const bitFamilyMagic = "2LHB"
+
+// WriteTo serializes the bit family. It implements io.WriterTo.
+func (f *BitFamily) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(bitFamilyMagic); err != nil {
+		return 0, err
+	}
+	cw := &crcWriter{w: bw}
+	var header [15]byte
+	header[0] = familyVersion
+	binary.LittleEndian.PutUint16(header[1:], uint16(f.cfg.Buckets))
+	binary.LittleEndian.PutUint16(header[3:], uint16(f.cfg.SecondLevel))
+	binary.LittleEndian.PutUint16(header[5:], uint16(f.cfg.FirstWise))
+	binary.LittleEndian.PutUint64(header[7:], f.seed)
+	if _, err := cw.Write(header[:]); err != nil {
+		return cw.n + 4, err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(f.copies)))
+	if _, err := cw.Write(u32[:]); err != nil {
+		return cw.n + 4, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, x := range f.copies {
+		for _, word := range x.bits {
+			n := binary.PutUvarint(buf[:], word)
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return cw.n + 4, err
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], cw.crc)
+	if _, err := bw.Write(u32[:]); err != nil {
+		return cw.n + 4, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n + 8, err
+	}
+	return cw.n + 8, nil
+}
+
+// ReadBitFamily deserializes a bit family written by WriteTo,
+// verifying the checksum.
+func ReadBitFamily(r io.Reader) (*BitFamily, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != bitFamilyMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	cr := &crcReader{r: br}
+	header := make([]byte, 19)
+	if _, err := io.ReadFull(cr, header); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	if header[0] != familyVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, header[0])
+	}
+	cfg := Config{
+		Buckets:     int(binary.LittleEndian.Uint16(header[1:])),
+		SecondLevel: int(binary.LittleEndian.Uint16(header[3:])),
+		FirstWise:   int(binary.LittleEndian.Uint16(header[5:])),
+	}
+	seed := binary.LittleEndian.Uint64(header[7:])
+	copies := int(binary.LittleEndian.Uint32(header[15:]))
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	const maxCopies = 1 << 20
+	if copies < 1 || copies > maxCopies {
+		return nil, fmt.Errorf("%w: copy count %d out of range", ErrBadFormat, copies)
+	}
+	fam, err := NewBitFamily(cfg, seed, copies)
+	if err != nil {
+		return nil, err
+	}
+	byter := &crcByteReader{cr: cr}
+	for _, x := range fam.copies {
+		for i := range x.bits {
+			w, err := binary.ReadUvarint(byter)
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated bit words: %v", ErrBadFormat, err)
+			}
+			x.bits[i] = w
+		}
+	}
+	wantCRC := cr.crc
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrBadFormat, err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %#x, want %#x)", ErrBadFormat, got, wantCRC)
+	}
+	return fam, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"setsketch/internal/hashing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	cfg := Config{Buckets: 61, SecondLevel: 8, FirstWise: 4}
+	f := mustFamily(t, cfg, 1234, 8)
+	rng := hashing.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		f.Update(rng.Uint64n(1<<20), int64(rng.Intn(5)+1))
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFamily(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("round-tripped family differs")
+	}
+	// The reconstructed family must be fully functional: updating both
+	// with the same element keeps them equal (hash functions restored).
+	got.Insert(999)
+	f.Insert(999)
+	if !got.Equal(f) {
+		t.Fatal("round-tripped family has different hash functions")
+	}
+}
+
+func TestSerializeEmptyFamily(t *testing.T) {
+	f := mustFamily(t, DefaultConfig(), 9, 4)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Varint encoding keeps an empty 4-copy default family small.
+	if buf.Len() > 20000 {
+		t.Errorf("empty family serialized to %d bytes; varint compression broken", buf.Len())
+	}
+	got, err := ReadFamily(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("empty family round trip failed")
+	}
+}
+
+func TestSerializeNegativeCounters(t *testing.T) {
+	// Counters can be transiently negative at a site that only saw the
+	// deletions of a distributed stream; zig-zag varints must survive.
+	f := mustFamily(t, Config{Buckets: 61, SecondLevel: 4, FirstWise: 2}, 3, 2)
+	f.Update(5, -10)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFamily(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("negative counters corrupted by round trip")
+	}
+}
+
+func TestReadFamilyRejectsCorruption(t *testing.T) {
+	f := mustFamily(t, Config{Buckets: 61, SecondLevel: 4, FirstWise: 2}, 3, 2)
+	f.Insert(1)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it.
+	corrupted := append([]byte(nil), pristine...)
+	corrupted[len(corrupted)/2] ^= 0xff
+	if _, err := ReadFamily(bytes.NewReader(corrupted)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("corrupted payload: err = %v, want ErrBadFormat", err)
+	}
+
+	// Truncations at every prefix length must error, never panic.
+	for cut := 0; cut < len(pristine); cut += 7 {
+		if _, err := ReadFamily(bytes.NewReader(pristine[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+
+	// Wrong magic.
+	bad := append([]byte("NOPE"), pristine[4:]...)
+	if _, err := ReadFamily(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic: err = %v, want ErrBadFormat", err)
+	}
+
+	// Wrong version.
+	badVer := append([]byte(nil), pristine...)
+	badVer[4] = 99
+	if _, err := ReadFamily(bytes.NewReader(badVer)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad version: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestSerializedSizeScalesWithContent(t *testing.T) {
+	cfg := Config{Buckets: 61, SecondLevel: 32, FirstWise: 8}
+	empty := mustFamily(t, cfg, 1, 64)
+	full := mustFamily(t, cfg, 1, 64)
+	rng := hashing.NewRNG(2)
+	for i := 0; i < 20000; i++ {
+		full.Insert(rng.Uint64n(1 << 24))
+	}
+	var be, bf bytes.Buffer
+	if _, err := empty.WriteTo(&be); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.WriteTo(&bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Len() <= be.Len() {
+		t.Errorf("full family (%d B) not larger than empty (%d B)", bf.Len(), be.Len())
+	}
+	raw := 8 * (61 + 61*32*2) * 64 * 2 // totals+counts, 64 copies, int64
+	if bf.Len() >= raw {
+		t.Errorf("varint encoding (%d B) not smaller than raw counters (%d B)", bf.Len(), raw)
+	}
+}
+
+// TestSerializeQuickRoundTrip property-checks round-tripping over
+// random update batches.
+func TestSerializeQuickRoundTrip(t *testing.T) {
+	cfg := Config{Buckets: 61, SecondLevel: 4, FirstWise: 2}
+	f := func(elems []uint16, deltas []int8, seed uint16, copies uint8) bool {
+		r := int(copies%4) + 1
+		fam, err := NewFamily(cfg, uint64(seed), r)
+		if err != nil {
+			return false
+		}
+		for i, e := range elems {
+			d := int64(1)
+			if i < len(deltas) {
+				d = int64(deltas[i])
+			}
+			fam.Update(uint64(e), d)
+		}
+		var buf bytes.Buffer
+		if _, err := fam.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadFamily(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Equal(fam)
+	}
+	if err := quickCheck(t, f); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickCheck wraps testing/quick with a bounded count.
+func quickCheck(t *testing.T, f any) error {
+	t.Helper()
+	return quick.Check(f, &quick.Config{MaxCount: 40})
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	f := mustFamily(t, Config{Buckets: 61, SecondLevel: 4, FirstWise: 2}, 3, 2)
+	f.Insert(42)
+	var b1, b2 bytes.Buffer
+	if _, err := f.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("serialization is not deterministic")
+	}
+}

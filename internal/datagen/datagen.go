@@ -1,0 +1,236 @@
+// Package datagen implements the synthetic-data methodology of the
+// paper's experimental study (§5.1): controlled generation of n input
+// streams with a fixed union cardinality u and a target cardinality e
+// for a given set expression E, by assigning elements to the 2ⁿ−1
+// partitions of the streams' Venn diagram with calibrated
+// probabilities; plus rendering of the resulting multi-sets as update
+// streams, optionally with deletion churn that leaves the net
+// multi-sets unchanged (to exercise the sketches' deletion-invariance).
+package datagen
+
+import (
+	"fmt"
+
+	"setsketch/internal/expr"
+	"setsketch/internal/hashing"
+)
+
+// Workload is the generated input for one experiment run: the elements
+// of each stream and the exact cardinalities the estimators are judged
+// against.
+type Workload struct {
+	// Streams maps stream names to their distinct elements.
+	Streams map[string][]uint64
+	// UnionSize is the exact |∪_i A_i|.
+	UnionSize int
+	// TargetSize is the exact |E| achieved (the generator randomizes, so
+	// this is close to, not exactly, the requested target).
+	TargetSize int
+}
+
+// Spec describes a controlled workload in the paper's terms.
+type Spec struct {
+	// Expr is the set expression E whose cardinality is being targeted.
+	Expr expr.Node
+	// Union is u, the number of distinct elements in ∪_i A_i
+	// (§5.1 fixes u ≈ 2^18; tests and quick experiments scale it down).
+	Union int
+	// Target is e, the desired |E|. Must satisfy 0 ≤ Target ≤ Union.
+	Target int
+	// Balance, when true, runs an iterative reweighting pass so all
+	// streams have (approximately) equal expected sizes, as §5.1
+	// prescribes ("the probabilities are chosen so that all underlying
+	// sets have the same expected size").
+	Balance bool
+}
+
+// partition is one cell of the Venn diagram: a non-empty subset of the
+// streams, encoded as a bitmask over the sorted stream names.
+type partition struct {
+	mask uint
+	inE  bool
+	prob float64
+}
+
+// Generate produces a workload per §5.1: it draws u distinct random
+// 32-bit elements and assigns each to one Venn partition, chosen with
+// probabilities that put mass ≈ Target/Union on the partitions
+// comprising E.
+func Generate(spec Spec, rng *hashing.RNG) (*Workload, error) {
+	names := expr.Streams(spec.Expr)
+	n := len(names)
+	if n == 0 {
+		return nil, fmt.Errorf("datagen: expression references no streams")
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("datagen: %d streams exceed the 2^n−1 partition budget", n)
+	}
+	if spec.Union <= 0 {
+		return nil, fmt.Errorf("datagen: union size %d must be positive", spec.Union)
+	}
+	if spec.Target < 0 || spec.Target > spec.Union {
+		return nil, fmt.Errorf("datagen: target %d out of [0, %d]", spec.Target, spec.Union)
+	}
+
+	parts, err := buildPartitions(spec, names)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1 (§5.1): generate u distinct random 32-bit unsigned
+	// integers. The paper generates 2^18 raws and deduplicates, so "the
+	// actual union size u can be slightly less"; we draw until exactly
+	// u distinct values for tighter control — the estimators only ever
+	// see the distinct multiset either way.
+	seen := make(map[uint64]struct{}, spec.Union)
+	elements := make([]uint64, 0, spec.Union)
+	for len(elements) < spec.Union {
+		e := rng.Uint64n(1 << 32)
+		if _, dup := seen[e]; !dup {
+			seen[e] = struct{}{}
+			elements = append(elements, e)
+		}
+	}
+
+	// Step 2: assign each element to a partition by its probability.
+	w := &Workload{Streams: make(map[string][]uint64, n), UnionSize: spec.Union}
+	for _, name := range names {
+		w.Streams[name] = nil
+	}
+	cum := make([]float64, len(parts))
+	acc := 0.0
+	for i, p := range parts {
+		acc += p.prob
+		cum[i] = acc
+	}
+	for _, e := range elements {
+		x := rng.Float64() * acc
+		k := 0
+		for k < len(cum)-1 && x > cum[k] {
+			k++
+		}
+		p := parts[k]
+		for bit, name := range names {
+			if p.mask&(1<<uint(bit)) != 0 {
+				w.Streams[name] = append(w.Streams[name], e)
+			}
+		}
+		if p.inE {
+			w.TargetSize++
+		}
+	}
+	return w, nil
+}
+
+// buildPartitions enumerates the 2^n−1 non-empty Venn partitions,
+// classifies each by membership in E (evaluating E element-wise via the
+// Boolean mapping), and assigns probabilities: mass Target/Union spread
+// over the E-partitions and the remainder over the rest, then an
+// optional balancing pass to equalize expected stream sizes.
+func buildPartitions(spec Spec, names []string) ([]partition, error) {
+	n := len(names)
+	ratio := float64(spec.Target) / float64(spec.Union)
+	var inE, notE []partition
+	membership := make(map[string]bool, n)
+	for mask := uint(1); mask < 1<<uint(n); mask++ {
+		for bit, name := range names {
+			membership[name] = mask&(1<<uint(bit)) != 0
+		}
+		p := partition{mask: mask, inE: expr.Member(spec.Expr, membership)}
+		if p.inE {
+			inE = append(inE, p)
+		} else {
+			notE = append(notE, p)
+		}
+	}
+	if len(inE) == 0 && spec.Target > 0 {
+		return nil, fmt.Errorf("datagen: expression %s is unsatisfiable, cannot target |E| = %d",
+			spec.Expr.String(), spec.Target)
+	}
+	if len(notE) == 0 && spec.Target < spec.Union {
+		return nil, fmt.Errorf("datagen: expression %s is a tautology over its streams, cannot target |E| = %d < u",
+			spec.Expr.String(), spec.Target)
+	}
+	for i := range inE {
+		inE[i].prob = ratio / float64(len(inE))
+	}
+	for i := range notE {
+		notE[i].prob = (1 - ratio) / float64(len(notE))
+	}
+	parts := append(inE, notE...)
+	if spec.Balance {
+		balance(parts, n, ratio)
+	}
+	return parts, nil
+}
+
+// balance reweights partition probabilities so every stream has (about)
+// the same expected size, holding the total E-mass and non-E-mass
+// fixed. It runs a small number of multiplicative-update rounds
+// (iterative proportional fitting): streams above the mean size have
+// their exclusive partitions damped, those below boosted.
+func balance(parts []partition, n int, ratio float64) {
+	const rounds = 60
+	for round := 0; round < rounds; round++ {
+		size := make([]float64, n)
+		for _, p := range parts {
+			for bit := 0; bit < n; bit++ {
+				if p.mask&(1<<uint(bit)) != 0 {
+					size[bit] += p.prob
+				}
+			}
+		}
+		mean := 0.0
+		for _, s := range size {
+			mean += s
+		}
+		mean /= float64(n)
+		if mean == 0 {
+			return
+		}
+		for i := range parts {
+			adj := 1.0
+			for bit := 0; bit < n; bit++ {
+				if parts[i].mask&(1<<uint(bit)) != 0 && size[bit] > 0 {
+					adj *= mean / size[bit]
+				}
+			}
+			// Dampen the step to keep the fit stable.
+			parts[i].prob *= 1 + 0.5*(adj-1)
+			if parts[i].prob < 0 {
+				parts[i].prob = 0
+			}
+		}
+		renormalize(parts, true, ratio)
+		renormalize(parts, false, 1-ratio)
+	}
+}
+
+// renormalize rescales the probabilities of the partitions with the
+// given E-membership so they sum to mass.
+func renormalize(parts []partition, inE bool, mass float64) {
+	var sum float64
+	for _, p := range parts {
+		if p.inE == inE {
+			sum += p.prob
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range parts {
+		if parts[i].inE == inE {
+			parts[i].prob *= mass / sum
+		}
+	}
+}
+
+// Binary builds the §5.1 binary-operator workload directly: for each of
+// u distinct elements, with probability e/u insert it into the
+// operator-defining partition, else into one of the remaining
+// partitions with equal probability. op must reference exactly the two
+// streams "A" and "B".
+func Binary(op expr.Op, union, target int, rng *hashing.RNG) (*Workload, error) {
+	node := &expr.Binary{Op: op, L: &expr.Stream{Name: "A"}, R: &expr.Stream{Name: "B"}}
+	return Generate(Spec{Expr: node, Union: union, Target: target, Balance: true}, rng)
+}

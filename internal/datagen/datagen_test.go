@@ -1,0 +1,267 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"setsketch/internal/expr"
+	"setsketch/internal/hashing"
+	"setsketch/internal/multiset"
+)
+
+// exactCardinality evaluates |E| exactly over a workload.
+func exactCardinality(t *testing.T, w *Workload, e expr.Node) int {
+	t.Helper()
+	sets := make(map[string]multiset.Set, len(w.Streams))
+	for name, elems := range w.Streams {
+		s := make(multiset.Set, len(elems))
+		for _, el := range elems {
+			s[el] = struct{}{}
+		}
+		sets[name] = s
+	}
+	return len(e.EvalSet(sets))
+}
+
+func unionCardinality(w *Workload) int {
+	u := make(map[uint64]struct{})
+	for _, elems := range w.Streams {
+		for _, e := range elems {
+			u[e] = struct{}{}
+		}
+	}
+	return len(u)
+}
+
+func TestBinaryIntersectionTargets(t *testing.T) {
+	rng := hashing.NewRNG(1)
+	const u = 8192
+	for _, target := range []int{u / 2, u / 8, u / 32} {
+		w, err := Binary(expr.Intersect, u, target, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := unionCardinality(w); got != u {
+			t.Errorf("target %d: union = %d, want %d", target, got, u)
+		}
+		exact := exactCardinality(t, w, expr.MustParse("A & B"))
+		if exact != w.TargetSize {
+			t.Errorf("target %d: TargetSize %d disagrees with exact %d", target, w.TargetSize, exact)
+		}
+		// Binomial concentration: |exact − target| ≤ 5σ, σ ≤ √target.
+		if math.Abs(float64(exact-target)) > 5*math.Sqrt(float64(target))+5 {
+			t.Errorf("target %d: achieved %d, too far off", target, exact)
+		}
+	}
+}
+
+func TestBinaryDifferenceTargets(t *testing.T) {
+	rng := hashing.NewRNG(2)
+	const u = 8192
+	for _, target := range []int{u / 4, u / 16} {
+		w, err := Binary(expr.Diff, u, target, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := exactCardinality(t, w, expr.MustParse("A - B"))
+		if math.Abs(float64(exact-target)) > 5*math.Sqrt(float64(target))+5 {
+			t.Errorf("target %d: achieved %d", target, exact)
+		}
+	}
+}
+
+func TestBinaryBalanced(t *testing.T) {
+	// §5.1: "about equal numbers of elements in both A and B".
+	rng := hashing.NewRNG(3)
+	w, err := Binary(expr.Intersect, 8192, 1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := len(w.Streams["A"]), len(w.Streams["B"])
+	if math.Abs(float64(na-nb)) > 0.15*float64(na) {
+		t.Errorf("unbalanced streams: |A| = %d, |B| = %d", na, nb)
+	}
+}
+
+func TestGenerateThreeStreamExpression(t *testing.T) {
+	rng := hashing.NewRNG(4)
+	node := expr.MustParse("(A - B) & C")
+	const u = 8192
+	for _, target := range []int{u / 4, u / 16} {
+		w, err := Generate(Spec{Expr: node, Union: u, Target: target, Balance: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := exactCardinality(t, w, node)
+		if math.Abs(float64(exact-target)) > 5*math.Sqrt(float64(target))+5 {
+			t.Errorf("target %d: achieved %d", target, exact)
+		}
+		// Balancing: all three streams about the same size.
+		sizes := []int{len(w.Streams["A"]), len(w.Streams["B"]), len(w.Streams["C"])}
+		minS, maxS := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		if float64(maxS-minS) > 0.3*float64(maxS) {
+			t.Errorf("target %d: stream sizes %v not balanced", target, sizes)
+		}
+	}
+}
+
+func TestGenerateExtremeTargets(t *testing.T) {
+	rng := hashing.NewRNG(5)
+	node := expr.MustParse("A & B")
+	// Target 0: intersection empty.
+	w, err := Generate(Spec{Expr: node, Union: 1000, Target: 0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exactCardinality(t, w, node); got != 0 {
+		t.Errorf("target 0 achieved %d", got)
+	}
+	// Target = union: everything shared.
+	w, err = Generate(Spec{Expr: node, Union: 1000, Target: 1000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exactCardinality(t, w, node); got != 1000 {
+		t.Errorf("target u achieved %d", got)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := hashing.NewRNG(6)
+	node := expr.MustParse("A & B")
+	cases := []Spec{
+		{Expr: node, Union: 0, Target: 0},
+		{Expr: node, Union: 100, Target: -1},
+		{Expr: node, Union: 100, Target: 101},
+		// A − A is unsatisfiable: no Venn partition is in E.
+		{Expr: expr.MustParse("A - A"), Union: 100, Target: 10},
+		// A ∪ A is a tautology over {A}: cannot target below u.
+		{Expr: expr.MustParse("A | A"), Union: 100, Target: 10},
+	}
+	for _, spec := range cases {
+		if _, err := Generate(spec, rng); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+	// Unsatisfiable expression with target 0 is fine.
+	if _, err := Generate(Spec{Expr: expr.MustParse("A - A"), Union: 100, Target: 0}, rng); err != nil {
+		t.Errorf("A − A with target 0 rejected: %v", err)
+	}
+}
+
+func TestElementsAreDistinct(t *testing.T) {
+	rng := hashing.NewRNG(7)
+	w, err := Binary(expr.Union, 4096, 4096, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, elems := range w.Streams {
+		seen := make(map[uint64]bool, len(elems))
+		for _, e := range elems {
+			if seen[e] {
+				t.Fatalf("stream %s contains duplicate element %d", name, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestRenderUpdatesNetEffect(t *testing.T) {
+	rng := hashing.NewRNG(8)
+	w, err := Binary(expr.Intersect, 2048, 512, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, churn := range []ChurnSpec{
+		{},
+		{Phantoms: 0.5},
+		{Overcount: 0.5},
+		{Phantoms: 1.0, Overcount: 1.0},
+	} {
+		ups, err := RenderUpdates(w, churn, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay against exact multisets; every prefix must be legal.
+		ms := map[string]*multiset.Multiset{
+			"A": multiset.New(), "B": multiset.New(),
+		}
+		for i, u := range ups {
+			if err := ms[u.Stream].Update(u.Elem, u.Delta); err != nil {
+				t.Fatalf("churn %+v: illegal update at position %d: %v", churn, i, err)
+			}
+		}
+		// Net effect: exactly the workload, each element once.
+		for name, elems := range w.Streams {
+			if got := ms[name].Distinct(); got != len(elems) {
+				t.Errorf("churn %+v: stream %s has %d distinct, want %d", churn, name, got, len(elems))
+			}
+			for _, e := range elems {
+				if ms[name].Count(e) != 1 {
+					t.Errorf("churn %+v: element %d count %d, want 1", churn, e, ms[name].Count(e))
+				}
+			}
+			if ms[name].Total() != int64(len(elems)) {
+				t.Errorf("churn %+v: stream %s total %d, want %d (phantoms not fully deleted?)",
+					churn, name, ms[name].Total(), len(elems))
+			}
+		}
+	}
+}
+
+func TestRenderUpdatesChurnAddsDeletions(t *testing.T) {
+	rng := hashing.NewRNG(9)
+	w, err := Binary(expr.Union, 1024, 1024, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, err := RenderUpdates(w, ChurnSpec{Phantoms: 1.0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deletions := 0
+	for _, u := range ups {
+		if u.Delta < 0 {
+			deletions++
+		}
+	}
+	if deletions == 0 {
+		t.Fatal("churned stream contains no deletions")
+	}
+	if _, err := RenderUpdates(w, ChurnSpec{Phantoms: -1}, rng); err == nil {
+		t.Error("negative churn accepted")
+	}
+}
+
+func TestGenerateXorWorkload(t *testing.T) {
+	rng := hashing.NewRNG(10)
+	node := expr.MustParse("A ^ B")
+	const u, target = 4096, 1024
+	w, err := Generate(Spec{Expr: node, Union: u, Target: target, Balance: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactCardinality(t, w, node)
+	if math.Abs(float64(exact-target)) > 5*math.Sqrt(float64(target))+5 {
+		t.Errorf("xor target %d: achieved %d", target, exact)
+	}
+}
+
+func TestGenerateTooManyStreams(t *testing.T) {
+	// Build an expression over 17 streams.
+	var node expr.Node = &expr.Stream{Name: "s00"}
+	for i := 1; i < 17; i++ {
+		node = &expr.Binary{Op: expr.Union, L: node, R: &expr.Stream{Name: string(rune('a'+i)) + "x"}}
+	}
+	if _, err := Generate(Spec{Expr: node, Union: 10, Target: 5}, hashing.NewRNG(1)); err == nil {
+		t.Error("17-stream expression accepted")
+	}
+}

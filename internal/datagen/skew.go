@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"fmt"
+
+	"setsketch/internal/hashing"
+)
+
+// Skewed element-domain generators. The paper's study draws elements
+// uniformly from [2^32] (§5.1); real streams are nastier — sequential
+// identifiers, clustered subnets, heavy-hitter multiplicities. The
+// estimators' guarantees depend only on the hash functions, so their
+// accuracy must be unchanged under any domain shape; the skew ablation
+// (cmd/experiments -fig skew) verifies that.
+
+// Domain selects how distinct element values are laid out.
+type Domain int
+
+const (
+	// DomainUniform draws uniformly from [2^32] (the paper's setting).
+	DomainUniform Domain = iota
+	// DomainSequential uses consecutive integers starting at a random
+	// base — the classic adversary for weak (e.g. low-bit) hashing.
+	DomainSequential
+	// DomainClustered draws from a few dense blocks (e.g. IP subnets):
+	// high low-bit correlation within each block.
+	DomainClustered
+	// DomainStrided uses an arithmetic progression with a large even
+	// stride, so low bits of raw values are constant.
+	DomainStrided
+)
+
+// String names the domain for reports.
+func (d Domain) String() string {
+	switch d {
+	case DomainUniform:
+		return "uniform"
+	case DomainSequential:
+		return "sequential"
+	case DomainClustered:
+		return "clustered"
+	case DomainStrided:
+		return "strided"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// Domains lists all element-domain shapes.
+func Domains() []Domain {
+	return []Domain{DomainUniform, DomainSequential, DomainClustered, DomainStrided}
+}
+
+// Elements generates n distinct elements with the given domain shape.
+func Elements(d Domain, n int, rng *hashing.RNG) ([]uint64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("datagen: negative element count %d", n)
+	}
+	out := make([]uint64, 0, n)
+	switch d {
+	case DomainUniform:
+		seen := make(map[uint64]struct{}, n)
+		for len(out) < n {
+			e := rng.Uint64n(1 << 32)
+			if _, dup := seen[e]; !dup {
+				seen[e] = struct{}{}
+				out = append(out, e)
+			}
+		}
+	case DomainSequential:
+		base := rng.Uint64n(1 << 31)
+		for i := 0; i < n; i++ {
+			out = append(out, base+uint64(i))
+		}
+	case DomainClustered:
+		// 16 dense blocks ("/20 subnets"): base + offset < 4096 each.
+		blocks := make([]uint64, 16)
+		for i := range blocks {
+			blocks[i] = rng.Uint64n(1<<32) &^ 0xfff
+		}
+		seen := make(map[uint64]struct{}, n)
+		for len(out) < n {
+			e := blocks[rng.Intn(len(blocks))] + rng.Uint64n(1<<12)
+			if _, dup := seen[e]; !dup {
+				seen[e] = struct{}{}
+				out = append(out, e)
+			}
+		}
+	case DomainStrided:
+		base := rng.Uint64n(1 << 20)
+		const stride = 4096 // low 12 bits of every element identical
+		for i := 0; i < n; i++ {
+			out = append(out, base+uint64(i)*stride)
+		}
+	default:
+		return nil, fmt.Errorf("datagen: unknown domain %v", d)
+	}
+	return out, nil
+}
+
+// SkewedOverlap builds two streams over a skewed domain with exact
+// |A ∪ B| = u and |A ∩ B| = inter (elements outside the intersection
+// alternate between A and B). It also returns Zipf-like multiplicities
+// for rendering heavy-hitter update streams: element i gets
+// ⌈u/(i+1)⌉ insertions capped at 64, so a few elements dominate the
+// update volume without changing any distinct count.
+func SkewedOverlap(d Domain, u, inter int, rng *hashing.RNG) (a, b []uint64, mult []int64, err error) {
+	if inter > u || inter < 0 {
+		return nil, nil, nil, fmt.Errorf("datagen: intersection %d out of [0, %d]", inter, u)
+	}
+	elems, err := Elements(d, u, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mult = make([]int64, u)
+	for i := range elems {
+		m := int64(u/(i+1)) + 1
+		if m > 64 {
+			m = 64
+		}
+		mult[i] = m
+		switch {
+		case i < inter:
+			a = append(a, elems[i])
+			b = append(b, elems[i])
+		case i%2 == 0:
+			a = append(a, elems[i])
+		default:
+			b = append(b, elems[i])
+		}
+	}
+	return a, b, mult, nil
+}

@@ -1,0 +1,95 @@
+package datagen
+
+import (
+	"testing"
+
+	"setsketch/internal/hashing"
+)
+
+func TestElementsDistinctAndSized(t *testing.T) {
+	rng := hashing.NewRNG(1)
+	for _, d := range Domains() {
+		elems, err := Elements(d, 5000, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if len(elems) != 5000 {
+			t.Fatalf("%v: got %d elements", d, len(elems))
+		}
+		seen := make(map[uint64]bool, len(elems))
+		for _, e := range elems {
+			if seen[e] {
+				t.Fatalf("%v: duplicate element %d", d, e)
+			}
+			seen[e] = true
+		}
+		if d.String() == "" {
+			t.Errorf("%v: empty name", d)
+		}
+	}
+	if _, err := Elements(DomainUniform, -1, rng); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Elements(Domain(99), 10, rng); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestDomainShapes(t *testing.T) {
+	rng := hashing.NewRNG(2)
+	seq, err := Elements(DomainSequential, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] != seq[i-1]+1 {
+			t.Fatal("sequential domain not consecutive")
+		}
+	}
+	str, err := Elements(DomainStrided, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range str {
+		if str[i]&0xfff != str[0]&0xfff {
+			t.Fatal("strided domain low bits vary")
+		}
+	}
+}
+
+func TestSkewedOverlap(t *testing.T) {
+	rng := hashing.NewRNG(3)
+	for _, d := range Domains() {
+		a, b, mult, err := SkewedOverlap(d, 2000, 500, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		inA := make(map[uint64]bool, len(a))
+		for _, e := range a {
+			inA[e] = true
+		}
+		inter := 0
+		union := make(map[uint64]bool)
+		for _, e := range a {
+			union[e] = true
+		}
+		for _, e := range b {
+			union[e] = true
+			if inA[e] {
+				inter++
+			}
+		}
+		if len(union) != 2000 || inter != 500 {
+			t.Errorf("%v: union %d inter %d, want 2000, 500", d, len(union), inter)
+		}
+		if len(mult) != 2000 {
+			t.Fatalf("%v: %d multiplicities", d, len(mult))
+		}
+		if mult[0] != 64 || mult[1999] < 1 {
+			t.Errorf("%v: multiplicity shape off: head %d tail %d", d, mult[0], mult[1999])
+		}
+	}
+	if _, _, _, err := SkewedOverlap(DomainUniform, 10, 20, rng); err == nil {
+		t.Error("inter > u accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package datagen
+
+import (
+	"fmt"
+
+	"setsketch/internal/hashing"
+)
+
+// Update is one element of an update stream: the triple ⟨i, e, ±v⟩ of
+// the paper's model (§2.1), with the stream identified by name.
+type Update struct {
+	Stream string
+	Elem   uint64
+	Delta  int64 // positive: insertions; negative: deletions
+}
+
+// ChurnSpec controls how a distinct-element workload is rendered as an
+// update stream with deletions. The churn leaves the net multi-set
+// unchanged, so any correct update-stream synopsis must produce the
+// same estimate at every churn level — the paper's §3.1
+// deletion-invariance claim, made testable.
+type ChurnSpec struct {
+	// Phantoms is the ratio of extra elements (not in the workload)
+	// that are inserted and later fully deleted, relative to the
+	// workload size. 0 disables phantom churn; 1.0 injects one phantom
+	// insert+delete pair per real element.
+	Phantoms float64
+	// Overcount is the ratio of real elements that are inserted with
+	// multiplicity 3 and then deleted back down to 1 (partial
+	// deletions). 0 disables.
+	Overcount float64
+	// PhantomDomainOffset keeps phantom element IDs disjoint from the
+	// real domain; phantoms are drawn from [offset, offset + 2^32).
+	PhantomDomainOffset uint64
+}
+
+// RenderUpdates converts a workload into a single interleaved update
+// stream covering all of the workload's streams, applying churn and
+// shuffling the result. The net effect of the returned updates is
+// exactly one insertion of each workload element into its streams.
+func RenderUpdates(w *Workload, churn ChurnSpec, rng *hashing.RNG) ([]Update, error) {
+	if churn.Phantoms < 0 || churn.Overcount < 0 {
+		return nil, fmt.Errorf("datagen: negative churn ratios %+v", churn)
+	}
+	offset := churn.PhantomDomainOffset
+	if offset == 0 {
+		offset = 1 << 40
+	}
+	var ups []Update
+	for name, elems := range w.Streams {
+		for _, e := range elems {
+			if churn.Overcount > 0 && rng.Float64() < churn.Overcount {
+				// ⟨+3⟩ then ⟨−2⟩: net one insertion, with a partial
+				// deletion along the way.
+				ups = append(ups,
+					Update{Stream: name, Elem: e, Delta: 3},
+					Update{Stream: name, Elem: e, Delta: -2})
+			} else {
+				ups = append(ups, Update{Stream: name, Elem: e, Delta: 1})
+			}
+		}
+		phantoms := int(churn.Phantoms * float64(len(elems)))
+		for i := 0; i < phantoms; i++ {
+			e := offset + rng.Uint64n(1<<32)
+			ups = append(ups,
+				Update{Stream: name, Elem: e, Delta: 2},
+				Update{Stream: name, Elem: e, Delta: -2})
+		}
+	}
+	// Shuffle while preserving legality: a deletion must not precede
+	// its insertion. Pairs above were appended insert-before-delete;
+	// a Fisher–Yates shuffle could reorder them, so instead shuffle
+	// insert positions and attach each deletion a random distance
+	// *after* its insert.
+	return legalShuffle(ups, rng), nil
+}
+
+// legalShuffle permutes updates uniformly among orderings that keep
+// every prefix legal (no element's net frequency ever negative). It
+// shuffles all updates, then repairs illegal prefixes by a stable pass
+// that defers deletions until their inserts have appeared.
+func legalShuffle(ups []Update, rng *hashing.RNG) []Update {
+	perm := rng.Perm(len(ups))
+	shuffled := make([]Update, len(ups))
+	for i, p := range perm {
+		shuffled[i] = ups[p]
+	}
+	// Repair: scan, maintaining net frequencies; an update that would
+	// go negative is deferred to a pending queue flushed as soon as its
+	// element has enough mass.
+	type key struct {
+		stream string
+		elem   uint64
+	}
+	net := make(map[key]int64)
+	var out []Update
+	pending := make(map[key][]Update)
+	for _, u := range shuffled {
+		k := key{u.Stream, u.Elem}
+		if net[k]+u.Delta < 0 {
+			pending[k] = append(pending[k], u)
+			continue
+		}
+		net[k] += u.Delta
+		out = append(out, u)
+		// Flush any pending deletions now legal for this element.
+		q := pending[k]
+		for len(q) > 0 && net[k]+q[0].Delta >= 0 {
+			net[k] += q[0].Delta
+			out = append(out, q[0])
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(pending, k)
+		} else {
+			pending[k] = q
+		}
+	}
+	// Any still-pending updates are flushed at the end (cannot happen
+	// for the generators above, which always emit net-non-negative
+	// multisets, but keeps the function total).
+	for _, q := range pending {
+		out = append(out, q...)
+	}
+	return out
+}

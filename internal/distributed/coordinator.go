@@ -1,0 +1,126 @@
+package distributed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"setsketch/internal/core"
+	"setsketch/internal/expr"
+)
+
+// Coordinator is the central site of Fig. 1: it accumulates synopses
+// pushed by stream sites — merging multiple contributions to the same
+// stream by sketch linearity — and answers set-expression cardinality
+// queries over the merged collection. A Coordinator is safe for
+// concurrent use.
+type Coordinator struct {
+	coins Coins
+
+	mu    sync.RWMutex
+	fams  map[string]*core.Family
+	sites map[string]int // pushes accepted per site, for diagnostics
+}
+
+// NewCoordinator creates a coordinator expecting synopses built from
+// the given coins.
+func NewCoordinator(coins Coins) (*Coordinator, error) {
+	if err := coins.Validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		coins: coins,
+		fams:  make(map[string]*core.Family),
+		sites: make(map[string]int),
+	}, nil
+}
+
+// Coins returns the coordinator's expected coins.
+func (c *Coordinator) Coins() Coins { return c.coins }
+
+// Push merges a site's synopsis for one stream into the coordinator's
+// state. Contributions to the same stream from different sites add up
+// to the synopsis of the full stream (linearity); synopses built with
+// the wrong coins are rejected with core.ErrNotAligned.
+func (c *Coordinator) Push(site, stream string, fam *core.Family) error {
+	if fam == nil {
+		return fmt.Errorf("distributed: nil synopsis from site %q", site)
+	}
+	if fam.Config() != c.coins.Config || fam.Seed() != c.coins.Seed || fam.Copies() != c.coins.Copies {
+		return core.ErrNotAligned
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.fams[stream]
+	if !ok {
+		cur, _ = c.coins.NewFamily() // coins validated at construction
+		c.fams[stream] = cur
+	}
+	if err := cur.Merge(fam); err != nil {
+		return err
+	}
+	c.sites[site]++
+	return nil
+}
+
+// PushSnapshot pushes every stream of a site snapshot.
+func (c *Coordinator) PushSnapshot(site string, snap map[string]*core.Family) error {
+	// Deterministic order so a failure is reproducible.
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := c.Push(site, name, snap[name]); err != nil {
+			return fmt.Errorf("stream %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Streams returns the names of all streams with merged synopses, sorted.
+func (c *Coordinator) Streams() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.fams))
+	for name := range c.fams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pushes returns how many synopsis pushes each site has contributed.
+func (c *Coordinator) Pushes() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int, len(c.sites))
+	for k, v := range c.sites {
+		out[k] = v
+	}
+	return out
+}
+
+// Estimate answers a set-expression cardinality query over the merged
+// synopses (the paper's "Set-Expression Cardinality Query Processor").
+func (c *Coordinator) Estimate(expression string, eps float64) (core.Estimate, error) {
+	node, err := expr.Parse(expression)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return core.EstimateExpressionMultiLevel(node, c.fams, eps)
+}
+
+// Family returns a deep copy of the merged synopsis for a stream, or
+// nil if unknown.
+func (c *Coordinator) Family(stream string) *core.Family {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if f, ok := c.fams[stream]; ok {
+		return f.Clone()
+	}
+	return nil
+}

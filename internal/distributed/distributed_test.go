@@ -1,0 +1,408 @@
+package distributed
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"setsketch/internal/core"
+	"setsketch/internal/hashing"
+)
+
+var testCoins = Coins{
+	Config: core.Config{Buckets: 61, SecondLevel: 16, FirstWise: 8},
+	Seed:   99,
+	Copies: 256,
+}
+
+func TestCoinsValidate(t *testing.T) {
+	if err := testCoins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCoins
+	bad.Copies = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero copies accepted")
+	}
+	bad = testCoins
+	bad.Config.SecondLevel = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewSite("s", bad); err == nil {
+		t.Error("NewSite accepted bad coins")
+	}
+	if _, err := NewCoordinator(bad); err == nil {
+		t.Error("NewCoordinator accepted bad coins")
+	}
+}
+
+func TestSiteBasics(t *testing.T) {
+	site, err := NewSite("router1", testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Name() != "router1" || site.Coins() != testCoins {
+		t.Error("site accessors broken")
+	}
+	if err := site.Insert("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.Insert("B", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.Delete("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	got := site.Streams()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Streams = %v", got)
+	}
+	// Snapshot is a deep copy: later updates must not leak into it.
+	snap := site.Snapshot()
+	if err := site.Insert("A", 7); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := testCoins.NewFamily()
+	if !snap["A"].Equal(fresh) {
+		t.Error("snapshot of emptied stream A is not empty, or was mutated after the fact")
+	}
+}
+
+// TestDistributedMergeMatchesCentralized is the stored-coins guarantee:
+// a stream split across two sites merges at the coordinator into
+// exactly the synopsis a single observer would have built.
+func TestDistributedMergeMatchesCentralized(t *testing.T) {
+	site1, _ := NewSite("s1", testCoins)
+	site2, _ := NewSite("s2", testCoins)
+	central, _ := testCoins.NewFamily()
+
+	rng := hashing.NewRNG(5)
+	for i := 0; i < 3000; i++ {
+		e := rng.Uint64n(1 << 24)
+		central.Insert(e)
+		if i%2 == 0 {
+			if err := site1.Insert("A", e); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := site2.Insert("A", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	coord, _ := NewCoordinator(testCoins)
+	if err := coord.PushSnapshot("s1", site1.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.PushSnapshot("s2", site2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	merged := coord.Family("A")
+	if merged == nil || !merged.Equal(central) {
+		t.Fatal("distributed merge differs from centralized synopsis")
+	}
+	pushes := coord.Pushes()
+	if pushes["s1"] != 1 || pushes["s2"] != 1 {
+		t.Errorf("push accounting: %v", pushes)
+	}
+	if coord.Family("missing") != nil {
+		t.Error("unknown stream returned a synopsis")
+	}
+}
+
+// TestFlushPeriodicCollection: successive flushes carry disjoint
+// increments whose additive merge equals the full-stream synopsis —
+// while successive Snapshots would double-count.
+func TestFlushPeriodicCollection(t *testing.T) {
+	site, _ := NewSite("s", testCoins)
+	coord, _ := NewCoordinator(testCoins)
+	central, _ := testCoins.NewFamily()
+
+	rng := hashing.NewRNG(17)
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i < 500; i++ {
+			e := rng.Uint64n(1 << 20)
+			if err := site.Insert("A", e); err != nil {
+				t.Fatal(err)
+			}
+			central.Insert(e)
+		}
+		if err := coord.PushSnapshot("s", site.Flush()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := coord.Family("A")
+	if merged == nil || !merged.Equal(central) {
+		t.Fatal("merged periodic flushes differ from the full-stream synopsis")
+	}
+	// After the final flush the site's local synopsis is empty.
+	snap := site.Snapshot()
+	empty, _ := testCoins.NewFamily()
+	if !snap["A"].Equal(empty) {
+		t.Error("Flush did not reset the site synopsis")
+	}
+}
+
+func TestCoordinatorRejectsWrongCoins(t *testing.T) {
+	coord, _ := NewCoordinator(testCoins)
+	wrong := testCoins
+	wrong.Seed = 123
+	fam, _ := wrong.NewFamily()
+	if err := coord.Push("s", "A", fam); !errors.Is(err, core.ErrNotAligned) {
+		t.Errorf("wrong-coins push: err = %v, want ErrNotAligned", err)
+	}
+	if err := coord.Push("s", "A", nil); err == nil {
+		t.Error("nil synopsis accepted")
+	}
+	shorter := testCoins
+	shorter.Copies = 8
+	fam2, _ := shorter.NewFamily()
+	if err := coord.Push("s", "A", fam2); !errors.Is(err, core.ErrNotAligned) {
+		t.Errorf("wrong-copy-count push: err = %v, want ErrNotAligned", err)
+	}
+}
+
+func TestCoordinatorEstimate(t *testing.T) {
+	// Two streams observed at two sites each; query |A & B| centrally.
+	coord, _ := NewCoordinator(testCoins)
+	sites := []*Site{}
+	for _, name := range []string{"s1", "s2"} {
+		s, _ := NewSite(name, testCoins)
+		sites = append(sites, s)
+	}
+	rng := hashing.NewRNG(6)
+	const u, inter = 2048, 512
+	for i := 0; i < u; i++ {
+		e := rng.Uint64n(1 << 30)
+		site := sites[i%2]
+		switch {
+		case i < inter:
+			site.Insert("A", e)
+			site.Insert("B", e)
+		case i%2 == 0:
+			site.Insert("A", e)
+		default:
+			site.Insert("B", e)
+		}
+	}
+	for _, s := range sites {
+		if err := coord.PushSnapshot(s.Name(), s.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := coord.Estimate("A & B", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plumbing test, not an accuracy test (accuracy is covered in
+	// internal/core): allow generous statistical slack at r = 256.
+	if rel := math.Abs(est.Value-inter) / inter; rel > 0.6 {
+		t.Errorf("distributed intersection estimate %.0f, want ≈ %d", est.Value, inter)
+	}
+	if _, err := coord.Estimate("A &", 0.2); err == nil {
+		t.Error("malformed query accepted")
+	}
+	if _, err := coord.Estimate("A & MISSING", 0.2); err == nil {
+		t.Error("query over unknown stream accepted")
+	}
+}
+
+// startServer runs a coordinator server on a loopback listener.
+func startServer(t *testing.T, coord *Coordinator) (addr string, shutdown func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(coord)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	return l.Addr().String(), func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v after Close", err)
+		}
+	}
+}
+
+func TestNetworkEndToEnd(t *testing.T) {
+	coord, _ := NewCoordinator(testCoins)
+	addr, shutdown := startServer(t, coord)
+	defer shutdown()
+
+	// Site side: summarize locally, push over TCP.
+	site, _ := NewSite("edge", testCoins)
+	rng := hashing.NewRNG(7)
+	const u, inter = 1024, 256
+	for i := 0; i < u; i++ {
+		e := rng.Uint64n(1 << 28)
+		switch {
+		case i < inter:
+			site.Insert("A", e)
+			site.Insert("B", e)
+		case i%2 == 0:
+			site.Insert("A", e)
+		default:
+			site.Insert("B", e)
+		}
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.PushSnapshot("edge", site.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := cli.Streams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Streams over network = %v", names)
+	}
+
+	est, err := cli.Query("A & B", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Value-inter) / inter; rel > 0.5 {
+		t.Errorf("network intersection estimate %.0f, want ≈ %d", est.Value, inter)
+	}
+	if est.Copies != testCoins.Copies {
+		t.Errorf("estimate diagnostics lost in transit: %+v", est)
+	}
+
+	// Remote errors must round-trip as errors, not garbage.
+	if _, err := cli.Query("A & NOPE", 0.25); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("remote error lost: %v", err)
+	}
+	wrong := testCoins
+	wrong.Seed = 5
+	badFam, _ := wrong.NewFamily()
+	if err := cli.Push("edge", "A", badFam); err == nil {
+		t.Error("wrong-coins push accepted over network")
+	}
+}
+
+func TestNetworkConcurrentSites(t *testing.T) {
+	coord, _ := NewCoordinator(testCoins)
+	addr, shutdown := startServer(t, coord)
+	defer shutdown()
+
+	const sites = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, sites)
+	for si := 0; si < sites; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			site, _ := NewSite("site", testCoins)
+			rng := hashing.NewRNG(uint64(si) + 100)
+			for i := 0; i < 500; i++ {
+				site.Insert("A", rng.Uint64n(1<<20))
+			}
+			cli, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			errs <- cli.PushSnapshot("site", site.Snapshot())
+		}(si)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := coord.Pushes()["site"]; got != sites {
+		t.Errorf("coordinator merged %d pushes, want %d", got, sites)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Query("A", 0.3); err != nil {
+		t.Fatalf("distinct-count query failed: %v", err)
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	coord, _ := NewCoordinator(testCoins)
+	addr, shutdown := startServer(t, coord)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Unknown frame type must produce an error reply, not a hangup.
+	if err := writeFrame(conn, 0x55, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgError {
+		t.Errorf("reply type %#x, want msgError", typ)
+	}
+	// Undecodable push payload: error reply.
+	if err := writeFrame(conn, msgPush, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err = readFrame(conn)
+	if err != nil || typ != msgError {
+		t.Errorf("garbled push: type %#x err %v", typ, err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var sink deadWriter
+	if err := writeFrame(&sink, msgPush, make([]byte, maxFrame+1)); err == nil {
+		t.Error("oversized frame written")
+	}
+	// A header advertising an oversized payload must be rejected before
+	// any allocation.
+	var hdr [5]byte
+	hdr[0] = msgPush
+	hdr[1], hdr[2], hdr[3], hdr[4] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("oversized frame header accepted")
+	}
+}
+
+func TestServerDoubleCloseAndReuse(t *testing.T) {
+	coord, _ := NewCoordinator(testCoins)
+	srv := NewServer(coord)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+	// Serving a closed server fails fast.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := srv.Serve(l); err == nil {
+		t.Error("Serve after Close succeeded")
+	}
+}
+
+type deadWriter struct{}
+
+func (deadWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,370 @@
+package distributed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"setsketch/internal/core"
+)
+
+// Wire protocol between sites, query clients, and the coordinator:
+// length-prefixed frames over TCP. Each frame is
+//
+//	type   u8
+//	length u32 (big-endian, payload bytes)
+//	payload
+//
+// Payloads are gob-encoded message structs; synopsis bytes inside a
+// push are the core serialization format (with its own checksum).
+// Every request frame receives exactly one reply frame.
+
+const (
+	msgPush     = 0x01 // pushMsg: site ships one stream's synopsis
+	msgQuery    = 0x02 // queryMsg: estimate a set expression
+	msgStreams  = 0x03 // no payload: list merged stream names
+	msgOK       = 0x10 // empty reply to a successful push
+	msgEstimate = 0x11 // estimateMsg reply to a query
+	msgNames    = 0x12 // namesMsg reply to a streams request
+	msgError    = 0x7f // errorMsg: request failed
+)
+
+// maxFrame bounds payload size to keep a malicious or corrupt peer
+// from forcing huge allocations.
+const maxFrame = 64 << 20
+
+type pushMsg struct {
+	Site     string
+	Stream   string
+	Synopsis []byte
+}
+
+type queryMsg struct {
+	Expr string
+	Eps  float64
+}
+
+type estimateMsg struct {
+	Value     float64
+	Level     int
+	Copies    int
+	Valid     int
+	Witnesses int
+	Union     float64
+	StdError  float64
+}
+
+type namesMsg struct{ Names []string }
+
+type errorMsg struct{ Message string }
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("distributed: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("distributed: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// Server exposes a Coordinator over TCP.
+type Server struct {
+	coord *Coordinator
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps a coordinator for network serving.
+func NewServer(coord *Coordinator) *Server {
+	return &Server{coord: coord, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close is called. It returns nil
+// after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("distributed: server already closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			wg.Wait()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting and tears down live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer; nothing to answer
+		}
+		reply, replyType := s.dispatch(typ, payload)
+		if err := writeFrame(conn, replyType, reply); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request and produces the reply frame.
+func (s *Server) dispatch(typ byte, payload []byte) (reply []byte, replyType byte) {
+	fail := func(err error) ([]byte, byte) {
+		out, encErr := encodeGob(errorMsg{Message: err.Error()})
+		if encErr != nil {
+			return nil, msgError
+		}
+		return out, msgError
+	}
+	switch typ {
+	case msgPush:
+		var m pushMsg
+		if err := decodeGob(payload, &m); err != nil {
+			return fail(err)
+		}
+		fam, err := core.ReadFamily(bytes.NewReader(m.Synopsis))
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.coord.Push(m.Site, m.Stream, fam); err != nil {
+			return fail(err)
+		}
+		return nil, msgOK
+	case msgQuery:
+		var m queryMsg
+		if err := decodeGob(payload, &m); err != nil {
+			return fail(err)
+		}
+		est, err := s.coord.Estimate(m.Expr, m.Eps)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := encodeGob(estimateMsg{
+			Value: est.Value, Level: est.Level, Copies: est.Copies,
+			Valid: est.Valid, Witnesses: est.Witnesses, Union: est.Union,
+			StdError: est.StdError,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return out, msgEstimate
+	case msgStreams:
+		out, err := encodeGob(namesMsg{Names: s.coord.Streams()})
+		if err != nil {
+			return fail(err)
+		}
+		return out, msgNames
+	default:
+		return fail(fmt.Errorf("distributed: unknown request type %#x", typ))
+	}
+}
+
+// Client is a TCP client for a coordinator Server, usable both by
+// stream sites (Push) and by query front-ends (Query). A Client
+// serializes its requests; use one Client per goroutine for
+// parallelism.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a coordinator server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one frame and reads the reply.
+func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.conn)
+}
+
+// remoteError decodes an msgError reply.
+func remoteError(payload []byte) error {
+	var m errorMsg
+	if err := decodeGob(payload, &m); err != nil {
+		return fmt.Errorf("distributed: undecodable error reply: %v", err)
+	}
+	return fmt.Errorf("distributed: coordinator: %s", m.Message)
+}
+
+// Push ships one stream's synopsis to the coordinator.
+func (c *Client) Push(site, stream string, fam *core.Family) error {
+	var buf bytes.Buffer
+	if _, err := fam.WriteTo(&buf); err != nil {
+		return err
+	}
+	payload, err := encodeGob(pushMsg{Site: site, Stream: stream, Synopsis: buf.Bytes()})
+	if err != nil {
+		return err
+	}
+	typ, reply, err := c.roundTrip(msgPush, payload)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case msgOK:
+		return nil
+	case msgError:
+		return remoteError(reply)
+	default:
+		return fmt.Errorf("distributed: unexpected reply type %#x to push", typ)
+	}
+}
+
+// PushSnapshot pushes every stream of a site snapshot.
+func (c *Client) PushSnapshot(site string, snap map[string]*core.Family) error {
+	for stream, fam := range snap {
+		if err := c.Push(site, stream, fam); err != nil {
+			return fmt.Errorf("stream %q: %w", stream, err)
+		}
+	}
+	return nil
+}
+
+// Query asks the coordinator for a set-expression cardinality estimate.
+func (c *Client) Query(expression string, eps float64) (core.Estimate, error) {
+	payload, err := encodeGob(queryMsg{Expr: expression, Eps: eps})
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	typ, reply, err := c.roundTrip(msgQuery, payload)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	switch typ {
+	case msgEstimate:
+		var m estimateMsg
+		if err := decodeGob(reply, &m); err != nil {
+			return core.Estimate{}, err
+		}
+		return core.Estimate{
+			Value: m.Value, Level: m.Level, Copies: m.Copies,
+			Valid: m.Valid, Witnesses: m.Witnesses, Union: m.Union,
+			StdError: m.StdError,
+		}, nil
+	case msgError:
+		return core.Estimate{}, remoteError(reply)
+	default:
+		return core.Estimate{}, fmt.Errorf("distributed: unexpected reply type %#x to query", typ)
+	}
+}
+
+// Streams lists the stream names the coordinator has synopses for.
+func (c *Client) Streams() ([]string, error) {
+	typ, reply, err := c.roundTrip(msgStreams, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case msgNames:
+		var m namesMsg
+		if err := decodeGob(reply, &m); err != nil {
+			return nil, err
+		}
+		return m.Names, nil
+	case msgError:
+		return nil, remoteError(reply)
+	default:
+		return nil, fmt.Errorf("distributed: unexpected reply type %#x to streams", typ)
+	}
+}

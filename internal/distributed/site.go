@@ -1,0 +1,138 @@
+// Package distributed implements the paper's distributed
+// stream-processing model (Fig. 1 and the Gibbons–Tirthapura
+// "distributed-streams model with stored coins"): each stream — or part
+// of a stream — is observed and summarized by its own site, and the
+// resulting synopses are collected at a central coordinator where set
+// expressions over the entire collection of streams are estimated.
+//
+// The stored coins are a (configuration, master seed, copy count)
+// triple shared by all parties: every site derives bit-identical hash
+// functions from it, so sketches of different streams compare
+// bucket-by-bucket at the coordinator, and sketches of *the same*
+// stream observed at different sites merge by counter addition into
+// exactly the sketch a single observer would have built.
+package distributed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"setsketch/internal/core"
+)
+
+// Coins is the shared randomness of the distributed model. All sites
+// and the coordinator must agree on it; mismatched coins surface as
+// core.ErrNotAligned at merge time.
+type Coins struct {
+	Config core.Config
+	Seed   uint64
+	Copies int
+}
+
+// NewFamily mints an empty sketch family from the coins.
+func (c Coins) NewFamily() (*core.Family, error) {
+	return core.NewFamily(c.Config, c.Seed, c.Copies)
+}
+
+// Validate checks the coins' parameters.
+func (c Coins) Validate() error {
+	if c.Copies < 1 {
+		return fmt.Errorf("distributed: coins specify %d copies", c.Copies)
+	}
+	return c.Config.Validate()
+}
+
+// Site summarizes the update streams it observes into 2-level hash
+// sketch families built from shared coins. A Site is safe for
+// concurrent use.
+type Site struct {
+	name  string
+	coins Coins
+
+	mu   sync.Mutex
+	fams map[string]*core.Family
+}
+
+// NewSite creates a site with the given name (used for diagnostics
+// only) and shared coins.
+func NewSite(name string, coins Coins) (*Site, error) {
+	if err := coins.Validate(); err != nil {
+		return nil, err
+	}
+	return &Site{name: name, coins: coins, fams: make(map[string]*core.Family)}, nil
+}
+
+// Name returns the site's name.
+func (s *Site) Name() string { return s.name }
+
+// Coins returns the site's shared coins.
+func (s *Site) Coins() Coins { return s.coins }
+
+// Update applies the stream update ⟨stream, e, ±v⟩, creating the
+// stream's synopsis on first touch.
+func (s *Site) Update(stream string, e uint64, v int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.fams[stream]
+	if !ok {
+		var err error
+		if f, err = s.coins.NewFamily(); err != nil {
+			return err
+		}
+		s.fams[stream] = f
+	}
+	f.Update(e, v)
+	return nil
+}
+
+// Insert is Update(stream, e, +1).
+func (s *Site) Insert(stream string, e uint64) error { return s.Update(stream, e, 1) }
+
+// Delete is Update(stream, e, −1).
+func (s *Site) Delete(stream string, e uint64) error { return s.Update(stream, e, -1) }
+
+// Streams returns the names of the streams this site has observed,
+// sorted.
+func (s *Site) Streams() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.fams))
+	for name := range s.fams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns deep copies of the site's synopses, suitable for
+// shipping to a coordinator while updates continue. Snapshot is for
+// ONE-SHOT collection: pushing two successive snapshots of the same
+// site double-counts everything observed before the first, because the
+// coordinator merges additively. For periodic collection use Flush.
+func (s *Site) Snapshot() map[string]*core.Family {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*core.Family, len(s.fams))
+	for name, f := range s.fams {
+		out[name] = f.Clone()
+	}
+	return out
+}
+
+// Flush atomically snapshots the site's synopses and resets them to
+// empty, so each flush carries exactly the updates observed since the
+// previous one. Because sketches are linear, the coordinator's
+// additive merge of successive flushes reconstructs exactly the
+// synopsis of the full local stream — this is the correct primitive
+// for periodic shipping.
+func (s *Site) Flush() map[string]*core.Family {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*core.Family, len(s.fams))
+	for name, f := range s.fams {
+		out[name] = f.Clone()
+		f.Reset()
+	}
+	return out
+}

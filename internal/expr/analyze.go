@@ -1,0 +1,71 @@
+package expr
+
+import "fmt"
+
+// Semantic analysis of set expressions. Because the paper's Boolean
+// mapping B(E) (§4) is exactly element-wise set semantics, two
+// expressions denote the same set function iff their Boolean mappings
+// agree on every membership assignment of their streams — a 2^n check
+// that is cheap for the handful of streams real queries mention.
+
+// maxAnalysisStreams bounds the 2^n truth-table enumeration.
+const maxAnalysisStreams = 20
+
+// assignments enumerates all membership assignments over names,
+// calling fn with a reused map. fn returning false stops enumeration
+// and makes assignments return false.
+func assignments(names []string, fn func(map[string]bool) bool) (bool, error) {
+	if len(names) > maxAnalysisStreams {
+		return false, fmt.Errorf("expr: analysis over %d streams exceeds the %d-stream limit",
+			len(names), maxAnalysisStreams)
+	}
+	flags := make(map[string]bool, len(names))
+	for mask := uint(0); mask < 1<<uint(len(names)); mask++ {
+		for i, name := range names {
+			flags[name] = mask&(1<<uint(i)) != 0
+		}
+		if !fn(flags) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports whether two expressions denote the same set for
+// every possible input (e.g. A − (B ∪ C) and (A − B) ∩ (A − C)).
+func Equivalent(a, b Node) (bool, error) {
+	names := Streams(&Binary{Op: Union, L: a, R: b})
+	return assignments(names, func(flags map[string]bool) bool {
+		return a.EvalBool(flags) == b.EvalBool(flags)
+	})
+}
+
+// IsEmpty reports whether the expression denotes the empty set for
+// every input (e.g. A − A, or (A ∩ B) − A). Estimating such an
+// expression is pointless — the estimator will correctly return 0 —
+// so callers can warn early.
+func IsEmpty(e Node) (bool, error) {
+	return assignments(Streams(e), func(flags map[string]bool) bool {
+		return !e.EvalBool(flags)
+	})
+}
+
+// IsUniverse reports whether the expression contains every element of
+// the union of its streams for every input (e.g. A ∪ B over streams
+// {A, B}, or A ∪ (B − A)). For such expressions the specialized union
+// estimator (paper Fig. 5, better constants) can serve the query.
+func IsUniverse(e Node) (bool, error) {
+	names := Streams(e)
+	return assignments(names, func(flags map[string]bool) bool {
+		// Only assignments where the element is in *some* stream are
+		// relevant: the all-false row is outside the union.
+		inAny := false
+		for _, name := range names {
+			if flags[name] {
+				inAny = true
+				break
+			}
+		}
+		return !inAny || e.EvalBool(flags)
+	})
+}

@@ -1,0 +1,152 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"setsketch/internal/hashing"
+	"setsketch/internal/multiset"
+)
+
+func TestEquivalent(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"A", "A", true},
+		{"A | B", "B | A", true},
+		{"A & B", "B & A", true},
+		{"A - B", "B - A", false},
+		{"A - (B | C)", "(A - B) & (A - C)", true}, // De Morgan
+		{"A - (B & C)", "(A - B) | (A - C)", true},
+		{"A ^ B", "(A - B) | (B - A)", true}, // xor desugaring
+		{"A ^ B", "(A | B) - (A & B)", true},
+		{"A & (B | C)", "(A & B) | (A & C)", true}, // distributivity
+		{"A & (B | C)", "(A & B) | C", false},
+		{"A", "A & A", true},
+		{"A", "A | B", false},
+		{"A - A", "B - B", true}, // both empty
+	}
+	for _, c := range cases {
+		got, err := Equivalent(MustParse(c.a), MustParse(c.b))
+		if err != nil {
+			t.Fatalf("Equivalent(%q, %q): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Equivalent(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"A", false},
+		{"A - A", true},
+		{"(A & B) - A", true},
+		{"(A & B) - B", true},
+		{"A & B", false},
+		{"A ^ A", true},
+		{"(A - B) & B", true},
+		{"(A - B) & (B - A)", true},
+	}
+	for _, c := range cases {
+		got, err := IsEmpty(MustParse(c.in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("IsEmpty(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsUniverse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"A", true}, // single stream: the union IS A
+		{"A | B", true},
+		{"A | (B - A)", true},
+		{"A & B", false},
+		{"A - B", false},
+		{"A | B | C", true},
+		{"(A | B) & (A | B | C)", false}, // misses C-only elements
+	}
+	for _, c := range cases {
+		got, err := IsUniverse(MustParse(c.in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("IsUniverse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAnalysisStreamLimit(t *testing.T) {
+	// Build an expression over 21 streams.
+	var sb strings.Builder
+	for i := 0; i < 21; i++ {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString("s")
+		sb.WriteByte(byte('a' + i))
+	}
+	n := MustParse(sb.String())
+	if _, err := IsEmpty(n); err == nil {
+		t.Error("21-stream analysis accepted")
+	}
+	if _, err := Equivalent(n, n); err == nil {
+		t.Error("21-stream equivalence accepted")
+	}
+}
+
+// TestEquivalenceMatchesSetEvaluation cross-checks the truth-table
+// decision against exact set evaluation on random inputs: equivalent
+// expressions must produce identical sets, non-equivalent ones must
+// differ on some random input (statistically).
+func TestEquivalenceMatchesSetEvaluation(t *testing.T) {
+	rng := hashing.NewRNG(9)
+	names := []string{"A", "B", "C"}
+	for trial := 0; trial < 200; trial++ {
+		e1 := randomExpr(rng, names, 3)
+		e2 := randomExpr(rng, names, 3)
+		eq, err := Equivalent(e1, e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			continue
+		}
+		// Equivalent per truth table ⇒ identical sets on any input.
+		sets := randomSets(rng, names)
+		s1, s2 := e1.EvalSet(sets), e2.EvalSet(sets)
+		if len(s1) != len(s2) {
+			t.Fatalf("%s ≡ %s but sets differ (%d vs %d)", e1, e2, len(s1), len(s2))
+		}
+		for e := range s1 {
+			if _, ok := s2[e]; !ok {
+				t.Fatalf("%s ≡ %s but element %d only in the first", e1, e2, e)
+			}
+		}
+	}
+}
+
+func randomSets(rng *hashing.RNG, names []string) map[string]multiset.Set {
+	sets := make(map[string]multiset.Set, len(names))
+	for _, name := range names {
+		s := make(multiset.Set)
+		for e := uint64(0); e < 24; e++ {
+			if rng.Float64() < 0.4 {
+				s[e] = struct{}{}
+			}
+		}
+		sets[name] = s
+	}
+	return sets
+}

@@ -1,0 +1,368 @@
+// Package expr implements the set-expression language of the paper:
+// expressions over named update streams built from union, intersection,
+// and difference, e.g. (A − B) ∩ C or A4 − (A3 ∩ (A2 ∪ A1)).
+//
+// An expression has three evaluation modes, matching the three places
+// the paper uses expressions:
+//
+//   - EvalBool evaluates the Boolean mapping B(E) of §4 over per-stream
+//     bucket-occupancy flags — the witness condition of the general
+//     set-expression estimator.
+//   - EvalSet evaluates the expression exactly over materialized
+//     supports (ground truth and baselines).
+//   - Member evaluates membership of a single element given a
+//     per-stream membership oracle (used by the synthetic data
+//     generator to classify Venn partitions, §5.1).
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"setsketch/internal/multiset"
+)
+
+// Op identifies a set operator.
+type Op int
+
+// The three set operators of the paper (and of SQL's UNION / INTERSECT /
+// EXCEPT), plus symmetric difference as a convenience: A ^ B desugars
+// semantically to (A − B) ∪ (B − A) and is estimated through the same
+// witness machinery (its Boolean mapping is XOR).
+const (
+	Union Op = iota
+	Intersect
+	Diff
+	Xor
+)
+
+// String returns the canonical single-character spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Union:
+		return "|"
+	case Intersect:
+		return "&"
+	case Diff:
+		return "-"
+	case Xor:
+		return "^"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Node is a set-expression AST node: either a Stream leaf or a Binary
+// operator application.
+type Node interface {
+	// String renders the expression with explicit parentheses around
+	// every binary application, so String output always reparses to an
+	// identical tree.
+	String() string
+
+	// EvalBool evaluates the paper's Boolean mapping B(E): leaves read
+	// the per-stream flag ("bucket non-empty for stream"), ∪ becomes
+	// disjunction, ∩ conjunction, and − conjunction with negation.
+	EvalBool(flags map[string]bool) bool
+
+	// EvalSet evaluates the expression exactly over stream supports.
+	// Streams absent from the map are treated as empty.
+	EvalSet(sets map[string]multiset.Set) multiset.Set
+
+	// streams accumulates the distinct stream names into out.
+	streams(out map[string]struct{})
+}
+
+// Stream is a leaf node naming an input update stream.
+type Stream struct {
+	Name string
+}
+
+// String returns the stream name.
+func (s *Stream) String() string { return s.Name }
+
+// EvalBool reads the stream's occupancy flag.
+func (s *Stream) EvalBool(flags map[string]bool) bool { return flags[s.Name] }
+
+// EvalSet returns the stream's support (nil-safe).
+func (s *Stream) EvalSet(sets map[string]multiset.Set) multiset.Set {
+	if set, ok := sets[s.Name]; ok {
+		return set
+	}
+	return multiset.Set{}
+}
+
+func (s *Stream) streams(out map[string]struct{}) { out[s.Name] = struct{}{} }
+
+// Binary is an application of a set operator to two sub-expressions.
+type Binary struct {
+	Op   Op
+	L, R Node
+}
+
+// String renders the application fully parenthesized.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.String(), b.Op.String(), b.R.String())
+}
+
+// EvalBool applies the §4 Boolean mapping for the operator.
+func (b *Binary) EvalBool(flags map[string]bool) bool {
+	l := b.L.EvalBool(flags)
+	switch b.Op {
+	case Union:
+		return l || b.R.EvalBool(flags)
+	case Intersect:
+		return l && b.R.EvalBool(flags)
+	case Diff:
+		return l && !b.R.EvalBool(flags)
+	case Xor:
+		return l != b.R.EvalBool(flags)
+	default:
+		panic(fmt.Sprintf("expr: unknown operator %d", int(b.Op)))
+	}
+}
+
+// EvalSet evaluates the operator exactly.
+func (b *Binary) EvalSet(sets map[string]multiset.Set) multiset.Set {
+	l, r := b.L.EvalSet(sets), b.R.EvalSet(sets)
+	switch b.Op {
+	case Union:
+		return multiset.Union(l, r)
+	case Intersect:
+		return multiset.Intersect(l, r)
+	case Diff:
+		return multiset.Diff(l, r)
+	case Xor:
+		return multiset.Union(multiset.Diff(l, r), multiset.Diff(r, l))
+	default:
+		panic(fmt.Sprintf("expr: unknown operator %d", int(b.Op)))
+	}
+}
+
+func (b *Binary) streams(out map[string]struct{}) {
+	b.L.streams(out)
+	b.R.streams(out)
+}
+
+// Streams returns the sorted distinct stream names referenced by e.
+func Streams(e Node) []string {
+	set := make(map[string]struct{})
+	e.streams(set)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Member reports whether an element belongs to the expression result,
+// given per-stream membership. It is EvalBool under a different name:
+// the §4 Boolean mapping is exactly element-wise set semantics, which is
+// why the witness-based estimator is correct.
+func Member(e Node, membership map[string]bool) bool { return e.EvalBool(membership) }
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("expr: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a set expression. Grammar (lowest precedence first):
+//
+//	expr   := term   (('|' | '∪' | '+' | "UNION"
+//	                 | '^' | '⊕' | "XOR")            term)*     left-assoc
+//	term   := factor (('-' | '−' | "EXCEPT") factor
+//	                 |('&' | '∩' | "INTERSECT") factor)*        left-assoc
+//	factor := IDENT | '(' expr ')'
+//
+// Intersection and difference share a precedence level tighter than
+// union and symmetric difference, mirroring SQL's
+// INTERSECT-binds-tighter-than-UNION/EXCEPT rule applied to the
+// paper's left-deep expressions. Identifiers are ASCII letters,
+// digits, and underscores, starting with a letter or underscore.
+func Parse(input string) (Node, error) {
+	p := &parser{src: input}
+	p.next()
+	node, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, &ParseError{Pos: p.tokPos, Msg: fmt.Sprintf("unexpected %q after expression", p.lit)}
+	}
+	return node, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed
+// expressions in examples.
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type token int
+
+const (
+	tokEOF token = iota
+	tokIdent
+	tokUnion
+	tokIntersect
+	tokDiff
+	tokXor
+	tokLParen
+	tokRParen
+	tokInvalid
+)
+
+type parser struct {
+	src    string
+	pos    int    // scanning position
+	tok    token  // current token
+	lit    string // current token text
+	tokPos int    // byte offset of current token
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+	p.tokPos = p.pos
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.tok, p.lit = tokLParen, "("
+		p.pos++
+	case c == ')':
+		p.tok, p.lit = tokRParen, ")"
+		p.pos++
+	case c == '|' || c == '+':
+		p.tok, p.lit = tokUnion, string(c)
+		p.pos++
+	case c == '&':
+		p.tok, p.lit = tokIntersect, "&"
+		p.pos++
+	case c == '-':
+		p.tok, p.lit = tokDiff, "-"
+		p.pos++
+	case c == '^':
+		p.tok, p.lit = tokXor, "^"
+		p.pos++
+	case strings.HasPrefix(p.src[p.pos:], "∪"):
+		p.tok, p.lit = tokUnion, "∪"
+		p.pos += len("∪")
+	case strings.HasPrefix(p.src[p.pos:], "∩"):
+		p.tok, p.lit = tokIntersect, "∩"
+		p.pos += len("∩")
+	case strings.HasPrefix(p.src[p.pos:], "−"):
+		p.tok, p.lit = tokDiff, "−"
+		p.pos += len("−")
+	case strings.HasPrefix(p.src[p.pos:], "⊕"):
+		p.tok, p.lit = tokXor, "⊕"
+		p.pos += len("⊕")
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+			p.pos++
+		}
+		word := p.src[start:p.pos]
+		switch strings.ToUpper(word) {
+		case "UNION":
+			p.tok, p.lit = tokUnion, word
+		case "INTERSECT":
+			p.tok, p.lit = tokIntersect, word
+		case "EXCEPT":
+			p.tok, p.lit = tokDiff, word
+		case "XOR":
+			p.tok, p.lit = tokXor, word
+		default:
+			p.tok, p.lit = tokIdent, word
+		}
+	default:
+		p.tok, p.lit = tokInvalid, string(c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *parser) parseExpr() (Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokUnion || p.tok == tokXor {
+		op := Union
+		if p.tok == tokXor {
+			op = Xor
+		}
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (Node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokIntersect || p.tok == tokDiff {
+		op := Intersect
+		if p.tok == tokDiff {
+			op = Diff
+		}
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Node, error) {
+	switch p.tok {
+	case tokIdent:
+		node := &Stream{Name: p.lit}
+		p.next()
+		return node, nil
+	case tokLParen:
+		p.next()
+		node, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, &ParseError{Pos: p.tokPos, Msg: "missing closing parenthesis"}
+		}
+		p.next()
+		return node, nil
+	case tokEOF:
+		return nil, &ParseError{Pos: p.tokPos, Msg: "unexpected end of expression"}
+	default:
+		return nil, &ParseError{Pos: p.tokPos, Msg: fmt.Sprintf("unexpected %q", p.lit)}
+	}
+}

@@ -1,0 +1,254 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"setsketch/internal/hashing"
+	"setsketch/internal/multiset"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical fully-parenthesized form
+	}{
+		{"A", "A"},
+		{"A | B", "(A | B)"},
+		{"A & B", "(A & B)"},
+		{"A - B", "(A - B)"},
+		{"A ∪ B", "(A | B)"},
+		{"A ∩ B", "(A & B)"},
+		{"A − B", "(A - B)"},
+		{"A + B", "(A | B)"},
+		{"A UNION B", "(A | B)"},
+		{"a intersect b", "(a & b)"},
+		{"A EXCEPT B", "(A - B)"},
+		{"(A - B) & C", "((A - B) & C)"},
+		{"A4 - (A3 & (A2 | A1))", "(A4 - (A3 & (A2 | A1)))"},
+		// Precedence: & and - bind tighter than |, left-assoc.
+		{"A | B & C", "(A | (B & C))"},
+		{"A & B | C", "((A & B) | C)"},
+		{"A - B - C", "((A - B) - C)"},
+		{"A | B | C", "((A | B) | C)"},
+		{"A & B - C", "((A & B) - C)"},
+		{"_r1 & r_2", "(_r1 & r_2)"},
+		{"A ^ B", "(A ^ B)"},
+		{"A ⊕ B", "(A ^ B)"},
+		{"A XOR B", "(A ^ B)"},
+		{"A ^ B & C", "(A ^ (B & C))"}, // ^ at union precedence
+		{"A | B ^ C", "((A | B) ^ C)"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := n.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "A |", "| A", "(A", "A)", "A B", "A & & B", "A # B", "()", "A - ",
+		"(A | B", "3A",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("A & # B")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Pos != 4 {
+		t.Errorf("error position = %d, want 4", pe.Pos)
+	}
+	if !strings.Contains(pe.Error(), "offset 4") {
+		t.Errorf("error message %q lacks offset", pe.Error())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"A", "(A | B)", "((A - B) & C)", "(A4 - (A3 & (A2 | A1)))",
+		"(((A | B) & (C - D)) - (E & F))",
+	}
+	for _, in := range inputs {
+		n := MustParse(in)
+		re, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", n.String(), err)
+		}
+		if re.String() != n.String() {
+			t.Errorf("round trip changed %q to %q", n.String(), re.String())
+		}
+	}
+}
+
+func TestStreams(t *testing.T) {
+	n := MustParse("A4 - (A3 & (A2 | A1)) | A2")
+	got := Streams(n)
+	want := []string{"A1", "A2", "A3", "A4"}
+	if len(got) != len(want) {
+		t.Fatalf("Streams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Streams = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	n := MustParse("(A - B) & C")
+	cases := []struct {
+		a, b, c bool
+		want    bool
+	}{
+		{true, false, true, true},
+		{true, true, true, false},
+		{false, false, true, false},
+		{true, false, false, false},
+	}
+	for _, c := range cases {
+		got := n.EvalBool(map[string]bool{"A": c.a, "B": c.b, "C": c.c})
+		if got != c.want {
+			t.Errorf("EvalBool(A=%v B=%v C=%v) = %v, want %v", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func set(elems ...uint64) multiset.Set {
+	s := make(multiset.Set, len(elems))
+	for _, e := range elems {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+func TestEvalSet(t *testing.T) {
+	sets := map[string]multiset.Set{
+		"A": set(1, 2, 3, 4),
+		"B": set(3, 4, 5),
+		"C": set(1, 3, 6),
+	}
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"A | B", 5},
+		{"A & B", 2},
+		{"A - B", 2},
+		{"(A - B) & C", 1}, // {1,2} ∩ {1,3,6} = {1}
+		{"A - (B | C)", 1}, // {1,2,3,4} − {1,3,4,5,6} = {2}
+		{"D", 0},           // unknown stream is empty
+		{"A - D", 4},
+	}
+	for _, c := range cases {
+		got := len(MustParse(c.expr).EvalSet(sets))
+		if got != c.want {
+			t.Errorf("|%s| = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+// TestBoolMatchesSetSemantics is the correctness core of the §4 witness
+// estimator: for every expression and element, B(E) evaluated on
+// membership flags must agree with exact element-wise set semantics.
+func TestBoolMatchesSetSemantics(t *testing.T) {
+	rng := hashing.NewRNG(2003)
+	names := []string{"A", "B", "C", "D"}
+	for trial := 0; trial < 300; trial++ {
+		n := randomExpr(rng, names, 4)
+		sets := make(map[string]multiset.Set, len(names))
+		for _, name := range names {
+			s := make(multiset.Set)
+			for e := uint64(0); e < 32; e++ {
+				if rng.Float64() < 0.4 {
+					s[e] = struct{}{}
+				}
+			}
+			sets[name] = s
+		}
+		exact := n.EvalSet(sets)
+		for e := uint64(0); e < 32; e++ {
+			flags := make(map[string]bool, len(names))
+			for _, name := range names {
+				_, flags[name] = sets[name][e]
+			}
+			_, inExact := exact[e]
+			if got := n.EvalBool(flags); got != inExact {
+				t.Fatalf("expr %s element %d: EvalBool = %v, exact membership = %v",
+					n.String(), e, got, inExact)
+			}
+		}
+	}
+}
+
+// randomExpr builds a random expression tree of the given depth.
+func randomExpr(rng *hashing.RNG, names []string, depth int) Node {
+	if depth == 0 || rng.Float64() < 0.3 {
+		return &Stream{Name: names[rng.Intn(len(names))]}
+	}
+	return &Binary{
+		Op: Op(rng.Intn(4)),
+		L:  randomExpr(rng, names, depth-1),
+		R:  randomExpr(rng, names, depth-1),
+	}
+}
+
+// TestRandomExprRoundTrip property-checks that String → Parse is the
+// identity on random trees.
+func TestRandomExprRoundTrip(t *testing.T) {
+	rng := hashing.NewRNG(77)
+	names := []string{"s1", "s2", "s3"}
+	for trial := 0; trial < 500; trial++ {
+		n := randomExpr(rng, names, 5)
+		re, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", n.String(), err)
+		}
+		if re.String() != n.String() {
+			t.Fatalf("round trip changed %q to %q", n.String(), re.String())
+		}
+	}
+}
+
+func TestMemberIsEvalBool(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		n := MustParse("(A - B) | C")
+		flags := map[string]bool{"A": a, "B": b, "C": c}
+		return Member(n, flags) == n.EvalBool(flags)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("A &")
+}
+
+func TestOpString(t *testing.T) {
+	if Union.String() != "|" || Intersect.String() != "&" || Diff.String() != "-" {
+		t.Error("operator spellings changed")
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown operator String is empty")
+	}
+}

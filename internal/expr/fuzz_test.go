@@ -1,0 +1,30 @@
+package expr
+
+import "testing"
+
+// FuzzParse exercises the tokenizer/parser on arbitrary input: it must
+// never panic, and on success the canonical form must reparse to an
+// identical tree (print/parse idempotence).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"A", "A & B", "(A - B) | C", "A ^ B ⊕ C", "A ∪ B ∩ C − D",
+		"a UNION b INTERSECT c EXCEPT d XOR e",
+		"(((((X)))))", "A &", ")(", "", "42", "A|B&C-D^E",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		node, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canon := node.String()
+		re, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, input, err)
+		}
+		if re.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q → %q", canon, re.String())
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"setsketch/internal/core"
+	"setsketch/internal/datagen"
+)
+
+func TestTrimmedMean(t *testing.T) {
+	cases := []struct {
+		errs []float64
+		trim float64
+		want float64
+	}{
+		{[]float64{1, 2, 3, 4}, 0, 2.5},
+		{[]float64{1, 2, 3, 100}, 0.25, 2},   // drops the 100
+		{[]float64{1, 2, 3, 4, 100}, 0.3, 2}, // ceil(1.5) = 2 dropped
+		{[]float64{5}, 0.9, 5},               // always keeps ≥ 1
+		{[]float64{3, 1, 2}, 0, 2},           // unsorted input
+	}
+	for _, c := range cases {
+		if got := TrimmedMean(c.errs, c.trim); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("TrimmedMean(%v, %v) = %v, want %v", c.errs, c.trim, got, c.want)
+		}
+	}
+	if !math.IsNaN(TrimmedMean(nil, 0.3)) {
+		t.Error("TrimmedMean(nil) != NaN")
+	}
+}
+
+func TestTrimmedMeanDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	TrimmedMean(in, 0.3)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("TrimmedMean mutated its input")
+	}
+}
+
+// quickCfg keeps harness tests fast on one core.
+var quickCfg = core.Config{Buckets: 61, SecondLevel: 16, FirstWise: 8}
+
+func TestSweepIntersection(t *testing.T) {
+	s := Sweep{
+		Expr:         "A & B",
+		Union:        2048,
+		Targets:      []int{512},
+		SketchCounts: []int{64, 256},
+		Runs:         4,
+		TrimFraction: 0.3,
+		Eps:          0.2,
+		Config:       quickCfg,
+		Seed:         1,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	series := res.Series(512)
+	if len(series) != 2 || series[0].Sketches != 64 || series[1].Sketches != 256 {
+		t.Fatalf("bad series: %+v", series)
+	}
+	for _, p := range series {
+		if p.Runs != 4 {
+			t.Errorf("point %+v lost runs", p)
+		}
+		if math.IsNaN(p.Error) || p.Error > 1.5 {
+			t.Errorf("implausible error at r=%d: %v", p.Sketches, p.Error)
+		}
+	}
+	// More sketches should not be drastically worse.
+	if series[1].Error > series[0].Error*2+0.1 {
+		t.Errorf("error grew with sketches: %v -> %v", series[0].Error, series[1].Error)
+	}
+}
+
+func TestSweepReproducible(t *testing.T) {
+	s := Sweep{
+		Expr: "A - B", Union: 1024, Targets: []int{256},
+		SketchCounts: []int{64}, Runs: 3, TrimFraction: 0.3,
+		Eps: 0.25, Config: quickCfg, Seed: 7,
+	}
+	r1, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Points {
+		if r1.Points[i] != r2.Points[i] {
+			t.Fatalf("same-seed sweeps differ: %+v vs %+v", r1.Points[i], r2.Points[i])
+		}
+	}
+}
+
+// TestSweepChurnInvariance is the end-to-end deletion-invariance
+// experiment: identical seeds with and without deletion churn must give
+// *identical* errors, because the sketches see the same net multisets.
+func TestSweepChurnInvariance(t *testing.T) {
+	base := Sweep{
+		Expr: "A & B", Union: 1024, Targets: []int{256},
+		SketchCounts: []int{96}, Runs: 3, TrimFraction: 0.3,
+		Eps: 0.25, Config: quickCfg, Seed: 11,
+	}
+	clean, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned := base
+	churned.Churn = datagen.ChurnSpec{Phantoms: 1.0, Overcount: 0.5}
+	dirty, err := churned.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Points {
+		if clean.Points[i].Error != dirty.Points[i].Error {
+			t.Errorf("churn changed the estimate: %v vs %v",
+				clean.Points[i].Error, dirty.Points[i].Error)
+		}
+	}
+}
+
+func TestSweepSingleLevelMode(t *testing.T) {
+	base := Sweep{
+		Expr: "A & B", Union: 1024, Targets: []int{256},
+		SketchCounts: []int{128}, Runs: 3, TrimFraction: 0.3,
+		Eps: 0.25, Config: quickCfg, Seed: 5,
+	}
+	multi, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := base
+	single.SingleLevel = true
+	sres, err := single.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same workloads, different estimators: results must differ (the
+	// single-level estimator uses far fewer observations) and both be
+	// finite.
+	if multi.Points[0].Error == sres.Points[0].Error {
+		t.Error("single-level mode produced identical errors to multi-level")
+	}
+	for _, p := range append(multi.Points, sres.Points...) {
+		if math.IsNaN(p.Error) {
+			t.Errorf("NaN error in %+v", p)
+		}
+	}
+}
+
+// TestSweepExpressionsDecorrelated guards the seed-mixing fix: two
+// sweeps that differ only in the expression must not produce
+// point-for-point identical error rows.
+func TestSweepExpressionsDecorrelated(t *testing.T) {
+	base := Sweep{
+		Union: 1024, Targets: []int{256}, SketchCounts: []int{64, 128},
+		Runs: 3, TrimFraction: 0.3, Eps: 0.25, Config: quickCfg, Seed: 5,
+	}
+	inter := base
+	inter.Expr = "A & B"
+	diff := base
+	diff.Expr = "A - B"
+	ri, err := inter.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := diff.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical := true
+	for i := range ri.Points {
+		if ri.Points[i].Error != rd.Points[i].Error {
+			identical = false
+		}
+	}
+	if identical {
+		t.Error("A&B and A-B sweeps produced identical error rows; expression not mixed into seeds")
+	}
+}
+
+func TestFNV64(t *testing.T) {
+	if fnv64("A & B") == fnv64("A - B") {
+		t.Error("fnv64 collides on the two figure expressions")
+	}
+	if fnv64("") != 14695981039346656037 {
+		t.Error("fnv64 offset basis wrong")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	good := Sweep{
+		Expr: "A & B", Union: 256, Targets: []int{64},
+		SketchCounts: []int{16}, Runs: 1, TrimFraction: 0.3,
+		Eps: 0.3, Config: quickCfg, Seed: 1,
+	}
+	bad := []func(*Sweep){
+		func(s *Sweep) { s.Expr = "A &" },
+		func(s *Sweep) { s.Union = 0 },
+		func(s *Sweep) { s.Targets = nil },
+		func(s *Sweep) { s.SketchCounts = nil },
+		func(s *Sweep) { s.Runs = 0 },
+		func(s *Sweep) { s.TrimFraction = 1 },
+		func(s *Sweep) { s.Eps = 0 },
+		func(s *Sweep) { s.TrimFraction = -0.1 },
+	}
+	for i, mutate := range bad {
+		s := good
+		mutate(&s)
+		if _, err := s.Run(); err == nil {
+			t.Errorf("bad sweep %d accepted", i)
+		}
+	}
+}

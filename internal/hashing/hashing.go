@@ -1,0 +1,214 @@
+// Package hashing provides the limited-independence hash-function families
+// and deterministic seed derivation that 2-level hash sketches are built on.
+//
+// The paper's analysis (Ganguly, Garofalakis, Rastogi; SIGMOD 2003, §3.6)
+// requires first-level hash functions that are Θ(log 1/ε)-wise independent
+// and second-level functions that are pairwise independent. Both are
+// realized here as degree-d polynomials over the Mersenne-prime field
+// GF(2^61−1): a polynomial with d independently random coefficients is
+// d-wise independent, and evaluation costs d−1 multiply-adds.
+//
+// All randomness is derived deterministically from 64-bit seeds via a
+// splitmix64 mixer. Deterministic derivation is what implements the
+// "distributed-streams model with stored coins" (Gibbons–Tirthapura):
+// two sites that share a master seed construct bit-identical hash
+// functions and therefore mergeable, aligned sketches.
+package hashing
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MersennePrime is 2^61 − 1, the field modulus used by all polynomial
+// hash families in this package.
+const MersennePrime uint64 = (1 << 61) - 1
+
+// FieldBits is the bit width of polynomial hash outputs. A first-level
+// hash value is uniform over [0, MersennePrime), so its LSB index is
+// (almost exactly) geometric over {0, …, FieldBits−1}.
+const FieldBits = 61
+
+// Func is a hash function from the update-stream element domain into
+// [0, 2^Bits()). Implementations must be deterministic and safe for
+// concurrent use (they are immutable after construction).
+type Func interface {
+	// Hash maps an element to its hash value.
+	Hash(x uint64) uint64
+	// Bits reports the output width in bits.
+	Bits() int
+}
+
+// BitFunc is a hash function onto the binary domain {0, 1}, used for the
+// second level of a 2-level hash sketch.
+type BitFunc interface {
+	// Bit maps an element to 0 or 1.
+	Bit(x uint64) int
+}
+
+// mulmod61 computes a*b mod 2^61−1 without overflow using a 128-bit
+// intermediate product. For p = 2^61−1, (hi, lo) with hi = ⌊ab/2^64⌋
+// satisfies ab ≡ hi·2^3·(2^61 mod p) + lo ≡ 8·hi + lo (mod p) after
+// folding, because 2^64 ≡ 2^3 (mod 2^61−1).
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// ab = hi·2^64 + lo ≡ 8·hi + lo (mod 2^61−1).
+	r := 8*hi + (lo >> 61) + (lo & MersennePrime)
+	// 8*hi can overflow only if hi ≥ 2^61, impossible since a, b < 2^61.
+	r = (r >> 61) + (r & MersennePrime)
+	if r >= MersennePrime {
+		r -= MersennePrime
+	}
+	return r
+}
+
+// addmod61 computes a+b mod 2^61−1 for a, b < 2^61−1.
+func addmod61(a, b uint64) uint64 {
+	r := a + b
+	if r >= MersennePrime {
+		r -= MersennePrime
+	}
+	return r
+}
+
+// Poly is a degree-(d−1) polynomial hash over GF(2^61−1). With d
+// independently random coefficients it is a d-wise independent family:
+// for any d distinct inputs the outputs are independent and uniform
+// over the field. Poly implements Func.
+type Poly struct {
+	// coef holds the polynomial coefficients, constant term first.
+	// All are in [0, MersennePrime); the leading coefficient is nonzero
+	// so distinct functions of the same degree remain distinct.
+	coef []uint64
+}
+
+// NewPoly constructs a degree-(wise−1) polynomial hash function — a member
+// of a wise-wise independent family — with coefficients drawn from the
+// given seed. wise must be at least 1; wise = 2 gives the classic pairwise
+// linear family a·x + b.
+func NewPoly(seed uint64, wise int) *Poly {
+	if wise < 1 {
+		panic(fmt.Sprintf("hashing: polynomial independence degree %d < 1", wise))
+	}
+	rng := NewRNG(seed)
+	coef := make([]uint64, wise)
+	for i := range coef {
+		coef[i] = rng.Uint64n(MersennePrime)
+	}
+	// Force a nonzero leading coefficient so the map is a genuine
+	// degree-(wise−1) polynomial (required for injectivity arguments).
+	if wise > 1 && coef[wise-1] == 0 {
+		coef[wise-1] = 1
+	}
+	return &Poly{coef: coef}
+}
+
+// Hash evaluates the polynomial at x (reduced into the field) by
+// Horner's rule.
+func (p *Poly) Hash(x uint64) uint64 {
+	// Reduce x into the field. Elements come from [M] with M ≤ 2^32 in
+	// the paper's model, so this is usually a no-op.
+	if x >= MersennePrime {
+		x = (x >> 61) + (x & MersennePrime)
+		if x >= MersennePrime {
+			x -= MersennePrime
+		}
+	}
+	acc := p.coef[len(p.coef)-1]
+	for i := len(p.coef) - 2; i >= 0; i-- {
+		acc = addmod61(mulmod61(acc, x), p.coef[i])
+	}
+	return acc
+}
+
+// Bits reports the output width (61 for the Mersenne field).
+func (p *Poly) Bits() int { return FieldBits }
+
+// Wise reports the independence degree of the family this function was
+// drawn from.
+func (p *Poly) Wise() int { return len(p.coef) }
+
+// PairBit is a pairwise-independent binary hash g: [M] → {0, 1}, the
+// second-level family of a 2-level hash sketch (Lemma 3.1 needs only
+// pairwise independence). It evaluates a random linear map over
+// GF(2^61−1) and returns the high bit of the field value; the bias of
+// that bit is < 2^−60 and the pairwise independence of the underlying
+// field values carries over.
+type PairBit struct {
+	a, b uint64
+}
+
+// NewPairBit constructs a pairwise-independent binary hash from seed.
+func NewPairBit(seed uint64) *PairBit {
+	rng := NewRNG(seed)
+	a := rng.Uint64n(MersennePrime-1) + 1 // nonzero slope
+	b := rng.Uint64n(MersennePrime)
+	return &PairBit{a: a, b: b}
+}
+
+// Bit returns the second-level bucket (0 or 1) for x.
+func (g *PairBit) Bit(x uint64) int {
+	return g.BitReduced(Reduce61(x))
+}
+
+// BitReduced is Bit for an input already reduced into the field. The
+// sketch update hot path evaluates s second-level functions per stream
+// item; reducing the element once and calling BitReduced avoids s−1
+// redundant reductions.
+func (g *PairBit) BitReduced(x uint64) int {
+	v := addmod61(mulmod61(g.a, x), g.b)
+	return int(v >> (FieldBits - 1))
+}
+
+// Reduce61 maps an arbitrary 64-bit value into [0, 2^61−1).
+func Reduce61(x uint64) uint64 {
+	if x >= MersennePrime {
+		x = (x >> 61) + (x & MersennePrime)
+		if x >= MersennePrime {
+			x -= MersennePrime
+		}
+	}
+	return x
+}
+
+// MultiplyShift is Dietzfelbinger's 2-universal multiply-shift hash on
+// 64-bit inputs. It is the cheapest family in this package (one multiply)
+// and is offered as a fast alternative first level where strict t-wise
+// independence is not required (e.g. baselines and ablations).
+type MultiplyShift struct {
+	a    uint64 // odd multiplier
+	bits int    // output width
+}
+
+// NewMultiplyShift constructs a multiply-shift function with the given
+// output width in (0, 64].
+func NewMultiplyShift(seed uint64, outBits int) *MultiplyShift {
+	if outBits <= 0 || outBits > 64 {
+		panic(fmt.Sprintf("hashing: multiply-shift output width %d out of range (0, 64]", outBits))
+	}
+	rng := NewRNG(seed)
+	return &MultiplyShift{a: rng.Uint64() | 1, bits: outBits}
+}
+
+// Hash maps x to a value of Bits() bits.
+func (m *MultiplyShift) Hash(x uint64) uint64 {
+	return (m.a * x) >> (64 - uint(m.bits))
+}
+
+// Bits reports the configured output width.
+func (m *MultiplyShift) Bits() int { return m.bits }
+
+// LSB returns the index of the least-significant set bit of v, the
+// first-level bucket operator of the paper: for h uniform on [2^w],
+// Pr[LSB(h(x)) = l] = 2^−(l+1). LSB(0) is defined as width−1 so that a
+// zero hash lands in the last (rarest) bucket instead of out of range.
+func LSB(v uint64, width int) int {
+	if v == 0 {
+		return width - 1
+	}
+	l := bits.TrailingZeros64(v)
+	if l >= width {
+		return width - 1
+	}
+	return l
+}

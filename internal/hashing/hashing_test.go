@@ -1,0 +1,357 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulmod61MatchesBigArithmetic(t *testing.T) {
+	// Cross-check the folded 128-bit reduction against a slow but
+	// obviously correct implementation via repeated addition doubling.
+	slow := func(a, b uint64) uint64 {
+		a %= MersennePrime
+		b %= MersennePrime
+		var acc uint64
+		for b > 0 {
+			if b&1 == 1 {
+				acc = addmod61(acc, a)
+			}
+			a = addmod61(a, a)
+			b >>= 1
+		}
+		return acc
+	}
+	cases := [][2]uint64{
+		{0, 0},
+		{1, 1},
+		{MersennePrime - 1, MersennePrime - 1},
+		{MersennePrime - 1, 2},
+		{1 << 60, 1 << 60},
+		{123456789, 987654321},
+	}
+	for _, c := range cases {
+		if got, want := mulmod61(c[0], c[1]), slow(c[0], c[1]); got != want {
+			t.Errorf("mulmod61(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+	rng := NewRNG(7)
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Uint64n(MersennePrime), rng.Uint64n(MersennePrime)
+		if got, want := mulmod61(a, b), slow(a, b); got != want {
+			t.Fatalf("mulmod61(%d, %d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestMulmod61Properties(t *testing.T) {
+	commutes := func(a, b uint64) bool {
+		return mulmod61(a%MersennePrime, b%MersennePrime) == mulmod61(b%MersennePrime, a%MersennePrime)
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Error(err)
+	}
+	identity := func(a uint64) bool {
+		a %= MersennePrime
+		return mulmod61(a, 1) == a
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+	distributes := func(a, b, c uint64) bool {
+		a, b, c = a%MersennePrime, b%MersennePrime, c%MersennePrime
+		return mulmod61(a, addmod61(b, c)) == addmod61(mulmod61(a, b), mulmod61(a, c))
+	}
+	if err := quick.Check(distributes, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyDeterministic(t *testing.T) {
+	p1 := NewPoly(42, 4)
+	p2 := NewPoly(42, 4)
+	for x := uint64(0); x < 1000; x++ {
+		if p1.Hash(x) != p2.Hash(x) {
+			t.Fatalf("same-seed polynomials disagree at x=%d", x)
+		}
+	}
+	p3 := NewPoly(43, 4)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if p1.Hash(x) == p3.Hash(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different-seed polynomials agree on %d of 1000 inputs", same)
+	}
+}
+
+func TestPolyOutputInField(t *testing.T) {
+	for _, wise := range []int{1, 2, 3, 8, 16} {
+		p := NewPoly(uint64(wise)*17, wise)
+		if p.Wise() != wise {
+			t.Errorf("Wise() = %d, want %d", p.Wise(), wise)
+		}
+		rng := NewRNG(99)
+		for i := 0; i < 1000; i++ {
+			x := rng.Uint64()
+			if v := p.Hash(x); v >= MersennePrime {
+				t.Fatalf("wise=%d: Hash(%d) = %d outside field", wise, x, v)
+			}
+		}
+	}
+}
+
+func TestPolyDegreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPoly(seed, 0) did not panic")
+		}
+	}()
+	NewPoly(1, 0)
+}
+
+// TestPolyUniformity verifies that hash outputs are close to uniform by
+// bucketing the top bits and applying a chi-squared bound.
+func TestPolyUniformity(t *testing.T) {
+	const (
+		buckets = 64
+		n       = 64 * 1024
+	)
+	p := NewPoly(12345, 2)
+	counts := make([]int, buckets)
+	for x := uint64(0); x < n; x++ {
+		counts[p.Hash(x)>>(FieldBits-6)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 degrees of freedom; mean 63, sd ≈ 11.2. Allow a wide margin.
+	if chi2 > 120 {
+		t.Errorf("chi-squared = %.1f, far from uniform (df = 63)", chi2)
+	}
+}
+
+// TestLSBGeometric verifies the first-level bucket distribution
+// Pr[LSB(h(x)) = l] ≈ 2^−(l+1), which the estimator analysis relies on.
+func TestLSBGeometric(t *testing.T) {
+	const n = 1 << 17
+	p := NewPoly(2026, 8)
+	counts := make([]int, FieldBits)
+	for x := uint64(0); x < n; x++ {
+		counts[LSB(p.Hash(x), FieldBits)]++
+	}
+	for l := 0; l < 8; l++ {
+		want := float64(n) / math.Pow(2, float64(l+1))
+		got := float64(counts[l])
+		if math.Abs(got-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %.0f, want ≈ %.0f", l, got, want)
+		}
+	}
+}
+
+// TestPairBitPairwiseIndependence estimates, for random input pairs, the
+// probability that a fresh PairBit maps both to the same bit. Pairwise
+// independence predicts exactly 1/2.
+func TestPairBitPairwiseIndependence(t *testing.T) {
+	const trials = 20000
+	rng := NewRNG(5)
+	same := 0
+	for i := 0; i < trials; i++ {
+		g := NewPairBit(rng.Uint64())
+		x := rng.Uint64n(1 << 32)
+		y := rng.Uint64n(1 << 32)
+		for y == x {
+			y = rng.Uint64n(1 << 32)
+		}
+		if g.Bit(x) == g.Bit(y) {
+			same++
+		}
+	}
+	frac := float64(same) / trials
+	if math.Abs(frac-0.5) > 0.015 {
+		t.Errorf("collision fraction %.4f, want ≈ 0.5 (pairwise independence)", frac)
+	}
+}
+
+func TestPairBitBalance(t *testing.T) {
+	g := NewPairBit(31337)
+	ones := 0
+	const n = 1 << 16
+	for x := uint64(0); x < n; x++ {
+		b := g.Bit(x)
+		if b != 0 && b != 1 {
+			t.Fatalf("Bit returned %d", b)
+		}
+		ones += b
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("ones fraction %.4f, want ≈ 0.5", frac)
+	}
+}
+
+func TestMultiplyShift(t *testing.T) {
+	m := NewMultiplyShift(77, 32)
+	if m.Bits() != 32 {
+		t.Fatalf("Bits() = %d, want 32", m.Bits())
+	}
+	for x := uint64(0); x < 1000; x++ {
+		if v := m.Hash(x); v >= 1<<32 {
+			t.Fatalf("Hash(%d) = %d exceeds 32 bits", x, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMultiplyShift with width 0 did not panic")
+		}
+	}()
+	NewMultiplyShift(1, 0)
+}
+
+func TestLSBEdgeCases(t *testing.T) {
+	if got := LSB(0, 61); got != 60 {
+		t.Errorf("LSB(0, 61) = %d, want 60", got)
+	}
+	if got := LSB(1, 61); got != 0 {
+		t.Errorf("LSB(1, 61) = %d, want 0", got)
+	}
+	if got := LSB(8, 61); got != 3 {
+		t.Errorf("LSB(8, 61) = %d, want 3", got)
+	}
+	// A value whose trailing zeros exceed the width clamps to width−1.
+	if got := LSB(1<<40, 8); got != 7 {
+		t.Errorf("LSB(1<<40, 8) = %d, want 7", got)
+	}
+}
+
+func TestRNGUint64nUniform(t *testing.T) {
+	rng := NewRNG(11)
+	const n, buckets = 30000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[rng.Uint64n(buckets)]++
+	}
+	for b, c := range counts {
+		want := float64(n) / buckets
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ≈ %.0f", b, c, want)
+		}
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	rng := NewRNG(1)
+	for name, fn := range map[string]func(){
+		"Uint64n(0)": func() { rng.Uint64n(0) },
+		"Intn(0)":    func() { rng.Intn(0) },
+		"Intn(-1)":   func() { rng.Intn(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	rng := NewRNG(3)
+	p := rng.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid or duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	// Same path → same seed; different path → different seed.
+	if DeriveSeed(1, 2, 3) != DeriveSeed(1, 2, 3) {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("DeriveSeed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("different masters derive the same child seed")
+	}
+	// Path depth matters: (a, b) must differ from (b, a) in general.
+	if DeriveSeed(9, 1, 2) == DeriveSeed(9, 2, 1) {
+		t.Error("DeriveSeed ignores path order")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	rng := NewRNG(8)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0, 1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 draws = %.4f, want ≈ 0.5", mean)
+	}
+}
+
+// TestPolyTwiseIndependencePairs spot-checks pairwise behaviour of the
+// degree-8 family used as the default first level: over random function
+// draws, Pr[h(x) ≡ h(y) in top bit] ≈ 1/2.
+func TestPolyTwiseIndependencePairs(t *testing.T) {
+	const trials = 8000
+	rng := NewRNG(13)
+	same := 0
+	for i := 0; i < trials; i++ {
+		p := NewPoly(rng.Uint64(), 8)
+		x, y := rng.Uint64n(1<<32), rng.Uint64n(1<<32)
+		for y == x {
+			y = rng.Uint64n(1 << 32)
+		}
+		if p.Hash(x)>>(FieldBits-1) == p.Hash(y)>>(FieldBits-1) {
+			same++
+		}
+	}
+	frac := float64(same) / trials
+	if math.Abs(frac-0.5) > 0.025 {
+		t.Errorf("top-bit agreement %.4f, want ≈ 0.5", frac)
+	}
+}
+
+func BenchmarkPolyHashDegree2(b *testing.B) { benchPoly(b, 2) }
+func BenchmarkPolyHashDegree8(b *testing.B) { benchPoly(b, 8) }
+
+func benchPoly(b *testing.B, wise int) {
+	p := NewPoly(1, wise)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkPairBit(b *testing.B) {
+	g := NewPairBit(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Bit(uint64(i))
+	}
+	_ = sink
+}

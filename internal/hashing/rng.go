@@ -1,0 +1,83 @@
+package hashing
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). It exists so that hash-function construction — the
+// "stored coins" of the distributed model — does not depend on
+// math/rand's global state or version-dependent stream, and so that a
+// (master seed, index) pair always derives the same coins on every
+// site and every run.
+//
+// RNG is not safe for concurrent use; derive independent children with
+// DeriveSeed instead of sharing one instance.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64-bit value of the splitmix64 sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a value uniform on [0, n) using rejection sampling,
+// so the result is exactly uniform for every n > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("hashing: Uint64n(0)")
+	}
+	// Largest multiple of n that fits in a uint64; values at or above
+	// it are rejected to avoid modulo bias.
+	limit := (^uint64(0)) - (^uint64(0))%n
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a value uniform on [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value uniform on [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("hashing: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// DeriveSeed deterministically derives a child seed from a master seed
+// and a sequence of indices. It is the seed-tree primitive behind the
+// stored-coins model: DeriveSeed(master, copy, level) yields the same
+// coins at every site. Derivation mixes each index through splitmix64,
+// so children with different paths are statistically independent.
+func DeriveSeed(master uint64, path ...uint64) uint64 {
+	s := master
+	for _, p := range path {
+		r := NewRNG(s ^ (p+1)*0x9e3779b97f4a7c15)
+		s = r.Uint64()
+	}
+	return s
+}

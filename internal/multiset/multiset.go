@@ -1,0 +1,165 @@
+// Package multiset implements the exact update-stream data model of the
+// paper: multi-sets of elements from an integer domain, maintained under
+// a stream of insertions and deletions, with exact distinct counts and
+// exact set-expression cardinalities.
+//
+// The package serves two roles: it is the ground-truth oracle that every
+// sketch estimator is tested and benchmarked against, and it is the
+// "exact" baseline of the experimental study (a baseline whose memory is
+// linear in the number of live distinct elements, which is precisely
+// what the sketches avoid).
+package multiset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ErrIllegalDeletion is returned when an update would drive an element's
+// net frequency negative. The paper's model (§2.1) assumes all deletions
+// are legal; this error surfaces violations instead of silently
+// corrupting the ground truth.
+type ErrIllegalDeletion struct {
+	Element uint64
+	Have    int64
+	Delete  int64
+}
+
+func (e *ErrIllegalDeletion) Error() string {
+	return fmt.Sprintf("multiset: deleting %d copies of element %d with net frequency %d",
+		e.Delete, e.Element, e.Have)
+}
+
+// Multiset tracks exact net frequencies of elements under a stream of
+// updates. The zero value is not ready for use; call New.
+type Multiset struct {
+	freq map[uint64]int64
+	// total is the sum of all net frequencies (number of live items).
+	total int64
+}
+
+// New returns an empty multiset.
+func New() *Multiset {
+	return &Multiset{freq: make(map[uint64]int64)}
+}
+
+// Update applies a net frequency change of v (positive for insertions,
+// negative for deletions) to element e. It returns ErrIllegalDeletion —
+// without applying the update — if the result would be negative.
+func (m *Multiset) Update(e uint64, v int64) error {
+	cur := m.freq[e]
+	next := cur + v
+	if next < 0 {
+		return &ErrIllegalDeletion{Element: e, Have: cur, Delete: -v}
+	}
+	if next == 0 {
+		delete(m.freq, e)
+	} else {
+		m.freq[e] = next
+	}
+	m.total += v
+	return nil
+}
+
+// Insert adds one copy of e.
+func (m *Multiset) Insert(e uint64) { m.freq[e]++; m.total++ }
+
+// Count returns the net frequency of e (zero if absent).
+func (m *Multiset) Count(e uint64) int64 { return m.freq[e] }
+
+// Contains reports whether e has positive net frequency.
+func (m *Multiset) Contains(e uint64) bool { return m.freq[e] > 0 }
+
+// Distinct returns the number of distinct elements with positive net
+// frequency — the quantity |A| the paper estimates.
+func (m *Multiset) Distinct() int { return len(m.freq) }
+
+// Total returns the sum of net frequencies (total live items), the
+// quantity bounded by N in the paper's counter-size analysis.
+func (m *Multiset) Total() int64 { return m.total }
+
+// Elements returns the distinct live elements in unspecified order.
+func (m *Multiset) Elements() []uint64 {
+	out := make([]uint64, 0, len(m.freq))
+	for e := range m.freq {
+		out = append(out, e)
+	}
+	return out
+}
+
+// SortedElements returns the distinct live elements in increasing order
+// (useful for deterministic tests and serialization).
+func (m *Multiset) SortedElements() []uint64 {
+	out := m.Elements()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Range calls fn for every live (element, frequency) pair until fn
+// returns false.
+func (m *Multiset) Range(fn func(e uint64, freq int64) bool) {
+	for e, f := range m.freq {
+		if !fn(e, f) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Multiset) Clone() *Multiset {
+	c := &Multiset{freq: make(map[uint64]int64, len(m.freq)), total: m.total}
+	for e, f := range m.freq {
+		c.freq[e] = f
+	}
+	return c
+}
+
+// Set is the support of a multiset: the set of elements with positive
+// net frequency. Exact set-expression evaluation operates on Sets.
+type Set map[uint64]struct{}
+
+// Support returns the support set of m.
+func (m *Multiset) Support() Set {
+	s := make(Set, len(m.freq))
+	for e := range m.freq {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// Union returns a ∪ b.
+func Union(a, b Set) Set {
+	out := make(Set, len(a)+len(b))
+	for e := range a {
+		out[e] = struct{}{}
+	}
+	for e := range b {
+		out[e] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns a ∩ b.
+func Intersect(a, b Set) Set {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make(Set)
+	for e := range a {
+		if _, ok := b[e]; ok {
+			out[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Diff returns a − b.
+func Diff(a, b Set) Set {
+	out := make(Set)
+	for e := range a {
+		if _, ok := b[e]; !ok {
+			out[e] = struct{}{}
+		}
+	}
+	return out
+}

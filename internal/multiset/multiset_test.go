@@ -1,0 +1,234 @@
+package multiset
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateInsertDelete(t *testing.T) {
+	m := New()
+	if err := m.Update(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Count(5); got != 3 {
+		t.Fatalf("Count(5) = %d, want 3", got)
+	}
+	if err := m.Update(5, -3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains(5) {
+		t.Error("element 5 still live after full deletion")
+	}
+	if m.Distinct() != 0 || m.Total() != 0 {
+		t.Errorf("Distinct = %d, Total = %d after emptying, want 0, 0", m.Distinct(), m.Total())
+	}
+}
+
+func TestIllegalDeletion(t *testing.T) {
+	m := New()
+	m.Insert(1)
+	err := m.Update(1, -2)
+	var illegal *ErrIllegalDeletion
+	if !errors.As(err, &illegal) {
+		t.Fatalf("Update(1, -2) error = %v, want ErrIllegalDeletion", err)
+	}
+	if illegal.Element != 1 || illegal.Have != 1 || illegal.Delete != 2 {
+		t.Errorf("ErrIllegalDeletion fields = %+v", illegal)
+	}
+	// The failed update must not be applied.
+	if got := m.Count(1); got != 1 {
+		t.Errorf("Count(1) = %d after rejected delete, want 1", got)
+	}
+	if m.Total() != 1 {
+		t.Errorf("Total = %d after rejected delete, want 1", m.Total())
+	}
+	if illegal.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestDeleteUnknownElement(t *testing.T) {
+	m := New()
+	if err := m.Update(99, -1); err == nil {
+		t.Error("deleting an absent element did not error")
+	}
+}
+
+func TestDistinctAndTotal(t *testing.T) {
+	m := New()
+	for i := uint64(0); i < 100; i++ {
+		if err := m.Update(i%10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Distinct() != 10 {
+		t.Errorf("Distinct = %d, want 10", m.Distinct())
+	}
+	if m.Total() != 100 {
+		t.Errorf("Total = %d, want 100", m.Total())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Insert(1)
+	c := m.Clone()
+	c.Insert(2)
+	if m.Contains(2) {
+		t.Error("mutating clone changed original")
+	}
+	if !c.Contains(1) {
+		t.Error("clone missing original element")
+	}
+}
+
+func TestSortedElements(t *testing.T) {
+	m := New()
+	for _, e := range []uint64{9, 3, 7, 1} {
+		m.Insert(e)
+	}
+	got := m.SortedElements()
+	want := []uint64{1, 3, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedElements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := New()
+	for i := uint64(0); i < 10; i++ {
+		m.Insert(i)
+	}
+	calls := 0
+	m.Range(func(e uint64, f int64) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("Range visited %d pairs after early stop, want 3", calls)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New()
+	m.Insert(4)
+	m.Insert(4)
+	m.Insert(8)
+	s := m.Support()
+	if len(s) != 2 {
+		t.Fatalf("Support size = %d, want 2", len(s))
+	}
+	if _, ok := s[4]; !ok {
+		t.Error("Support missing element 4")
+	}
+}
+
+func toSet(xs []uint64) Set {
+	s := make(Set, len(xs))
+	for _, x := range xs {
+		s[x%64] = struct{}{} // fold into a small domain to force overlaps
+	}
+	return s
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+
+	// |A ∪ B| = |A| + |B| − |A ∩ B| (inclusion–exclusion).
+	inclExcl := func(xs, ys []uint64) bool {
+		a, b := toSet(xs), toSet(ys)
+		return len(Union(a, b)) == len(a)+len(b)-len(Intersect(a, b))
+	}
+	if err := quick.Check(inclExcl, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// A − B and A ∩ B partition A.
+	partition := func(xs, ys []uint64) bool {
+		a, b := toSet(xs), toSet(ys)
+		return len(Diff(a, b))+len(Intersect(a, b)) == len(a)
+	}
+	if err := quick.Check(partition, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Union and intersection commute; difference generally does not,
+	// but (A − B) ∩ B = ∅ always.
+	diffDisjoint := func(xs, ys []uint64) bool {
+		a, b := toSet(xs), toSet(ys)
+		return len(Intersect(Diff(a, b), b)) == 0
+	}
+	if err := quick.Check(diffDisjoint, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// De Morgan within a universe: A − (B ∪ C) = (A − B) ∩ (A − C).
+	deMorgan := func(xs, ys, zs []uint64) bool {
+		a, b, c := toSet(xs), toSet(ys), toSet(zs)
+		lhs := Diff(a, Union(b, c))
+		rhs := Intersect(Diff(a, b), Diff(a, c))
+		if len(lhs) != len(rhs) {
+			return false
+		}
+		for e := range lhs {
+			if _, ok := rhs[e]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(deMorgan, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUpdateSequenceProperty: any legal interleaving of insertions and
+// deletions yields the same multiset as the net-frequency summary —
+// the exact analogue of the sketch deletion-invariance property.
+func TestUpdateSequenceProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		m := New()
+		net := make(map[uint64]int64)
+		for _, op := range ops {
+			e := uint64(op) % 16
+			// Insert twice, then delete once, keeping deletions legal.
+			if err := m.Update(e, 2); err != nil {
+				return false
+			}
+			net[e] += 2
+			if err := m.Update(e, -1); err != nil {
+				return false
+			}
+			net[e]--
+		}
+		if m.Distinct() != len(net) {
+			return false
+		}
+		for e, f := range net {
+			if m.Count(e) != f {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectSwapsForSize(t *testing.T) {
+	big := make(Set)
+	for i := uint64(0); i < 1000; i++ {
+		big[i] = struct{}{}
+	}
+	small := Set{5: {}, 2000: {}}
+	// Both orders must agree.
+	a := Intersect(big, small)
+	b := Intersect(small, big)
+	if len(a) != 1 || len(b) != 1 {
+		t.Errorf("Intersect sizes = %d, %d, want 1, 1", len(a), len(b))
+	}
+}

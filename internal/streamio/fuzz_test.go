@@ -1,0 +1,39 @@
+package streamio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the update-stream parser: arbitrary text must
+// either parse (and then round-trip through Write/Read) or be rejected
+// with an error — never panic.
+func FuzzRead(f *testing.F) {
+	f.Add("A 1 1\nB 2 -3\n")
+	f.Add("# comment\n\nstream 18446744073709551615 9223372036854775807\n")
+	f.Add("x y z")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		ups, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ups); err != nil {
+			t.Fatalf("parsed updates do not re-serialize: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-serialized updates rejected: %v", err)
+		}
+		if len(again) != len(ups) {
+			t.Fatalf("round trip changed update count: %d → %d", len(ups), len(again))
+		}
+		for i := range ups {
+			if ups[i] != again[i] {
+				t.Fatalf("round trip changed update %d: %+v → %+v", i, ups[i], again[i])
+			}
+		}
+	})
+}

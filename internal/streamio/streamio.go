@@ -1,0 +1,67 @@
+// Package streamio reads and writes update streams in a plain-text
+// format shared by the command-line tools:
+//
+//	# comment
+//	<stream> <element> <delta>
+//
+// one update triple ⟨i, e, ±v⟩ per line, whitespace-separated. The
+// format is deliberately trivial so real systems can pipe their logs
+// (NetFlow exports, transaction journals) straight into the tools.
+package streamio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"setsketch/internal/datagen"
+)
+
+// Write renders updates one per line.
+func Write(w io.Writer, updates []datagen.Update) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range updates {
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", u.Stream, u.Elem, u.Delta); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses an update stream. Blank lines and lines starting with '#'
+// are skipped. Errors identify the offending line number.
+func Read(r io.Reader) ([]datagen.Update, error) {
+	var out []datagen.Update
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("streamio: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		elem, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("streamio: line %d: bad element %q: %v", lineNo, fields[1], err)
+		}
+		delta, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("streamio: line %d: bad delta %q: %v", lineNo, fields[2], err)
+		}
+		if delta == 0 {
+			return nil, fmt.Errorf("streamio: line %d: zero delta", lineNo)
+		}
+		out = append(out, datagen.Update{Stream: fields[0], Elem: elem, Delta: delta})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

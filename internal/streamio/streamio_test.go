@@ -1,0 +1,72 @@
+package streamio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"setsketch/internal/datagen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []datagen.Update{
+		{Stream: "A", Elem: 1, Delta: 1},
+		{Stream: "B", Elem: 18446744073709551615, Delta: -3},
+		{Stream: "r_1", Elem: 42, Delta: 7},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d updates, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("update %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nA 1 1\n   \n# trailing\nB 2 -1\n"
+	out, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Stream != "A" || out[1].Delta != -1 {
+		t.Fatalf("parsed %+v", out)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"A 1", "line 1"},
+		{"A 1 1 extra", "line 1"},
+		{"A x 1", "bad element"},
+		{"A 1 y", "bad delta"},
+		{"A -5 1", "bad element"}, // negative element
+		{"A 1 0", "zero delta"},
+		{"ok 1 1\nbad 2", "line 2"},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Read(%q) err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	out, err := Read(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %v", out, err)
+	}
+}

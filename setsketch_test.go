@@ -1,0 +1,467 @@
+package setsketch
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"setsketch/internal/hashing"
+)
+
+// testOptions keeps public-API tests fast.
+func testOptions() Options {
+	return Options{Copies: 256, SecondLevel: 16, FirstWise: 8, Seed: 7}
+}
+
+func newProcessor(t testing.TB, opts Options) *Processor {
+	t.Helper()
+	p, err := NewProcessor(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// loadOverlap feeds streams A and B with union u and intersection inter.
+func loadOverlap(t testing.TB, p *Processor, seed uint64, u, inter int) {
+	t.Helper()
+	rng := hashing.NewRNG(seed)
+	seen := make(map[uint64]bool, u)
+	count := 0
+	for count < u {
+		e := rng.Uint64n(1 << 32)
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		switch {
+		case count < inter:
+			mustUpdate(t, p, "A", e, 1)
+			mustUpdate(t, p, "B", e, 1)
+		case count%2 == 0:
+			mustUpdate(t, p, "A", e, 1)
+		default:
+			mustUpdate(t, p, "B", e, 1)
+		}
+		count++
+	}
+}
+
+func mustUpdate(t testing.TB, p *Processor, stream string, e uint64, d int64) {
+	t.Helper()
+	if err := p.Update(stream, e, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorEndToEnd(t *testing.T) {
+	// 512 copies: at the witness level only ≈ 11% of copies yield a
+	// valid observation, so smaller r makes this statistical check flaky.
+	opts := testOptions()
+	opts.Copies = 512
+	p := newProcessor(t, opts)
+	const u, inter = 4096, 1024
+	loadOverlap(t, p, 1, u, inter)
+
+	if got := p.Streams(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Streams = %v", got)
+	}
+
+	union, err := p.EstimateUnion([]string{"A", "B"}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(union.Value-u) / u; rel > 0.25 {
+		t.Errorf("union %.0f, want ≈ %d", union.Value, u)
+	}
+
+	intersection, err := p.Estimate("A & B", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(intersection.Value-inter) / inter; rel > 0.5 {
+		t.Errorf("intersection %.0f, want ≈ %d", intersection.Value, inter)
+	}
+	if intersection.Copies != 512 || intersection.Valid == 0 || intersection.Union == 0 {
+		t.Errorf("diagnostics: %+v", intersection)
+	}
+
+	diff, err := p.Estimate("A - B", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (u - inter) / 2
+	if rel := math.Abs(diff.Value-float64(want)) / float64(want); rel > 0.5 {
+		t.Errorf("difference %.0f, want ≈ %d", diff.Value, want)
+	}
+}
+
+func TestProcessorDeletions(t *testing.T) {
+	p := newProcessor(t, testOptions())
+	q := newProcessor(t, testOptions()) // same coins, no churn
+	rng := hashing.NewRNG(2)
+	for i := 0; i < 2000; i++ {
+		e := rng.Uint64n(1 << 28)
+		mustUpdate(t, p, "A", e, 1)
+		mustUpdate(t, q, "A", e, 1)
+		// Churn p only: insert and fully delete a phantom.
+		ph := (1 << 40) + rng.Uint64n(1<<20)
+		mustUpdate(t, p, "A", ph, 2)
+		mustUpdate(t, p, "A", ph, -2)
+	}
+	ep, err := p.EstimateDistinct("A", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := q.EstimateDistinct("A", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Value != eq.Value {
+		t.Errorf("deletion churn changed the estimate: %v vs %v", ep.Value, eq.Value)
+	}
+}
+
+func TestProcessorZeroDeltaIsNoop(t *testing.T) {
+	p := newProcessor(t, testOptions())
+	if err := p.Update("A", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Streams()) != 0 {
+		t.Error("zero-delta update created a stream")
+	}
+}
+
+func TestProcessorOptionValidation(t *testing.T) {
+	cases := []Options{
+		{Copies: 0, SecondLevel: 16, FirstWise: 8, Seed: 1},
+		{Copies: 8, SecondLevel: 0, FirstWise: 8, Seed: 1},
+		{Copies: 8, SecondLevel: 16, FirstWise: 1, Seed: 1},
+	}
+	for _, opts := range cases {
+		if _, err := NewProcessor(opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+	// Zero value falls back to defaults.
+	p, err := NewProcessor(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Options() != DefaultOptions() {
+		t.Errorf("zero options resolved to %+v", p.Options())
+	}
+}
+
+func TestProcessorEstimateErrors(t *testing.T) {
+	p := newProcessor(t, testOptions())
+	mustUpdate(t, p, "A", 1, 1)
+	if _, err := p.Estimate("A &", 0.1); err == nil {
+		t.Error("malformed expression accepted")
+	}
+	if _, err := p.Estimate("A & B", 0.1); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	if _, err := p.Estimate("A", 0); err == nil {
+		t.Error("eps = 0 accepted")
+	}
+	if _, err := p.EstimateUnion([]string{"NOPE"}, 0.1); err == nil {
+		t.Error("unknown stream in union accepted")
+	}
+	if err := Validate("A & (B - C)"); err != nil {
+		t.Errorf("Validate rejected a valid expression: %v", err)
+	}
+	if err := Validate("A ("); err == nil {
+		t.Error("Validate accepted garbage")
+	}
+}
+
+func TestSnapshotRestoreDistributed(t *testing.T) {
+	// Two "sites" summarize halves of stream A; a coordinator restores
+	// both snapshots and must behave exactly like a single observer.
+	opts := testOptions()
+	site1 := newProcessor(t, opts)
+	site2 := newProcessor(t, opts)
+	whole := newProcessor(t, opts)
+	rng := hashing.NewRNG(3)
+	for i := 0; i < 3000; i++ {
+		e := rng.Uint64n(1 << 26)
+		mustUpdate(t, whole, "A", e, 1)
+		if i%2 == 0 {
+			mustUpdate(t, site1, "A", e, 1)
+		} else {
+			mustUpdate(t, site2, "A", e, 1)
+		}
+	}
+	coord := newProcessor(t, opts)
+	for _, site := range []*Processor{site1, site2} {
+		var buf bytes.Buffer
+		if err := site.Snapshot("A", &buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Restore("A", &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ec, err := coord.EstimateDistinct("A", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := whole.EstimateDistinct("A", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.Value != ew.Value {
+		t.Errorf("distributed estimate %v differs from centralized %v", ec.Value, ew.Value)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	p := newProcessor(t, testOptions())
+	var buf bytes.Buffer
+	if err := p.Snapshot("missing", &buf); err == nil {
+		t.Error("snapshot of unknown stream succeeded")
+	}
+	if err := p.Restore("A", bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("restore of garbage succeeded")
+	}
+	// Restore with mismatched coins must fail.
+	other := newProcessor(t, Options{Copies: 256, SecondLevel: 16, FirstWise: 8, Seed: 999})
+	mustUpdate(t, other, "A", 1, 1)
+	if err := other.Snapshot("A", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore("A", &buf); err == nil {
+		t.Error("restore with different seed succeeded")
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	opts := testOptions()
+	a := newProcessor(t, opts)
+	b := newProcessor(t, opts)
+	whole := newProcessor(t, opts)
+	rng := hashing.NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		e := rng.Uint64n(1 << 24)
+		stream := "X"
+		if i%3 == 0 {
+			stream = "Y"
+		}
+		mustUpdate(t, whole, stream, e, 1)
+		if i%2 == 0 {
+			mustUpdate(t, a, stream, e, 1)
+		} else {
+			mustUpdate(t, b, stream, e, 1)
+		}
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, exprStr := range []string{"X", "Y", "X & Y", "X - Y"} {
+		ea, err1 := a.Estimate(exprStr, 0.2)
+		ew, err2 := whole.Estimate(exprStr, 0.2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error mismatch %v vs %v", exprStr, err1, err2)
+		}
+		if err1 == nil && ea.Value != ew.Value {
+			t.Errorf("%s: merged %v vs centralized %v", exprStr, ea.Value, ew.Value)
+		}
+	}
+	diff := newProcessor(t, Options{Copies: 256, SecondLevel: 16, FirstWise: 8, Seed: 99})
+	if err := a.MergeFrom(diff); err == nil {
+		t.Error("MergeFrom with different options succeeded")
+	}
+}
+
+func TestProcessorConcurrentUpdates(t *testing.T) {
+	p := newProcessor(t, Options{Copies: 32, SecondLevel: 8, FirstWise: 4, Seed: 5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := hashing.NewRNG(uint64(g))
+			stream := []string{"A", "B", "C"}[g%3]
+			for i := 0; i < 500; i++ {
+				if err := p.Insert(stream, rng.Uint64n(1<<20)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(p.Streams()) != 3 {
+		t.Errorf("streams = %v", p.Streams())
+	}
+	if _, err := p.Estimate("(A | B) & C", 0.3); err != nil && !errors.Is(err, ErrNoObservations) {
+		t.Errorf("estimate after concurrent updates: %v", err)
+	}
+	if p.MemoryBytes() == 0 {
+		t.Error("MemoryBytes = 0")
+	}
+}
+
+func TestAnalyzeAndEquivalent(t *testing.T) {
+	a, err := Analyze("R1 & R2 - R3 | R4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical != "(((R1 & R2) - R3) | R4)" {
+		t.Errorf("Canonical = %q", a.Canonical)
+	}
+	if len(a.Streams) != 4 || a.Streams[0] != "R1" {
+		t.Errorf("Streams = %v", a.Streams)
+	}
+	if a.Empty || a.Universe {
+		t.Errorf("degenerate flags wrong: %+v", a)
+	}
+
+	if a, _ := Analyze("A - A"); !a.Empty {
+		t.Error("A - A not flagged empty")
+	}
+	if a, _ := Analyze("A | (B - A)"); !a.Universe {
+		t.Error("A | (B - A) not flagged as universe")
+	}
+	if _, err := Analyze("A &"); err == nil {
+		t.Error("Analyze accepted garbage")
+	}
+
+	eq, err := Equivalent("A ^ B", "(A - B) | (B - A)")
+	if err != nil || !eq {
+		t.Errorf("xor equivalence: %v, %v", eq, err)
+	}
+	eq, err = Equivalent("A - B", "B - A")
+	if err != nil || eq {
+		t.Errorf("A-B vs B-A: %v, %v", eq, err)
+	}
+	if _, err := Equivalent("A", "B |"); err == nil {
+		t.Error("Equivalent accepted garbage")
+	}
+}
+
+func TestEstimateSymmetricDifference(t *testing.T) {
+	opts := testOptions()
+	opts.Copies = 384
+	p := newProcessor(t, opts)
+	const u, inter = 2048, 1024
+	loadOverlap(t, p, 9, u, inter)
+	// |A ^ B| = u − inter.
+	est, err := p.Estimate("A ^ B", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(u - inter)
+	if rel := math.Abs(est.Value-want) / want; rel > 0.4 {
+		t.Errorf("|A ^ B| = %.0f, want ≈ %.0f", est.Value, want)
+	}
+}
+
+func TestEstimateSingleLevelVariant(t *testing.T) {
+	opts := testOptions()
+	opts.Copies = 512
+	p := newProcessor(t, opts)
+	loadOverlap(t, p, 10, 2048, 512)
+	est, err := p.EstimateSingleLevel("A & B", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value <= 0 {
+		t.Errorf("single-level estimate %v", est.Value)
+	}
+	if _, err := p.EstimateSingleLevel("A &", 0.2); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDropAndResetStream(t *testing.T) {
+	p := newProcessor(t, Options{Copies: 16, SecondLevel: 8, FirstWise: 4, Seed: 1})
+	mustUpdate(t, p, "A", 1, 1)
+	mustUpdate(t, p, "B", 2, 1)
+	if !p.DropStream("A") {
+		t.Error("DropStream(A) = false for existing stream")
+	}
+	if p.DropStream("A") {
+		t.Error("DropStream(A) = true after drop")
+	}
+	if got := p.Streams(); len(got) != 1 || got[0] != "B" {
+		t.Errorf("Streams after drop = %v", got)
+	}
+	if !p.ResetStream("B") {
+		t.Error("ResetStream(B) = false")
+	}
+	if p.ResetStream("missing") {
+		t.Error("ResetStream of unknown stream = true")
+	}
+	// After reset the stream estimates as empty but is still mergeable
+	// with snapshots from the same coins.
+	est, err := p.EstimateDistinct("B", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value != 0 {
+		t.Errorf("reset stream estimates %v, want 0", est.Value)
+	}
+}
+
+// TestConcurrentEstimateAndUpdate exercises the locking protocol:
+// estimation (exclusive) racing with updates (shared + per-stream) and
+// continuous-query callbacks must be race-free (run with -race).
+func TestConcurrentEstimateAndUpdate(t *testing.T) {
+	p := newProcessor(t, Options{Copies: 32, SecondLevel: 8, FirstWise: 4, Seed: 6})
+	if _, err := p.RegisterContinuous("A & B", 0.3, 200, func(Estimate, error) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Seed both streams so readers always have something to estimate.
+	mustUpdate(t, p, "A", 1, 1)
+	mustUpdate(t, p, "B", 2, 1)
+
+	var updaters, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		updaters.Add(1)
+		go func(g int) {
+			defer updaters.Done()
+			rng := hashing.NewRNG(uint64(g) + 50)
+			stream := []string{"A", "B"}[g%2]
+			for i := 0; i < 2000; i++ {
+				if err := p.Insert(stream, rng.Uint64n(1<<16)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := p.Estimate("A | B", 0.3); err != nil && !errors.Is(err, ErrNoObservations) {
+				t.Errorf("estimate during updates: %v", err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := p.Snapshot("A", &buf); err != nil {
+				t.Errorf("snapshot during updates: %v", err)
+				return
+			}
+		}
+	}()
+	updaters.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+func TestRecommendedCopies(t *testing.T) {
+	if RecommendedCopies(0.1, 0.05) <= 0 {
+		t.Error("RecommendedCopies returned nothing")
+	}
+}
