@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-ingest
+
+check:
+	./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-ingest:
+	$(GO) test -run xxx -bench BenchmarkIngest -benchtime 1s .

@@ -18,6 +18,7 @@ import (
 	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
 	"setsketch/internal/hashing"
+	"setsketch/internal/ingest"
 )
 
 // benchCfg is the paper's experimental configuration (s = 32, 8-wise).
@@ -320,4 +321,85 @@ func BenchmarkSingletonChecks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.SingletonUnionBucket(x, y, i%benchCfg.Buckets)
 	}
+}
+
+// --- Live-ingest benchmarks -------------------------------------------
+//
+// BenchmarkIngestSerial vs BenchmarkIngestSharded measure the same
+// workload — single-stream updates into a 128-copy family — through
+// single-threaded family updates and through the sharded
+// internal/ingest engine, whose workers own disjoint copy ranges and
+// need no locks on the hot path. The speedup scales with cores (each
+// worker does r/W of the per-update hashing); on a single-core host
+// the sharded path only pays its batching overhead. Recorded results:
+// BENCH_ingest.json.
+
+// benchIngestUpdates pre-generates the update workload so generation
+// cost stays out of the measured loop.
+func benchIngestUpdates(n int) []datagen.Update {
+	rng := hashing.NewRNG(2024)
+	streams := []string{"A", "B", "C"}
+	ups := make([]datagen.Update, n)
+	for i := range ups {
+		ups[i] = datagen.Update{
+			Stream: streams[i%len(streams)],
+			Elem:   rng.Uint64n(1 << 24),
+			Delta:  1,
+		}
+	}
+	return ups
+}
+
+// BenchmarkIngestSerial is the baseline: one goroutine updating plain
+// families, as distributed.Site does.
+func BenchmarkIngestSerial(b *testing.B) {
+	const copies = 128
+	ups := benchIngestUpdates(4096)
+	fams := make(map[string]*core.Family)
+	for _, name := range []string{"A", "B", "C"} {
+		f, err := core.NewFamily(benchCfg, 1, copies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fams[name] = f
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := ups[i%len(ups)]
+		fams[u.Stream].Update(u.Elem, u.Delta)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkIngestSharded drives the ingest engine at its default
+// worker count (GOMAXPROCS, capped at the copy count).
+func BenchmarkIngestSharded(b *testing.B) {
+	benchIngestSharded(b, 0)
+}
+
+// BenchmarkIngestShardedWorkers sweeps the worker count, exposing the
+// scaling curve on whatever host runs it.
+func BenchmarkIngestShardedWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) { benchIngestSharded(b, w) })
+	}
+}
+
+func benchIngestSharded(b *testing.B, workers int) {
+	const copies = 128
+	ups := benchIngestUpdates(4096)
+	eng, err := ingest.New(benchCfg, 1, copies, ingest.Options{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := ups[i%len(ups)]
+		if err := eng.Update(u.Stream, u.Elem, u.Delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Drain()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }

@@ -1,12 +1,25 @@
 // Command sketchd runs the distributed pieces of the paper's Figure 1
 // architecture over TCP: a coordinator daemon that merges synopses and
-// answers set-expression queries, a site mode that summarizes a local
-// update-stream file and pushes the synopses, and a query mode.
+// answers set-expression queries, site modes that summarize local
+// update streams and ship them (one-shot or live), and query modes
+// (point-in-time or standing).
 //
-//	sketchd serve -listen :7070 [-copies 512] [-s 32] [-seed 1]
-//	sketchd push  -addr host:7070 -site edge1 -in updates.txt [...coins]
-//	sketchd query -addr host:7070 -expr '(A & B) - C' [-eps 0.1]
+//	sketchd serve  -listen :7070 [-copies 512] [-s 32] [-seed 1]
+//	sketchd push   -addr host:7070 -site edge1 -in updates.txt [...coins]
+//	sketchd stream -addr host:7070 -site edge1 -in updates.txt \
+//	               [-mode sketch|forward] [-workers N] [-flush-updates 10000] [...coins]
+//	sketchd query  -addr host:7070 -expr '(A & B) - C' [-eps 0.1]
+//	sketchd watch  -addr host:7070 -expr 'A & B' [-expr 'A | B'] \
+//	               [-eps 0.1] [-every 10000] [-interval 2s]
 //	sketchd streams -addr host:7070
+//
+// push summarizes a whole file and ships the synopses once. stream
+// keeps a session open and ships continuously: in sketch mode it runs
+// the sharded ingest engine locally and flushes synopsis deltas
+// (merged by linearity at the coordinator); in forward mode it relays
+// raw update batches for the coordinator to sketch. watch registers
+// standing continuous queries and prints each re-evaluation as the
+// coordinator streams it back.
 //
 // All parties must share the stored-coins parameters (-copies, -s,
 // -wise, -seed); mismatches are rejected by the coordinator.
@@ -19,9 +32,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"setsketch/internal/core"
+	"setsketch/internal/datagen"
 	"setsketch/internal/distributed"
+	"setsketch/internal/ingest"
 	"setsketch/internal/streamio"
 )
 
@@ -35,8 +51,12 @@ func main() {
 		err = runServe(os.Args[2:])
 	case "push":
 		err = runPush(os.Args[2:])
+	case "stream":
+		err = runStream(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "watch":
+		err = runWatch(os.Args[2:])
 	case "streams":
 		err = runStreams(os.Args[2:])
 	default:
@@ -49,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sketchd {serve|push|query|streams} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sketchd {serve|push|stream|query|watch|streams} [flags]")
 	os.Exit(2)
 }
 
@@ -101,27 +121,17 @@ func runPush(args []string) error {
 	coins := coinFlags(fs)
 	fs.Parse(args)
 
-	r := os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
-	}
-	ups, err := streamio.Read(r)
-	if err != nil {
-		return err
-	}
 	site, err := distributed.NewSite(*siteName, coins())
 	if err != nil {
 		return err
 	}
-	for _, u := range ups {
-		if err := site.Update(u.Stream, u.Elem, u.Delta); err != nil {
-			return err
-		}
+	// Summarize incrementally: the update file never has to fit in
+	// memory, only the synopses do.
+	n, err := scanUpdateFile(*in, func(u datagen.Update) error {
+		return site.Update(u.Stream, u.Elem, u.Delta)
+	})
+	if err != nil {
+		return err
 	}
 	cli, err := distributed.Dial(*addr)
 	if err != nil {
@@ -132,8 +142,199 @@ func runPush(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sketchd: pushed %d streams (%d updates) from site %q\n",
-		len(site.Streams()), len(ups), *siteName)
+		len(site.Streams()), n, *siteName)
 	return nil
+}
+
+// scanUpdateFile streams the updates of a file (stdin for "-") through
+// fn one at a time and returns how many were processed.
+func scanUpdateFile(path string, fn func(datagen.Update) error) (int, error) {
+	r := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := streamio.NewScanner(r)
+	n := 0
+	for sc.Scan() {
+		if err := fn(sc.Update()); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	siteName := fs.String("site", "site", "site name")
+	in := fs.String("in", "-", "update-stream file (- for stdin)")
+	mode := fs.String("mode", "sketch", "sketch: local sharded ingest + delta flushes; forward: relay raw update batches")
+	workers := fs.Int("workers", 0, "ingest shard workers (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 256, "updates per batch hand-off")
+	flushUpdates := fs.Int("flush-updates", 10000, "flush a synopsis delta every N updates (sketch mode)")
+	flushInterval := fs.Duration("flush-interval", 2*time.Second, "also flush after this long without one (sketch mode)")
+	coins := coinFlags(fs)
+	fs.Parse(args)
+
+	cli, err := distributed.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	sess, err := cli.OpenStream(*siteName, coins())
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "forward":
+		return streamForward(sess, *in, *batch)
+	case "sketch":
+		return streamSketch(sess, *in, coins(), ingest.Options{Workers: *workers, BatchSize: *batch},
+			*flushUpdates, *flushInterval)
+	default:
+		return fmt.Errorf("stream: unknown -mode %q", *mode)
+	}
+}
+
+// streamForward relays raw update batches over the session; the
+// coordinator sketches them centrally.
+func streamForward(sess *distributed.StreamSession, in string, batch int) error {
+	buf := make([]datagen.Update, 0, batch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := sess.SendUpdates(buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		return nil
+	}
+	n, err := scanUpdateFile(in, func(u datagen.Update) error {
+		buf = append(buf, u)
+		if len(buf) >= batch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	accepted, err := sess.Heartbeat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sketchd: forwarded %d updates from site %q (%d accepted by coordinator)\n",
+		n, sess.Site(), accepted)
+	return nil
+}
+
+// streamSketch runs the sharded ingest engine locally and periodically
+// flushes synopsis deltas, which the coordinator merges by linearity.
+func streamSketch(sess *distributed.StreamSession, in string, coins distributed.Coins,
+	opts ingest.Options, flushUpdates int, flushInterval time.Duration) error {
+	eng, err := ingest.New(coins.Config, coins.Seed, coins.Copies, opts)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	var sinceFlush uint64
+	lastFlush := time.Now()
+	deltas := 0
+	flush := func() error {
+		if sinceFlush == 0 {
+			return nil
+		}
+		if err := sess.SendFlush(eng.Flush(), sinceFlush); err != nil {
+			return err
+		}
+		deltas++
+		sinceFlush = 0
+		lastFlush = time.Now()
+		return nil
+	}
+	n, err := scanUpdateFile(in, func(u datagen.Update) error {
+		if err := eng.Update(u.Stream, u.Elem, u.Delta); err != nil {
+			return err
+		}
+		sinceFlush++
+		if int(sinceFlush) >= flushUpdates ||
+			(flushInterval > 0 && time.Since(lastFlush) >= flushInterval) {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	accepted, err := sess.Heartbeat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"sketchd: streamed %d updates from site %q via %d workers, %d delta flushes (%d accepted by coordinator)\n",
+		n, sess.Site(), eng.Workers(), deltas, accepted)
+	return nil
+}
+
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	var exprs []string
+	fs.Func("expr", "set expression to watch (repeatable)", func(s string) error {
+		exprs = append(exprs, s)
+		return nil
+	})
+	eps := fs.Float64("eps", 0.1, "relative accuracy parameter ε")
+	every := fs.Uint64("every", 10000, "re-evaluate after this many accepted updates (0 disables)")
+	interval := fs.Duration("interval", 0, "also re-evaluate on this wall-clock period (0 disables)")
+	fs.Parse(args)
+	if len(exprs) == 0 {
+		return fmt.Errorf("watch: at least one -expr is required")
+	}
+	cli, err := distributed.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	events, err := cli.Watch(exprs, *eps, *every, *interval)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "sketchd: watching %d expression(s); ^C to stop\n", len(exprs))
+	for {
+		select {
+		case <-sig:
+			return nil
+		case ev, ok := <-events:
+			if !ok {
+				return fmt.Errorf("watch: result stream closed by coordinator")
+			}
+			if ev.Err != "" {
+				fmt.Printf("[%d @ %d updates] %s: %s\n", ev.Epoch, ev.Updates, ev.Expr, ev.Err)
+				continue
+			}
+			fmt.Printf("[%d @ %d updates] |%s| ≈ %.0f ± %.0f  (level %d, %d/%d valid, %d witnesses)\n",
+				ev.Epoch, ev.Updates, ev.Expr, ev.Est.Value, ev.Est.StdError,
+				ev.Est.Level, ev.Est.Valid, ev.Est.Copies, ev.Est.Witnesses)
+		}
+	}
 }
 
 func runQuery(args []string) error {

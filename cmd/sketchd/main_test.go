@@ -89,6 +89,45 @@ func TestPushQueryStreamsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStreamEndToEnd: both streaming modes land the same synopses a
+// one-shot push would, so queries answer identically afterwards.
+func TestStreamEndToEnd(t *testing.T) {
+	stream := writeUpdates(t)
+	for _, mode := range []string{"sketch", "forward"} {
+		addr, stop := startCoordinator(t, testCoins())
+		args := append([]string{"-addr", addr, "-site", "edge1", "-in", stream,
+			"-mode", mode, "-workers", "2", "-batch", "50", "-flush-updates", "120"}, coinArgs()...)
+		if err := runStream(args); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if err := runQuery([]string{"-addr", addr, "-expr", "A & B", "-eps", "0.3"}); err != nil {
+			t.Fatalf("mode %s query: %v", mode, err)
+		}
+		stop()
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	addr, stop := startCoordinator(t, testCoins())
+	defer stop()
+	stream := writeUpdates(t)
+	// Unknown mode.
+	args := append([]string{"-addr", addr, "-in", stream, "-mode", "bogus"}, coinArgs()...)
+	if err := runStream(args); err == nil {
+		t.Error("unknown stream mode accepted")
+	}
+	// Mismatched coins are rejected at the hello handshake.
+	args = []string{"-addr", addr, "-in", stream,
+		"-copies", "64", "-s", "8", "-wise", "8", "-seed", "42"}
+	if err := runStream(args); err == nil {
+		t.Error("stream with mismatched coins succeeded")
+	}
+	// Watch requires at least one expression.
+	if err := runWatch([]string{"-addr", addr}); err == nil {
+		t.Error("watch without -expr succeeded")
+	}
+}
+
 func TestPushWrongCoinsRejected(t *testing.T) {
 	addr, stop := startCoordinator(t, testCoins())
 	defer stop()

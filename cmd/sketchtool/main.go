@@ -110,10 +110,6 @@ func runBuild(args []string) error {
 	bits := fs.Bool("bits", false, "build 1-bit-cell synopses (64× smaller; rejects deletions)")
 	fs.Parse(args)
 
-	ups, err := readUpdates(*in)
-	if err != nil {
-		return err
-	}
 	cfg := core.DefaultConfig()
 	cfg.SecondLevel = *s
 	cfg.FirstWise = *wise
@@ -121,18 +117,23 @@ func runBuild(args []string) error {
 		return err
 	}
 	if *bits {
-		return buildBits(ups, cfg, *seed, *copies, *out)
+		return buildBits(*in, cfg, *seed, *copies, *out)
 	}
 	fams := make(map[string]*core.Family)
-	for _, u := range ups {
+	n, err := scanUpdates(*in, func(u datagen.Update) error {
 		f, ok := fams[u.Stream]
 		if !ok {
+			var err error
 			if f, err = core.NewFamily(cfg, *seed, *copies); err != nil {
 				return err
 			}
 			fams[u.Stream] = f
 		}
 		f.Update(u.Elem, u.Delta)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	names := sortedKeys(fams)
 	for _, name := range names {
@@ -141,15 +142,15 @@ func runBuild(args []string) error {
 			return err
 		}
 		fmt.Printf("%s: %d updates summarized in %d KiB\n",
-			path, len(ups), fams[name].MemoryBytes()/1024)
+			path, n, fams[name].MemoryBytes()/1024)
 	}
 	return nil
 }
 
 // buildBits is the -bits variant of build: insert-only bit synopses.
-func buildBits(ups []datagen.Update, cfg core.Config, seed uint64, copies int, out string) error {
+func buildBits(in string, cfg core.Config, seed uint64, copies int, out string) error {
 	fams := make(map[string]*core.BitFamily)
-	for _, u := range ups {
+	n, err := scanUpdates(in, func(u datagen.Update) error {
 		if u.Delta < 0 {
 			return fmt.Errorf("build -bits: stream %q contains deletions; bit synopses are insert-only", u.Stream)
 		}
@@ -162,6 +163,10 @@ func buildBits(ups []datagen.Update, cfg core.Config, seed uint64, copies int, o
 			fams[u.Stream] = f
 		}
 		f.Insert(u.Elem)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	names := make([]string, 0, len(fams))
 	for name := range fams {
@@ -182,7 +187,7 @@ func buildBits(ups []datagen.Update, cfg core.Config, seed uint64, copies int, o
 			return err
 		}
 		fmt.Printf("%s: %d updates summarized in %d KiB (bit cells)\n",
-			path, len(ups), fams[name].MemoryBytes()/1024)
+			path, n, fams[name].MemoryBytes()/1024)
 	}
 	return nil
 }
@@ -240,20 +245,21 @@ func runExact(args []string) error {
 	if err != nil {
 		return err
 	}
-	ups, err := readUpdates(*in)
-	if err != nil {
-		return err
-	}
 	ms := make(map[string]*multiset.Multiset)
-	for i, u := range ups {
+	i := 0
+	if _, err := scanUpdates(*in, func(u datagen.Update) error {
+		i++
 		m, ok := ms[u.Stream]
 		if !ok {
 			m = multiset.New()
 			ms[u.Stream] = m
 		}
 		if err := m.Update(u.Elem, u.Delta); err != nil {
-			return fmt.Errorf("update %d: %w", i+1, err)
+			return fmt.Errorf("update %d: %w", i, err)
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	sets := make(map[string]multiset.Set, len(ms))
 	for name, m := range ms {
@@ -315,17 +321,28 @@ func runMerge(args []string) error {
 	return nil
 }
 
-func readUpdates(path string) ([]datagen.Update, error) {
+// scanUpdates streams the updates of a file (stdin for "-") through fn
+// one at a time — constant memory regardless of input size — and
+// returns how many updates were processed.
+func scanUpdates(path string, fn func(datagen.Update) error) (int, error) {
 	r := os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		defer f.Close()
 		r = f
 	}
-	return streamio.Read(r)
+	sc := streamio.NewScanner(r)
+	n := 0
+	for sc.Scan() {
+		if err := fn(sc.Update()); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
 }
 
 func writeFamily(path string, f *core.Family) error {

@@ -59,6 +59,38 @@ func (f *Family) Update(e uint64, v int64) {
 	}
 }
 
+// UpdateRange applies ⟨e, ±v⟩ to copies lo..hi-1 only. Because the r
+// copies are independent sketches, updates to disjoint copy ranges
+// touch disjoint counter storage — this is the lock-free entry point
+// the ingest workers use to shard one family across goroutines, each
+// goroutine owning its own [lo, hi) slice of the copies.
+func (f *Family) UpdateRange(lo, hi int, e uint64, v int64) {
+	for _, x := range f.copies[lo:hi] {
+		x.Update(e, v)
+	}
+}
+
+// MergeRange adds copies lo..hi-1 of g into the same copies of f. Like
+// UpdateRange it touches only the [lo, hi) copy shard, so disjoint
+// ranges of the same family can be merged concurrently; counter
+// addition makes it commute with concurrent UpdateRange calls on the
+// same shard only if those are serialized per shard (one owner per
+// range). The families must be aligned with equal copy counts.
+func (f *Family) MergeRange(lo, hi int, g *Family) error {
+	if !f.Aligned(g) {
+		return ErrNotAligned
+	}
+	if len(f.copies) != len(g.copies) {
+		return fmt.Errorf("core: merging families with %d and %d copies", len(f.copies), len(g.copies))
+	}
+	for i := lo; i < hi; i++ {
+		if err := f.copies[i].Merge(g.copies[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Insert is Update(e, +1).
 func (f *Family) Insert(e uint64) { f.Update(e, 1) }
 

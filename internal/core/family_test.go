@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"setsketch/internal/hashing"
+)
+
+// TestUpdateRangeCoversFamily: splitting the copy index space into
+// disjoint ranges and updating each range separately must produce
+// exactly the family a plain Update would have built.
+func TestUpdateRangeCoversFamily(t *testing.T) {
+	cfg := Config{Buckets: 32, SecondLevel: 8, FirstWise: 4}
+	const r = 37 // deliberately not a multiple of the shard count
+	whole, _ := NewFamily(cfg, 11, r)
+	sharded, _ := NewFamily(cfg, 11, r)
+
+	shards := [][2]int{{0, 10}, {10, 20}, {20, 37}}
+	rng := hashing.NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		e := rng.Uint64n(1 << 20)
+		v := int64(1)
+		if i%5 == 0 {
+			v = -1
+			e = rng.Uint64n(1 << 10) // deletions hit previously dense region
+		}
+		whole.Update(e, v)
+		for _, sh := range shards {
+			sharded.UpdateRange(sh[0], sh[1], e, v)
+		}
+	}
+	if !whole.Equal(sharded) {
+		t.Fatal("sharded UpdateRange differs from whole-family Update")
+	}
+	// Empty range is a no-op.
+	before := sharded.Clone()
+	sharded.UpdateRange(5, 5, 42, 1)
+	if !before.Equal(sharded) {
+		t.Error("empty UpdateRange mutated the family")
+	}
+}
+
+// TestMergeRangeCoversFamily: merging a delta shard-by-shard must equal
+// a whole-family Merge.
+func TestMergeRangeCoversFamily(t *testing.T) {
+	cfg := Config{Buckets: 32, SecondLevel: 8, FirstWise: 4}
+	const r = 16
+	base, _ := NewFamily(cfg, 7, r)
+	delta, _ := NewFamily(cfg, 7, r)
+	rng := hashing.NewRNG(9)
+	for i := 0; i < 500; i++ {
+		base.Insert(rng.Uint64n(1 << 16))
+		delta.Insert(rng.Uint64n(1 << 16))
+	}
+	whole := base.Clone()
+	if err := whole.Merge(delta); err != nil {
+		t.Fatal(err)
+	}
+	sharded := base.Clone()
+	for _, sh := range [][2]int{{0, 5}, {5, 11}, {11, 16}} {
+		if err := sharded.MergeRange(sh[0], sh[1], delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !whole.Equal(sharded) {
+		t.Fatal("sharded MergeRange differs from whole-family Merge")
+	}
+
+	// Misaligned and copy-count-mismatched deltas are rejected.
+	other, _ := NewFamily(cfg, 8, r)
+	if err := sharded.MergeRange(0, 4, other); err == nil {
+		t.Error("MergeRange accepted a misaligned delta")
+	}
+	short, _ := NewFamily(cfg, 7, r-1)
+	if err := sharded.MergeRange(0, 4, short); err == nil {
+		t.Error("MergeRange accepted a copy-count mismatch")
+	}
+}

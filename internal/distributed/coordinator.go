@@ -6,20 +6,27 @@ import (
 	"sync"
 
 	"setsketch/internal/core"
+	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
 )
 
 // Coordinator is the central site of Fig. 1: it accumulates synopses
 // pushed by stream sites — merging multiple contributions to the same
 // stream by sketch linearity — and answers set-expression cardinality
-// queries over the merged collection. A Coordinator is safe for
-// concurrent use.
+// queries over the merged collection. It also hosts the standing
+// continuous queries of watch.go, re-evaluated as updates accumulate.
+// A Coordinator is safe for concurrent use.
 type Coordinator struct {
 	coins Coins
 
-	mu    sync.RWMutex
-	fams  map[string]*core.Family
-	sites map[string]int // pushes accepted per site, for diagnostics
+	mu      sync.RWMutex
+	fams    map[string]*core.Family
+	sites   map[string]int // pushes accepted per site, for diagnostics
+	updates uint64         // stream updates credited so far (watch triggers)
+
+	wmu      sync.Mutex // guards the watcher registry; never taken under w.mu
+	watchers map[int]*Watcher
+	nextID   int
 }
 
 // NewCoordinator creates a coordinator expecting synopses built from
@@ -29,9 +36,10 @@ func NewCoordinator(coins Coins) (*Coordinator, error) {
 		return nil, err
 	}
 	return &Coordinator{
-		coins: coins,
-		fams:  make(map[string]*core.Family),
-		sites: make(map[string]int),
+		coins:    coins,
+		fams:     make(map[string]*core.Family),
+		sites:    make(map[string]int),
+		watchers: make(map[int]*Watcher),
 	}, nil
 }
 
@@ -43,6 +51,16 @@ func (c *Coordinator) Coins() Coins { return c.coins }
 // to the synopsis of the full stream (linearity); synopses built with
 // the wrong coins are rejected with core.ErrNotAligned.
 func (c *Coordinator) Push(site, stream string, fam *core.Family) error {
+	// A one-shot push does not report how many updates it summarizes;
+	// credit one watch-trigger event.
+	return c.ApplyDelta(site, stream, fam, 1)
+}
+
+// ApplyDelta merges a synopsis delta like Push and additionally credits
+// count stream updates toward the continuous-query triggers — streaming
+// sites report how many local updates each flushed delta summarizes, so
+// update-count watch thresholds fire accurately in delta mode too.
+func (c *Coordinator) ApplyDelta(site, stream string, fam *core.Family, count uint64) error {
 	if fam == nil {
 		return fmt.Errorf("distributed: nil synopsis from site %q", site)
 	}
@@ -50,17 +68,55 @@ func (c *Coordinator) Push(site, stream string, fam *core.Family) error {
 		return core.ErrNotAligned
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	cur, ok := c.fams[stream]
 	if !ok {
 		cur, _ = c.coins.NewFamily() // coins validated at construction
 		c.fams[stream] = cur
 	}
 	if err := cur.Merge(fam); err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	c.sites[site]++
+	c.updates += count
+	total := c.updates
+	c.mu.Unlock()
+	c.evalDue(total)
 	return nil
+}
+
+// ApplyUpdates applies raw stream updates directly to the coordinator's
+// synopses — the server side of a msgUpdateBatch streaming session,
+// where thin clients forward updates for the coordinator to sketch
+// centrally instead of sketching locally and shipping deltas.
+func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	for _, u := range ups {
+		f, ok := c.fams[u.Stream]
+		if !ok {
+			f, _ = c.coins.NewFamily() // coins validated at construction
+			c.fams[u.Stream] = f
+		}
+		f.Update(u.Elem, u.Delta)
+	}
+	c.sites[site]++
+	c.updates += uint64(len(ups))
+	total := c.updates
+	c.mu.Unlock()
+	c.evalDue(total)
+	return nil
+}
+
+// Updates returns how many stream updates have been credited so far
+// (raw updates individually; pushes and deltas by their reported
+// counts).
+func (c *Coordinator) Updates() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.updates
 }
 
 // PushSnapshot pushes every stream of a site snapshot.

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"setsketch/internal/core"
 )
@@ -25,13 +26,20 @@ import (
 // Every request frame receives exactly one reply frame.
 
 const (
-	msgPush     = 0x01 // pushMsg: site ships one stream's synopsis
-	msgQuery    = 0x02 // queryMsg: estimate a set expression
-	msgStreams  = 0x03 // no payload: list merged stream names
-	msgOK       = 0x10 // empty reply to a successful push
-	msgEstimate = 0x11 // estimateMsg reply to a query
-	msgNames    = 0x12 // namesMsg reply to a streams request
-	msgError    = 0x7f // errorMsg: request failed
+	msgPush        = 0x01 // pushMsg: site ships one stream's synopsis
+	msgQuery       = 0x02 // queryMsg: estimate a set expression
+	msgStreams     = 0x03 // no payload: list merged stream names
+	msgHello       = 0x04 // helloMsg: open a streaming session (stream.go)
+	msgUpdateBatch = 0x05 // updateBatchMsg: raw update batch within a session
+	msgDelta       = 0x06 // deltaMsg: counted synopsis delta within a session
+	msgHeartbeat   = 0x07 // heartbeatMsg: session keep-alive
+	msgWatch       = 0x08 // watchMsg: register standing continuous queries
+	msgOK          = 0x10 // empty reply to a successful push/hello/watch
+	msgEstimate    = 0x11 // estimateMsg reply to a query
+	msgNames       = 0x12 // namesMsg reply to a streams request
+	msgAck         = 0x13 // ackMsg: session frame accepted
+	msgWatchResult = 0x14 // watchResultMsg: streamed continuous-query result
+	msgError       = 0x7f // errorMsg: request failed
 )
 
 // maxFrame bounds payload size to keep a malicious or corrupt peer
@@ -109,6 +117,12 @@ func decodeGob(payload []byte, v any) error {
 type Server struct {
 	coord *Coordinator
 
+	// WatchWriteTimeout bounds each watch-result write to a client; a
+	// peer that stalls longer has its watch session torn down so it
+	// cannot pin server resources. Zero selects a 10s default. Set
+	// before Serve.
+	WatchWriteTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -182,21 +196,27 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	st := &connState{srv: s, conn: conn}
+	defer st.cleanup()
 	for {
 		typ, payload, err := readFrame(conn)
 		if err != nil {
 			return // EOF or broken peer; nothing to answer
 		}
-		reply, replyType := s.dispatch(typ, payload)
-		if err := writeFrame(conn, replyType, reply); err != nil {
+		reply, replyType := s.dispatch(st, typ, payload)
+		if replyType == 0 {
+			continue // handler already wrote its own frames
+		}
+		if err := st.write(replyType, reply); err != nil {
 			return
 		}
 	}
 }
 
-// dispatch executes one request and produces the reply frame.
-func (s *Server) dispatch(typ byte, payload []byte) (reply []byte, replyType byte) {
+// dispatch executes one request and produces the reply frame. st
+// carries the connection's streaming-session state; a replyType of 0
+// means the handler wrote its own reply.
+func (s *Server) dispatch(st *connState, typ byte, payload []byte) (reply []byte, replyType byte) {
 	fail := func(err error) ([]byte, byte) {
 		out, encErr := encodeGob(errorMsg{Message: err.Error()})
 		if encErr != nil {
@@ -242,6 +262,16 @@ func (s *Server) dispatch(typ byte, payload []byte) (reply []byte, replyType byt
 			return fail(err)
 		}
 		return out, msgNames
+	case msgHello:
+		return s.handleHello(st, payload)
+	case msgUpdateBatch:
+		return s.handleUpdateBatch(st, payload)
+	case msgDelta:
+		return s.handleDelta(st, payload)
+	case msgHeartbeat:
+		return s.handleHeartbeat(st, payload)
+	case msgWatch:
+		return s.handleWatch(st, payload)
 	default:
 		return fail(fmt.Errorf("distributed: unknown request type %#x", typ))
 	}
@@ -252,8 +282,9 @@ func (s *Server) dispatch(typ byte, payload []byte) (reply []byte, replyType byt
 // serializes its requests; use one Client per goroutine for
 // parallelism.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu       sync.Mutex
+	conn     net.Conn
+	watching bool // connection dedicated to a watch result stream
 }
 
 // Dial connects to a coordinator server.
@@ -272,6 +303,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.watching {
+		return 0, nil, errors.New("distributed: connection is dedicated to a watch result stream")
+	}
 	if err := writeFrame(c.conn, typ, payload); err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,493 @@
+package distributed
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"setsketch/internal/core"
+	"setsketch/internal/datagen"
+)
+
+// Streaming sessions extend the one-shot push protocol so a site can
+// stay connected to the coordinator indefinitely:
+//
+//	hello       → ok            open the session (coins are verified once)
+//	updateBatch → ack           raw ⟨stream, elem, ±v⟩ updates, sketched centrally
+//	delta       → ack           locally sketched synopsis delta, merged by linearity
+//	heartbeat   → ack           keep-alive / liveness probe
+//	watch       → ok, result*   standing continuous queries; the server then
+//	                            pushes a result frame per expression per round
+//
+// Every session frame carries a client sequence number echoed in the
+// ack, so a site can pipeline-and-verify. Deltas additionally report
+// how many local updates they summarize, keeping the coordinator's
+// update-count watch triggers accurate in delta mode.
+
+// defaultWatchWriteTimeout bounds how long a watch-result write may
+// block on a stalled client before the session is torn down.
+const defaultWatchWriteTimeout = 10 * time.Second
+
+type helloMsg struct {
+	Site   string
+	Config core.Config
+	Seed   uint64
+	Copies int
+}
+
+type wireUpdate struct {
+	Stream string
+	Elem   uint64
+	Delta  int64
+}
+
+type updateBatchMsg struct {
+	Seq     uint64
+	Updates []wireUpdate
+}
+
+type deltaMsg struct {
+	Seq      uint64
+	Stream   string
+	Count    uint64 // local updates this delta summarizes
+	Synopsis []byte
+}
+
+type heartbeatMsg struct{ Seq uint64 }
+
+type ackMsg struct {
+	Seq      uint64
+	Accepted uint64 // updates credited to this session so far
+}
+
+type watchMsg struct {
+	Exprs          []string
+	Eps            float64
+	EveryUpdates   uint64
+	IntervalMillis int64
+}
+
+type watchResultMsg struct {
+	Expr    string
+	Epoch   uint64
+	Updates uint64
+	Err     string
+	Est     estimateMsg
+}
+
+// connState is the per-connection state of the server: a write mutex
+// shared by the request/reply path and the watch pusher, plus the
+// streaming-session identity once a hello has been accepted.
+type connState struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex
+
+	site     string
+	open     bool
+	accepted uint64
+
+	watcher *Watcher
+	watchWG sync.WaitGroup
+}
+
+func (st *connState) write(typ byte, payload []byte) error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	return writeFrame(st.conn, typ, payload)
+}
+
+// writeDeadline writes one frame under a deadline, so a stalled peer
+// cannot pin the pusher goroutine (and the frame mutex) forever.
+func (st *connState) writeDeadline(typ byte, payload []byte, d time.Duration) error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	if d > 0 {
+		st.conn.SetWriteDeadline(time.Now().Add(d))
+		defer st.conn.SetWriteDeadline(time.Time{})
+	}
+	return writeFrame(st.conn, typ, payload)
+}
+
+func (st *connState) cleanup() {
+	if st.watcher != nil {
+		st.watcher.Close()
+	}
+	st.conn.Close()
+	st.watchWG.Wait()
+}
+
+func failReply(err error) ([]byte, byte) {
+	out, encErr := encodeGob(errorMsg{Message: err.Error()})
+	if encErr != nil {
+		return nil, msgError
+	}
+	return out, msgError
+}
+
+func (st *connState) ackReply(seq uint64) ([]byte, byte) {
+	out, err := encodeGob(ackMsg{Seq: seq, Accepted: st.accepted})
+	if err != nil {
+		return failReply(err)
+	}
+	return out, msgAck
+}
+
+// handleHello opens a streaming session after verifying the stored
+// coins once, so every subsequent delta merges without re-checking and
+// raw updates are sketched with hash functions the site agrees on.
+func (s *Server) handleHello(st *connState, payload []byte) ([]byte, byte) {
+	var m helloMsg
+	if err := decodeGob(payload, &m); err != nil {
+		return failReply(err)
+	}
+	want := s.coord.Coins()
+	if m.Config != want.Config || m.Seed != want.Seed || m.Copies != want.Copies {
+		return failReply(fmt.Errorf("stored-coins mismatch: session %+v vs coordinator %+v",
+			Coins{Config: m.Config, Seed: m.Seed, Copies: m.Copies}, want))
+	}
+	if m.Site == "" {
+		return failReply(fmt.Errorf("streaming session needs a site name"))
+	}
+	st.site = m.Site
+	st.open = true
+	return nil, msgOK
+}
+
+func (st *connState) requireSession() error {
+	if !st.open {
+		return fmt.Errorf("no streaming session: send hello first")
+	}
+	return nil
+}
+
+func (s *Server) handleUpdateBatch(st *connState, payload []byte) ([]byte, byte) {
+	if err := st.requireSession(); err != nil {
+		return failReply(err)
+	}
+	var m updateBatchMsg
+	if err := decodeGob(payload, &m); err != nil {
+		return failReply(err)
+	}
+	ups := make([]datagen.Update, len(m.Updates))
+	for i, u := range m.Updates {
+		ups[i] = datagen.Update{Stream: u.Stream, Elem: u.Elem, Delta: u.Delta}
+	}
+	if err := s.coord.ApplyUpdates(st.site, ups); err != nil {
+		return failReply(err)
+	}
+	st.accepted += uint64(len(ups))
+	return st.ackReply(m.Seq)
+}
+
+func (s *Server) handleDelta(st *connState, payload []byte) ([]byte, byte) {
+	if err := st.requireSession(); err != nil {
+		return failReply(err)
+	}
+	var m deltaMsg
+	if err := decodeGob(payload, &m); err != nil {
+		return failReply(err)
+	}
+	fam, err := core.ReadFamily(bytes.NewReader(m.Synopsis))
+	if err != nil {
+		return failReply(err)
+	}
+	if err := s.coord.ApplyDelta(st.site, m.Stream, fam, m.Count); err != nil {
+		return failReply(err)
+	}
+	st.accepted += m.Count
+	return st.ackReply(m.Seq)
+}
+
+func (s *Server) handleHeartbeat(st *connState, payload []byte) ([]byte, byte) {
+	var m heartbeatMsg
+	if err := decodeGob(payload, &m); err != nil {
+		return failReply(err)
+	}
+	return st.ackReply(m.Seq)
+}
+
+// handleWatch registers the continuous queries and dedicates this
+// connection to streaming their results. It writes the ok reply itself
+// before the pusher starts, so the client never sees a result frame
+// ahead of the registration reply.
+func (s *Server) handleWatch(st *connState, payload []byte) ([]byte, byte) {
+	if st.watcher != nil {
+		return failReply(fmt.Errorf("watch already registered on this connection"))
+	}
+	var m watchMsg
+	if err := decodeGob(payload, &m); err != nil {
+		return failReply(err)
+	}
+	w, err := s.coord.Watch(WatchSpec{
+		Exprs:        m.Exprs,
+		Eps:          m.Eps,
+		EveryUpdates: m.EveryUpdates,
+		Interval:     time.Duration(m.IntervalMillis) * time.Millisecond,
+	})
+	if err != nil {
+		return failReply(err)
+	}
+	if err := st.write(msgOK, nil); err != nil {
+		w.Close()
+		return nil, 0
+	}
+	st.watcher = w
+	st.watchWG.Add(1)
+	go s.pushWatchResults(st, w)
+	return nil, 0
+}
+
+// pushWatchResults forwards watcher results to the connection until
+// the watcher closes (slow consumer, coordinator shutdown) or the
+// write path fails.
+func (s *Server) pushWatchResults(st *connState, w *Watcher) {
+	defer st.watchWG.Done()
+	timeout := s.WatchWriteTimeout
+	if timeout <= 0 {
+		timeout = defaultWatchWriteTimeout
+	}
+	for res := range w.C {
+		out, err := encodeGob(watchResultMsg{
+			Expr:    res.Expr,
+			Epoch:   res.Epoch,
+			Updates: res.Updates,
+			Err:     res.Err,
+			Est: estimateMsg{
+				Value: res.Est.Value, Level: res.Est.Level, Copies: res.Est.Copies,
+				Valid: res.Est.Valid, Witnesses: res.Est.Witnesses, Union: res.Est.Union,
+				StdError: res.Est.StdError,
+			},
+		})
+		if err != nil {
+			continue
+		}
+		if err := st.writeDeadline(msgWatchResult, out, timeout); err != nil {
+			w.Close()
+			return
+		}
+	}
+	// The hub closed the channel (e.g. slow consumer): tell the client
+	// why before the connection goes quiet.
+	if reason := w.Reason(); reason != "closed" {
+		if out, err := encodeGob(errorMsg{Message: "watch terminated: " + reason}); err == nil {
+			st.writeDeadline(msgError, out, timeout)
+		}
+	}
+}
+
+// StreamSession is the client side of a streaming session: after the
+// hello handshake a site stays connected and interleaves raw update
+// batches, locally sketched deltas, and heartbeats for as long as it
+// likes. A session shares its Client's serialization; use one session
+// per Client.
+type StreamSession struct {
+	c    *Client
+	site string
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// OpenStream performs the hello handshake and returns the session.
+// The coins must match the coordinator's exactly.
+func (c *Client) OpenStream(site string, coins Coins) (*StreamSession, error) {
+	payload, err := encodeGob(helloMsg{Site: site, Config: coins.Config, Seed: coins.Seed, Copies: coins.Copies})
+	if err != nil {
+		return nil, err
+	}
+	typ, reply, err := c.roundTrip(msgHello, payload)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case msgOK:
+		return &StreamSession{c: c, site: site}, nil
+	case msgError:
+		return nil, remoteError(reply)
+	default:
+		return nil, fmt.Errorf("distributed: unexpected reply type %#x to hello", typ)
+	}
+}
+
+// Site returns the session's site name.
+func (s *StreamSession) Site() string { return s.site }
+
+func (s *StreamSession) next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// sessionRoundTrip sends one sequenced session frame and verifies the
+// ack echoes the sequence number. It returns the coordinator's total
+// accepted-update count for this session.
+func (s *StreamSession) sessionRoundTrip(typ byte, payload []byte, seq uint64) (uint64, error) {
+	replyTyp, reply, err := s.c.roundTrip(typ, payload)
+	if err != nil {
+		return 0, err
+	}
+	switch replyTyp {
+	case msgAck:
+		var m ackMsg
+		if err := decodeGob(reply, &m); err != nil {
+			return 0, err
+		}
+		if m.Seq != seq {
+			return 0, fmt.Errorf("distributed: ack for frame %d, want %d", m.Seq, seq)
+		}
+		return m.Accepted, nil
+	case msgError:
+		return 0, remoteError(reply)
+	default:
+		return 0, fmt.Errorf("distributed: unexpected reply type %#x in session", replyTyp)
+	}
+}
+
+// SendUpdates ships one batch of raw updates for the coordinator to
+// sketch centrally. It returns the session's accepted-update total.
+func (s *StreamSession) SendUpdates(ups []datagen.Update) (uint64, error) {
+	wire := make([]wireUpdate, len(ups))
+	for i, u := range ups {
+		wire[i] = wireUpdate{Stream: u.Stream, Elem: u.Elem, Delta: u.Delta}
+	}
+	seq := s.next()
+	payload, err := encodeGob(updateBatchMsg{Seq: seq, Updates: wire})
+	if err != nil {
+		return 0, err
+	}
+	return s.sessionRoundTrip(msgUpdateBatch, payload, seq)
+}
+
+// SendDelta ships one locally sketched synopsis delta, merged by
+// linearity at the coordinator. count reports how many local updates
+// the delta summarizes (for the coordinator's watch triggers).
+func (s *StreamSession) SendDelta(stream string, fam *core.Family, count uint64) (uint64, error) {
+	var buf bytes.Buffer
+	if _, err := fam.WriteTo(&buf); err != nil {
+		return 0, err
+	}
+	seq := s.next()
+	payload, err := encodeGob(deltaMsg{Seq: seq, Stream: stream, Count: count, Synopsis: buf.Bytes()})
+	if err != nil {
+		return 0, err
+	}
+	return s.sessionRoundTrip(msgDelta, payload, seq)
+}
+
+// SendFlush ships every stream of a flush (e.g. ingest.Engine.Flush),
+// in sorted order for reproducibility, crediting totalCount updates to
+// the first delta.
+func (s *StreamSession) SendFlush(deltas map[string]*core.Family, totalCount uint64) error {
+	names := make([]string, 0, len(deltas))
+	for name := range deltas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	count := totalCount
+	for _, name := range names {
+		if _, err := s.SendDelta(name, deltas[name], count); err != nil {
+			return fmt.Errorf("stream %q: %w", name, err)
+		}
+		count = 0
+	}
+	return nil
+}
+
+// Heartbeat probes session liveness and returns the accepted-update
+// total.
+func (s *StreamSession) Heartbeat() (uint64, error) {
+	seq := s.next()
+	payload, err := encodeGob(heartbeatMsg{Seq: seq})
+	if err != nil {
+		return 0, err
+	}
+	return s.sessionRoundTrip(msgHeartbeat, payload, seq)
+}
+
+// WatchEvent is one continuous-query result delivered to a watching
+// client.
+type WatchEvent struct {
+	Expr    string
+	Epoch   uint64
+	Updates uint64
+	Est     core.Estimate
+	Err     string // per-round evaluation error, or terminal session error
+}
+
+// Watch registers standing continuous queries and dedicates this
+// client's connection to the result stream: the returned channel
+// yields one event per expression per evaluation round until the
+// server drops the watch or the connection closes (the channel then
+// closes; a terminal server-side reason arrives as a final event with
+// Err set). every triggers a round after that many accepted updates;
+// interval adds wall-clock rounds; either may be zero.
+func (c *Client) Watch(exprs []string, eps float64, every uint64, interval time.Duration) (<-chan WatchEvent, error) {
+	payload, err := encodeGob(watchMsg{
+		Exprs:          exprs,
+		Eps:            eps,
+		EveryUpdates:   every,
+		IntervalMillis: int64(interval / time.Millisecond),
+	})
+	if err != nil {
+		return nil, err
+	}
+	typ, reply, err := c.roundTrip(msgWatch, payload)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case msgOK:
+	case msgError:
+		return nil, remoteError(reply)
+	default:
+		return nil, fmt.Errorf("distributed: unexpected reply type %#x to watch", typ)
+	}
+	c.mu.Lock()
+	c.watching = true
+	c.mu.Unlock()
+	ch := make(chan WatchEvent, 32)
+	go func() {
+		defer close(ch)
+		for {
+			typ, payload, err := readFrame(c.conn)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case msgWatchResult:
+				var m watchResultMsg
+				if err := decodeGob(payload, &m); err != nil {
+					ch <- WatchEvent{Err: err.Error()}
+					return
+				}
+				ch <- WatchEvent{
+					Expr:    m.Expr,
+					Epoch:   m.Epoch,
+					Updates: m.Updates,
+					Err:     m.Err,
+					Est: core.Estimate{
+						Value: m.Est.Value, Level: m.Est.Level, Copies: m.Est.Copies,
+						Valid: m.Est.Valid, Witnesses: m.Est.Witnesses, Union: m.Est.Union,
+						StdError: m.Est.StdError,
+					},
+				}
+			case msgError:
+				var m errorMsg
+				if err := decodeGob(payload, &m); err == nil {
+					ch <- WatchEvent{Err: m.Message}
+				}
+				return
+			default:
+				ch <- WatchEvent{Err: fmt.Sprintf("unexpected frame type %#x in watch stream", typ)}
+				return
+			}
+		}
+	}()
+	return ch, nil
+}

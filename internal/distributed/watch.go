@@ -1,0 +1,271 @@
+package distributed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"setsketch/internal/core"
+	"setsketch/internal/expr"
+)
+
+// Continuous queries: clients register set expressions once, and the
+// coordinator re-evaluates them as the merged synopses evolve — every
+// N credited updates, on a wall-clock interval, or on an explicit
+// Tick — streaming each round of estimates to the watcher's bounded
+// channel. This turns the paper's point-in-time "Set-Expression
+// Cardinality Query Processor" into a standing-query engine over the
+// live update stream.
+//
+// Delivery is strictly non-blocking: a consumer that stops draining
+// its channel first loses results and, past MaxDrops consecutive
+// losses, is unregistered and its channel closed — one slow watcher
+// can never stall ingest or the other watchers.
+
+// WatchSpec describes one standing continuous query registration.
+type WatchSpec struct {
+	// Exprs are the set expressions re-evaluated each round. All must
+	// parse at registration time; streams they reference may appear
+	// later (evaluation errors are reported per-round in Err).
+	Exprs []string
+	// Eps is the accuracy parameter passed to the estimator.
+	Eps float64
+	// EveryUpdates re-evaluates after this many newly credited stream
+	// updates. 0 disables update-driven rounds.
+	EveryUpdates uint64
+	// Interval adds wall-clock rounds on top of update-driven ones.
+	// 0 disables timed rounds.
+	Interval time.Duration
+	// Buffer is the watcher's bounded result-queue length (default 16).
+	Buffer int
+	// MaxDrops is how many consecutive results may be lost to a full
+	// queue before the watcher is dropped as a slow consumer
+	// (default 8).
+	MaxDrops int
+}
+
+// WatchResult is one continuous-query evaluation.
+type WatchResult struct {
+	Expr    string
+	Epoch   uint64 // evaluation round, per watcher
+	Updates uint64 // coordinator update count when the round fired
+	Est     core.Estimate
+	Err     string // per-expression evaluation error, if any
+}
+
+// Watcher is one registered continuous query. Results arrive on C,
+// which is closed when the watcher is dropped (slow consumer) or
+// closed by either side.
+type Watcher struct {
+	C <-chan WatchResult
+
+	c    *Coordinator
+	id   int
+	spec WatchSpec
+
+	// lastEval and epoch are guarded by c.wmu.
+	lastEval uint64
+	epoch    uint64
+
+	mu      sync.Mutex // guards ch sends vs close; never hold c.wmu under it
+	ch      chan WatchResult
+	drops   int
+	closed  bool
+	reason  string
+	tickers chan struct{} // closed to stop the interval goroutine
+}
+
+// Watch registers a standing continuous query. Every expression must
+// parse; at least one trigger (EveryUpdates or Interval) must be set.
+func (c *Coordinator) Watch(spec WatchSpec) (*Watcher, error) {
+	if len(spec.Exprs) == 0 {
+		return nil, fmt.Errorf("distributed: watch registers no expressions")
+	}
+	for _, e := range spec.Exprs {
+		if _, err := expr.Parse(e); err != nil {
+			return nil, fmt.Errorf("distributed: watch expression %q: %w", e, err)
+		}
+	}
+	if spec.EveryUpdates == 0 && spec.Interval <= 0 {
+		return nil, fmt.Errorf("distributed: watch needs EveryUpdates or Interval")
+	}
+	if spec.Eps <= 0 {
+		spec.Eps = 0.1
+	}
+	if spec.Buffer <= 0 {
+		spec.Buffer = 16
+	}
+	if spec.MaxDrops <= 0 {
+		spec.MaxDrops = 8
+	}
+	w := &Watcher{
+		c:       c,
+		spec:    spec,
+		ch:      make(chan WatchResult, spec.Buffer),
+		tickers: make(chan struct{}),
+	}
+	w.C = w.ch
+	c.wmu.Lock()
+	w.id = c.nextID
+	c.nextID++
+	w.lastEval = c.Updates()
+	c.watchers[w.id] = w
+	c.wmu.Unlock()
+	if spec.Interval > 0 {
+		go w.runTicker()
+	}
+	return w, nil
+}
+
+func (w *Watcher) runTicker() {
+	t := time.NewTicker(w.spec.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.c.evalWatcher(w, true)
+		case <-w.tickers:
+			return
+		}
+	}
+}
+
+// Close unregisters the watcher and closes its channel. Safe to call
+// from either side, multiple times.
+func (w *Watcher) Close() { w.drop("closed") }
+
+// Reason reports why the watcher's channel closed ("" while open,
+// "closed" after Close, or a slow-consumer description).
+func (w *Watcher) Reason() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reason
+}
+
+// Dropped reports how many results have been lost to a full queue in
+// the current consecutive run.
+func (w *Watcher) Dropped() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.drops
+}
+
+// drop closes the watcher with a reason and unregisters it.
+func (w *Watcher) drop(reason string) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.reason = reason
+	close(w.ch)
+	close(w.tickers)
+	w.mu.Unlock()
+	w.c.wmu.Lock()
+	delete(w.c.watchers, w.id)
+	w.c.wmu.Unlock()
+}
+
+// deliver enqueues one result without ever blocking. A full queue
+// drops the result; MaxDrops consecutive losses drop the watcher.
+func (w *Watcher) deliver(res WatchResult) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	select {
+	case w.ch <- res:
+		w.drops = 0
+		w.mu.Unlock()
+	default: // queue full: lose the result, never block ingest
+		w.drops++
+		over := w.drops > w.spec.MaxDrops
+		drops := w.drops
+		w.mu.Unlock()
+		if over {
+			w.drop(fmt.Sprintf("slow consumer: %d consecutive results dropped", drops))
+		}
+	}
+}
+
+// evalDue runs an evaluation round for every watcher whose
+// update-count threshold has been crossed. Called after mutations,
+// without c.mu held.
+func (c *Coordinator) evalDue(total uint64) {
+	var due []*Watcher
+	c.wmu.Lock()
+	for _, w := range c.watchers {
+		if w.spec.EveryUpdates > 0 && total-w.lastEval >= w.spec.EveryUpdates {
+			w.lastEval = total
+			w.epoch++
+			due = append(due, w)
+		}
+	}
+	c.wmu.Unlock()
+	for _, w := range due {
+		c.evalRound(w)
+	}
+}
+
+// evalWatcher runs one evaluation round for a single watcher; force
+// rounds (ticks) fire regardless of the update threshold.
+func (c *Coordinator) evalWatcher(w *Watcher, force bool) {
+	total := c.Updates()
+	c.wmu.Lock()
+	if _, ok := c.watchers[w.id]; !ok {
+		c.wmu.Unlock()
+		return
+	}
+	if !force && (w.spec.EveryUpdates == 0 || total-w.lastEval < w.spec.EveryUpdates) {
+		c.wmu.Unlock()
+		return
+	}
+	w.lastEval = total
+	w.epoch++
+	c.wmu.Unlock()
+	c.evalRound(w)
+}
+
+// evalRound evaluates all of a watcher's expressions once and delivers
+// the results.
+func (c *Coordinator) evalRound(w *Watcher) {
+	c.wmu.Lock()
+	epoch := w.epoch
+	c.wmu.Unlock()
+	total := c.Updates()
+	for _, e := range w.spec.Exprs {
+		res := WatchResult{Expr: e, Epoch: epoch, Updates: total}
+		est, err := c.Estimate(e, w.spec.Eps)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Est = est
+		}
+		w.deliver(res)
+	}
+}
+
+// Tick forces an evaluation round for every registered watcher — the
+// epoch tick of the continuous-query model, driven by whatever clock
+// the embedding system prefers.
+func (c *Coordinator) Tick() {
+	c.wmu.Lock()
+	due := make([]*Watcher, 0, len(c.watchers))
+	for _, w := range c.watchers {
+		w.epoch++
+		due = append(due, w)
+	}
+	c.wmu.Unlock()
+	for _, w := range due {
+		c.evalRound(w)
+	}
+}
+
+// Watchers reports how many continuous queries are registered.
+func (c *Coordinator) Watchers() int {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return len(c.watchers)
+}

@@ -1,0 +1,385 @@
+// Package ingest implements the high-throughput streaming ingestion
+// engine: a pool of worker goroutines that shard the r sketch copies of
+// every stream's synopsis family across disjoint copy ranges.
+//
+// The paper's synopsis is r independent 2-level hash sketches per
+// stream, and an update ⟨i, e, ±v⟩ costs r·(s+1) counter additions —
+// by far the dominant cost of ingest. Because the copies are
+// independent and counter updates are commutative additions, copy
+// ranges owned by different workers touch disjoint storage: the hot
+// path needs no locks at all. The engine fans each batch of accepted
+// updates out to every worker; worker w applies the whole batch to its
+// own [lo_w, hi_w) copy shard via core.Family.UpdateRange. Synopsis
+// deltas (from other sites, merged by linearity) shard the same way
+// through core.Family.MergeRange, so merges and updates interleave
+// freely without quiescing the pipeline.
+//
+// A Drain barrier (a sentinel work item carrying a WaitGroup, enqueued
+// behind all outstanding batches on every worker's FIFO queue) gives
+// the quiesced points at which Snapshot, Flush, and View read the
+// synopses consistently.
+package ingest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"setsketch/internal/core"
+	"setsketch/internal/datagen"
+)
+
+// Options tunes the engine. The zero value selects sane defaults.
+type Options struct {
+	// Workers is the number of shard workers. Defaults to GOMAXPROCS,
+	// and is capped at the number of sketch copies (a worker with an
+	// empty copy range would be useless).
+	Workers int
+	// BatchSize is how many accepted updates are buffered before being
+	// fanned out to the workers. Defaults to 256.
+	BatchSize int
+	// QueueLen is the per-worker queue depth in batches; submitting
+	// blocks (backpressure) when a worker falls this far behind.
+	// Defaults to 8.
+	QueueLen int
+}
+
+func (o Options) withDefaults(copies int) Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > copies {
+		o.Workers = copies
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 8
+	}
+	return o
+}
+
+// entry is one accepted update with its stream's family pre-resolved,
+// so workers never touch the stream map.
+type entry struct {
+	fam   *core.Family
+	elem  uint64
+	delta int64
+}
+
+// workItem is one unit handed to every worker: an update batch, an
+// optional delta merge, and/or a barrier to arm.
+type workItem struct {
+	entries []entry
+	target  *core.Family // merge target (nil if no merge)
+	delta   *core.Family // aligned delta to add into target
+	barrier *sync.WaitGroup
+}
+
+type worker struct {
+	lo, hi int
+	ch     chan workItem
+}
+
+func (w *worker) run(wg *sync.WaitGroup, fail func(error)) {
+	defer wg.Done()
+	for it := range w.ch {
+		for _, en := range it.entries {
+			en.fam.UpdateRange(w.lo, w.hi, en.elem, en.delta)
+		}
+		if it.delta != nil {
+			// Alignment was validated at submit time; a failure here
+			// means corruption, surfaced on the next Err call.
+			if err := it.target.MergeRange(w.lo, w.hi, it.delta); err != nil {
+				fail(err)
+			}
+		}
+		if it.barrier != nil {
+			it.barrier.Done()
+		}
+	}
+}
+
+// Engine is the sharded ingestion pipeline for one site's synopses. It
+// owns one family per observed stream and is safe for concurrent use;
+// submissions from multiple goroutines serialize on a short critical
+// section that only appends to the pending batch.
+type Engine struct {
+	cfg    core.Config
+	seed   uint64
+	copies int
+	opts   Options
+
+	workers []*worker
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	fams     map[string]*core.Family
+	pending  []entry
+	accepted uint64
+	merged   uint64
+	closed   bool
+
+	errOnce sync.Once
+	errMu   sync.Mutex
+	err     error
+}
+
+// New starts an engine whose synopses are built from the given stored
+// coins (configuration, master seed, copy count).
+func New(cfg core.Config, seed uint64, copies int, opts Options) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if copies < 1 {
+		return nil, fmt.Errorf("ingest: need at least 1 copy, got %d", copies)
+	}
+	opts = opts.withDefaults(copies)
+	e := &Engine{
+		cfg:    cfg,
+		seed:   seed,
+		copies: copies,
+		opts:   opts,
+		fams:   make(map[string]*core.Family),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		w := &worker{
+			lo: i * copies / opts.Workers,
+			hi: (i + 1) * copies / opts.Workers,
+			ch: make(chan workItem, opts.QueueLen),
+		}
+		e.workers = append(e.workers, w)
+		e.wg.Add(1)
+		go w.run(&e.wg, e.fail)
+	}
+	return e, nil
+}
+
+func (e *Engine) fail(err error) {
+	e.errOnce.Do(func() {
+		e.errMu.Lock()
+		e.err = err
+		e.errMu.Unlock()
+	})
+}
+
+// Err returns the first asynchronous worker error, if any.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// Workers returns the number of shard workers.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// resolveLocked returns the family for a stream, creating it on first
+// touch. Caller holds e.mu.
+func (e *Engine) resolveLocked(stream string) (*core.Family, error) {
+	f, ok := e.fams[stream]
+	if !ok {
+		var err error
+		if f, err = core.NewFamily(e.cfg, e.seed, e.copies); err != nil {
+			return nil, err
+		}
+		e.fams[stream] = f
+	}
+	return f, nil
+}
+
+// broadcastLocked hands one work item to every worker. Caller holds
+// e.mu; the send blocks when a worker's queue is full, which is the
+// backpressure that keeps an over-fast producer from buffering
+// unbounded work.
+func (e *Engine) broadcastLocked(it workItem) {
+	for _, w := range e.workers {
+		w.ch <- it
+	}
+}
+
+// flushPendingLocked ships the buffered partial batch, if any.
+func (e *Engine) flushPendingLocked() {
+	if len(e.pending) == 0 {
+		return
+	}
+	batch := e.pending
+	e.pending = make([]entry, 0, e.opts.BatchSize)
+	e.broadcastLocked(workItem{entries: batch})
+}
+
+// Update accepts the stream update ⟨stream, e, ±v⟩. The update is
+// buffered and fanned out to the shard workers once a full batch has
+// accumulated (or at the next Drain/Flush/Snapshot barrier).
+func (e *Engine) Update(stream string, elem uint64, delta int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("ingest: engine is closed")
+	}
+	f, err := e.resolveLocked(stream)
+	if err != nil {
+		return err
+	}
+	e.pending = append(e.pending, entry{fam: f, elem: elem, delta: delta})
+	e.accepted++
+	if len(e.pending) >= e.opts.BatchSize {
+		e.flushPendingLocked()
+	}
+	return nil
+}
+
+// UpdateBatch accepts a slice of updates in one critical section.
+func (e *Engine) UpdateBatch(ups []datagen.Update) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("ingest: engine is closed")
+	}
+	for _, u := range ups {
+		f, err := e.resolveLocked(u.Stream)
+		if err != nil {
+			return err
+		}
+		e.pending = append(e.pending, entry{fam: f, elem: u.Elem, delta: u.Delta})
+		e.accepted++
+		if len(e.pending) >= e.opts.BatchSize {
+			e.flushPendingLocked()
+		}
+	}
+	return nil
+}
+
+// Merge adds an aligned synopsis delta for a stream into the engine's
+// state by linearity, sharded across the workers exactly like updates:
+// worker w merges copy range [lo_w, hi_w). The delta must have been
+// built from the engine's coins.
+func (e *Engine) Merge(stream string, delta *core.Family) error {
+	if delta == nil {
+		return fmt.Errorf("ingest: nil delta for stream %q", stream)
+	}
+	if delta.Config() != e.cfg || delta.Seed() != e.seed || delta.Copies() != e.copies {
+		return core.ErrNotAligned
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("ingest: engine is closed")
+	}
+	target, err := e.resolveLocked(stream)
+	if err != nil {
+		return err
+	}
+	// Ship the pending batch first so the merge lands in FIFO order
+	// behind updates already accepted; then clone the delta so the
+	// caller may reuse or mutate theirs.
+	e.flushPendingLocked()
+	e.broadcastLocked(workItem{target: target, delta: delta.Clone()})
+	e.merged++
+	return nil
+}
+
+// drainLocked flushes the pending batch and waits until every worker
+// has processed everything queued before it. Caller holds e.mu, which
+// also blocks new submissions, so on return the synopses are quiescent
+// and consistent. Worker queues are FIFO, so arming the barrier behind
+// the flush is sufficient.
+func (e *Engine) drainLocked() {
+	e.flushPendingLocked()
+	var barrier sync.WaitGroup
+	barrier.Add(len(e.workers))
+	e.broadcastLocked(workItem{barrier: &barrier})
+	barrier.Wait()
+}
+
+// Drain blocks until every accepted update has been applied to all
+// sketch copies.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.drainLocked()
+}
+
+// Snapshot drains the pipeline and returns deep copies of all synopses.
+func (e *Engine) Snapshot() map[string]*core.Family {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.drainLocked()
+	}
+	out := make(map[string]*core.Family, len(e.fams))
+	for name, f := range e.fams {
+		out[name] = f.Clone()
+	}
+	return out
+}
+
+// Flush drains the pipeline, then atomically snapshots all synopses
+// and resets them to empty — the periodic-shipping primitive: by
+// linearity, the coordinator's additive merge of successive flush
+// deltas reconstructs exactly the synopsis of the full local stream.
+func (e *Engine) Flush() map[string]*core.Family {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.drainLocked()
+	}
+	out := make(map[string]*core.Family, len(e.fams))
+	for name, f := range e.fams {
+		out[name] = f.Clone()
+		f.Reset()
+	}
+	return out
+}
+
+// View drains the pipeline and calls fn with the live synopsis map
+// while the engine is quiescent (submissions blocked, workers idle).
+// fn must not retain the map or the families past its return.
+func (e *Engine) View(fn func(map[string]*core.Family)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.drainLocked()
+	}
+	fn(e.fams)
+}
+
+// Streams returns the names of the streams the engine has observed.
+func (e *Engine) Streams() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.fams))
+	for name := range e.fams {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Accepted returns how many updates the engine has accepted.
+func (e *Engine) Accepted() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.accepted
+}
+
+// Close drains outstanding work and stops the workers. Further
+// submissions fail; Snapshot and Streams keep working on the final
+// state. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return e.Err()
+	}
+	e.drainLocked()
+	e.closed = true
+	for _, w := range e.workers {
+		close(w.ch)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return e.Err()
+}

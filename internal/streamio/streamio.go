@@ -30,35 +30,88 @@ func Write(w io.Writer, updates []datagen.Update) error {
 	return bw.Flush()
 }
 
-// Read parses an update stream. Blank lines and lines starting with '#'
-// are skipped. Errors identify the offending line number.
-func Read(r io.Reader) ([]datagen.Update, error) {
-	var out []datagen.Update
+// Scanner yields the updates of a stream one at a time, so arbitrarily
+// long update files (or endless pipes) are processed in constant
+// memory — the iterator behind live ingestion. Usage follows
+// bufio.Scanner:
+//
+//	sc := streamio.NewScanner(r)
+//	for sc.Scan() {
+//		u := sc.Update()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	sc     *bufio.Scanner
+	lineNo int
+	u      datagen.Update
+	err    error
+}
+
+// NewScanner wraps r for incremental update parsing.
+func NewScanner(r io.Reader) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &Scanner{sc: sc}
+}
+
+// Scan advances to the next update, skipping blank lines and '#'
+// comments. It returns false at end of input or on the first malformed
+// line; Err distinguishes the two.
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("streamio: line %d: want 3 fields, got %d", lineNo, len(fields))
+			s.err = fmt.Errorf("streamio: line %d: want 3 fields, got %d", s.lineNo, len(fields))
+			return false
 		}
 		elem, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("streamio: line %d: bad element %q: %v", lineNo, fields[1], err)
+			s.err = fmt.Errorf("streamio: line %d: bad element %q: %v", s.lineNo, fields[1], err)
+			return false
 		}
 		delta, err := strconv.ParseInt(fields[2], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("streamio: line %d: bad delta %q: %v", lineNo, fields[2], err)
+			s.err = fmt.Errorf("streamio: line %d: bad delta %q: %v", s.lineNo, fields[2], err)
+			return false
 		}
 		if delta == 0 {
-			return nil, fmt.Errorf("streamio: line %d: zero delta", lineNo)
+			s.err = fmt.Errorf("streamio: line %d: zero delta", s.lineNo)
+			return false
 		}
-		out = append(out, datagen.Update{Stream: fields[0], Elem: elem, Delta: delta})
+		s.u = datagen.Update{Stream: fields[0], Elem: elem, Delta: delta}
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Update returns the update parsed by the last successful Scan.
+func (s *Scanner) Update() datagen.Update { return s.u }
+
+// Line returns the input line number of the last update, for error
+// reporting by callers.
+func (s *Scanner) Line() int { return s.lineNo }
+
+// Err returns the first parse or read error, or nil at clean EOF.
+func (s *Scanner) Err() error { return s.err }
+
+// Read parses a whole update stream into memory via Scanner. Blank
+// lines and lines starting with '#' are skipped. Errors identify the
+// offending line number. Prefer Scanner for large inputs.
+func Read(r io.Reader) ([]datagen.Update, error) {
+	var out []datagen.Update
+	sc := NewScanner(r)
+	for sc.Scan() {
+		out = append(out, sc.Update())
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -64,6 +64,63 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// TestScannerIncremental: the iterator yields exactly the updates Read
+// returns, in order, with line numbers pointing at the source lines.
+func TestScannerIncremental(t *testing.T) {
+	src := "# header\nA 1 1\n\nB 2 -1\n# mid\nC 3 5\n"
+	want, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(strings.NewReader(src))
+	var got []datagen.Update
+	var lines []int
+	for sc.Scan() {
+		got = append(got, sc.Update())
+		lines = append(lines, sc.Line())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanner yielded %d updates, Read %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("update %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	wantLines := []int{2, 4, 6}
+	for i, l := range lines {
+		if l != wantLines[i] {
+			t.Errorf("update %d reported line %d, want %d", i, l, wantLines[i])
+		}
+	}
+	// Scan after exhaustion stays false without error.
+	if sc.Scan() {
+		t.Error("Scan returned true after EOF")
+	}
+}
+
+// TestScannerStopsAtError: the iterator yields the good prefix, then
+// sticks at the first malformed line.
+func TestScannerStopsAtError(t *testing.T) {
+	sc := NewScanner(strings.NewReader("A 1 1\nB 2 2\nbroken line here extra\nC 3 3\n"))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("scanned %d updates before error, want 2", n)
+	}
+	if err := sc.Err(); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("Err = %v, want line 3 parse error", err)
+	}
+	if sc.Scan() {
+		t.Error("Scan resumed after error")
+	}
+}
+
 func TestReadEmpty(t *testing.T) {
 	out, err := Read(strings.NewReader(""))
 	if err != nil || len(out) != 0 {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# check.sh — the repo's tier-1 gate plus the race detector over the
+# concurrent ingest/session code. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
