@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-ingest
+.PHONY: check vet build test race bench bench-ingest
 
 check:
 	./scripts/check.sh
@@ -19,3 +19,8 @@ race:
 
 bench-ingest:
 	$(GO) test -run xxx -bench BenchmarkIngest -benchtime 1s .
+
+# bench regenerates BENCH_ingest.json from a fresh benchmark run on
+# this host (see scripts/bench.sh).
+bench:
+	./scripts/bench.sh

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"setsketch/internal/datagen"
+	"setsketch/internal/distributed"
+	"setsketch/internal/ingest"
+)
+
+// metricValue extracts one sample from a Prometheus text exposition;
+// series must be the exact series name including any labels.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("unparsable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %q not in exposition:\n%s", series, body)
+	return 0
+}
+
+func httpGet(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestAdminEndpointIntegration is the acceptance path end to end: a
+// daemon with -admin semantics serves /metrics, /healthz, and pprof; a
+// streaming session drives the ingest engine and a standing watch; and
+// the batch, frame, and watch-evaluation counters all read back
+// nonzero through the exporter.
+func TestAdminEndpointIntegration(t *testing.T) {
+	coins := testCoins()
+	d, err := startDaemon("127.0.0.1:0", "127.0.0.1:0", coins, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.AdminAddr()
+
+	// Standing continuous query, registered before any updates flow.
+	wcli, err := distributed.Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wcli.Close()
+	events, err := wcli.Watch([]string{"A & B"}, 0.3, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Site side: sharded ingest engine sharing the daemon's registry, so
+	// one exporter covers the whole pipeline in-process.
+	eng, err := ingest.New(coins.Config, coins.Seed, coins.Copies,
+		ingest.Options{Workers: 2, BatchSize: 32, Obs: d.Reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for e := uint64(0); e < 400; e++ {
+		ups := []datagen.Update{{Stream: "A", Elem: e, Delta: 1}}
+		if e >= 150 {
+			ups = append(ups, datagen.Update{Stream: "B", Elem: e, Delta: 1})
+		}
+		if err := eng.UpdateBatch(ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scli, err := distributed.Dial(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scli.Close()
+	sess, err := scli.OpenStream("edge", coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SendFlush(eng.Flush(), eng.Accepted()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flush credited 400+ updates against the watch's every=100, so
+	// at least one evaluation round streams back.
+	select {
+	case ev := <-events:
+		if ev.Terminal {
+			t.Fatalf("terminal watch event before shutdown: %q", ev.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no watch result within deadline")
+	}
+
+	status, ctype, body := httpGet(t, base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q, want text/plain", ctype)
+	}
+	if !strings.Contains(body, "# HELP") || !strings.Contains(body, "# TYPE") {
+		t.Error("exposition lacks HELP/TYPE metadata")
+	}
+	for _, series := range []string{
+		"ingest_batches_total",
+		"ingest_updates_accepted_total",
+		`stream_frames_received_total{type="delta"}`,
+		`stream_frames_received_total{type="hello"}`,
+		`stream_frames_sent_total{type="watch_result"}`,
+		"watch_evaluations_total",
+		"watch_rounds_total",
+		"coord_deltas_merged_total",
+		"stream_sessions_opened_total",
+		"process_goroutines",
+	} {
+		if v := metricValue(t, body, series); v <= 0 {
+			t.Errorf("%s = %v, want > 0", series, v)
+		}
+	}
+	if v := metricValue(t, body, "stream_heartbeat_misses_total"); v != 0 {
+		t.Errorf("heartbeat misses = %v, want 0", v)
+	}
+
+	status, _, health := httpGet(t, base+"/healthz")
+	if status != http.StatusOK || strings.TrimSpace(health) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", status, health)
+	}
+
+	status, ctype, jbody := httpGet(t, base+"/metrics?format=json")
+	if status != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics?format=json = %d %q", status, ctype)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(jbody), &parsed); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+
+	status, _, _ = httpGet(t, base+"/debug/pprof/cmdline")
+	if status != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", status)
+	}
+
+	// Shutdown notifies the watcher with a terminal reason rather than
+	// closing silently.
+	d.Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("watch channel closed without a terminal event")
+			}
+			if !ev.Terminal {
+				continue // drain queued results
+			}
+			if !strings.Contains(ev.Err, "coordinator shutting down") {
+				t.Errorf("terminal reason = %q, want coordinator shutdown", ev.Err)
+			}
+			if err := d.Wait(); err != nil {
+				t.Errorf("Serve returned %v after Close", err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no terminal watch event after shutdown")
+		}
+	}
+}

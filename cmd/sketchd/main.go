@@ -4,10 +4,12 @@
 // update streams and ship them (one-shot or live), and query modes
 // (point-in-time or standing).
 //
-//	sketchd serve  -listen :7070 [-copies 512] [-s 32] [-seed 1]
+//	sketchd serve  -listen :7070 [-admin :7071] [-log-level info] \
+//	               [-idle-timeout 0] [-copies 512] [-s 32] [-seed 1]
 //	sketchd push   -addr host:7070 -site edge1 -in updates.txt [...coins]
 //	sketchd stream -addr host:7070 -site edge1 -in updates.txt \
-//	               [-mode sketch|forward] [-workers N] [-flush-updates 10000] [...coins]
+//	               [-mode sketch|forward] [-workers N] [-flush-updates 10000] \
+//	               [-admin :0] [-log-level info] [...coins]
 //	sketchd query  -addr host:7070 -expr '(A & B) - C' [-eps 0.1]
 //	sketchd watch  -addr host:7070 -expr 'A & B' [-expr 'A | B'] \
 //	               [-eps 0.1] [-every 10000] [-interval 2s]
@@ -23,12 +25,17 @@
 //
 // All parties must share the stored-coins parameters (-copies, -s,
 // -wise, -seed); mismatches are rejected by the coordinator.
+//
+// With -admin, serve (and stream) additionally expose an operations
+// endpoint — /metrics (Prometheus text or JSON), /healthz, and
+// /debug/pprof/* — documented in OPERATIONS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +45,7 @@ import (
 	"setsketch/internal/datagen"
 	"setsketch/internal/distributed"
 	"setsketch/internal/ingest"
+	"setsketch/internal/obs"
 	"setsketch/internal/streamio"
 )
 
@@ -87,30 +95,119 @@ func coinFlags(fs *flag.FlagSet) func() distributed.Coins {
 	}
 }
 
+// logFlags registers the shared -log-level flag and returns a
+// constructor for the process logger (writing logfmt to stderr).
+func logFlags(fs *flag.FlagSet) func() (*obs.Logger, error) {
+	level := fs.String("log-level", "info", "log level: debug, info, warn, or error")
+	return func() (*obs.Logger, error) {
+		lv, err := obs.ParseLevel(*level)
+		if err != nil {
+			return nil, err
+		}
+		return obs.NewLogger(os.Stderr, lv), nil
+	}
+}
+
+// daemon is a running coordinator server plus its optional admin
+// endpoint, factored out of runServe so tests can start one in-process
+// and read its metrics over HTTP.
+type daemon struct {
+	Coord *distributed.Coordinator
+	Reg   *obs.Registry
+
+	srv    *distributed.Server
+	l      net.Listener
+	admin  *http.Server
+	adminL net.Listener
+	done   chan error
+}
+
+// startDaemon listens, wires observability into the coordinator and
+// server, and begins serving. adminAddr "" disables the admin
+// endpoint; logw nil discards logs.
+func startDaemon(listen, adminAddr string, coins distributed.Coins,
+	idleTimeout time.Duration, log *obs.Logger) (*daemon, error) {
+	coord, err := distributed.NewCoordinator(coins)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	coord.SetObservability(reg, log)
+	srv := distributed.NewServer(coord)
+	srv.IdleTimeout = idleTimeout
+	srv.SetObservability(reg, log)
+	d := &daemon{Coord: coord, Reg: reg, srv: srv, l: l, done: make(chan error, 1)}
+	if adminAddr != "" {
+		al, err := net.Listen("tcp", adminAddr)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("admin endpoint: %w", err)
+		}
+		d.adminL = al
+		d.admin = &http.Server{Handler: obs.AdminMux(reg, func() error { return nil })}
+		go d.admin.Serve(al)
+	}
+	go func() { d.done <- srv.Serve(l) }()
+	return d, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (d *daemon) Addr() string { return d.l.Addr().String() }
+
+// AdminAddr returns the admin endpoint's address, or "" if disabled.
+func (d *daemon) AdminAddr() string {
+	if d.adminL == nil {
+		return ""
+	}
+	return d.adminL.Addr().String()
+}
+
+// Close stops both listeners and tears down connections; watch
+// clients receive a terminal shutdown reason first (see Server.Close).
+func (d *daemon) Close() {
+	if d.admin != nil {
+		d.admin.Close()
+	}
+	d.srv.Close()
+}
+
+// Wait blocks until Serve returns.
+func (d *daemon) Wait() error { return <-d.done }
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", ":7070", "address to listen on")
+	admin := fs.String("admin", "", "admin endpoint address for /metrics, /healthz, /debug/pprof (disabled if empty)")
+	idle := fs.Duration("idle-timeout", 0, "tear down sessions idle longer than this (0 disables)")
+	mkLog := logFlags(fs)
 	coins := coinFlags(fs)
 	fs.Parse(args)
 
-	coord, err := distributed.NewCoordinator(coins())
+	log, err := mkLog()
 	if err != nil {
 		return err
 	}
-	l, err := net.Listen("tcp", *listen)
+	d, err := startDaemon(*listen, *admin, coins(), *idle, log)
 	if err != nil {
 		return err
 	}
-	srv := distributed.NewServer(coord)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "sketchd: shutting down")
-		srv.Close()
+		log.Info("shutting down")
+		d.Close()
 	}()
-	fmt.Fprintf(os.Stderr, "sketchd: coordinator listening on %s\n", l.Addr())
-	return srv.Serve(l)
+	log.Info("coordinator listening", "addr", d.Addr())
+	if a := d.AdminAddr(); a != "" {
+		log.Info("admin endpoint listening", "addr", a,
+			"endpoints", "/metrics /healthz /debug/pprof/")
+	}
+	return d.Wait()
 }
 
 func runPush(args []string) error {
@@ -179,8 +276,29 @@ func runStream(args []string) error {
 	batch := fs.Int("batch", 256, "updates per batch hand-off")
 	flushUpdates := fs.Int("flush-updates", 10000, "flush a synopsis delta every N updates (sketch mode)")
 	flushInterval := fs.Duration("flush-interval", 2*time.Second, "also flush after this long without one (sketch mode)")
+	admin := fs.String("admin", "", "admin endpoint address for the site's own /metrics, /healthz, /debug/pprof (disabled if empty)")
+	mkLog := logFlags(fs)
 	coins := coinFlags(fs)
 	fs.Parse(args)
+
+	log, err := mkLog()
+	if err != nil {
+		return err
+	}
+	// The site's own registry: ingest_* metrics live here, not at the
+	// coordinator (which exports its stream_*/coord_* view of the same
+	// session).
+	reg := obs.NewRegistry()
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		adminSrv := &http.Server{Handler: obs.AdminMux(reg, func() error { return nil })}
+		go adminSrv.Serve(al)
+		defer adminSrv.Close()
+		log.Info("admin endpoint listening", "addr", al.Addr().String())
+	}
 
 	cli, err := distributed.Dial(*addr)
 	if err != nil {
@@ -191,12 +309,14 @@ func runStream(args []string) error {
 	if err != nil {
 		return err
 	}
+	log.Info("session open", "site", *siteName, "addr", *addr, "mode", *mode)
 
 	switch *mode {
 	case "forward":
 		return streamForward(sess, *in, *batch)
 	case "sketch":
-		return streamSketch(sess, *in, coins(), ingest.Options{Workers: *workers, BatchSize: *batch},
+		return streamSketch(sess, *in, coins(),
+			ingest.Options{Workers: *workers, BatchSize: *batch, Obs: reg, Log: log},
 			*flushUpdates, *flushInterval)
 	default:
 		return fmt.Errorf("stream: unknown -mode %q", *mode)
@@ -325,6 +445,17 @@ func runWatch(args []string) error {
 		case ev, ok := <-events:
 			if !ok {
 				return fmt.Errorf("watch: result stream closed by coordinator")
+			}
+			if ev.Terminal {
+				// The server ended the watch (slow consumer, shutdown)
+				// or the connection failed: surface the reason instead
+				// of exiting silently.
+				select {
+				case <-sig: // local ^C raced the read error; clean exit
+					return nil
+				default:
+				}
+				return fmt.Errorf("watch: %s", ev.Err)
 			}
 			if ev.Err != "" {
 				fmt.Printf("[%d @ %d updates] %s: %s\n", ev.Epoch, ev.Updates, ev.Expr, ev.Err)

@@ -96,7 +96,8 @@ func TestStreamEndToEnd(t *testing.T) {
 	for _, mode := range []string{"sketch", "forward"} {
 		addr, stop := startCoordinator(t, testCoins())
 		args := append([]string{"-addr", addr, "-site", "edge1", "-in", stream,
-			"-mode", mode, "-workers", "2", "-batch", "50", "-flush-updates", "120"}, coinArgs()...)
+			"-mode", mode, "-workers", "2", "-batch", "50", "-flush-updates", "120",
+			"-admin", "127.0.0.1:0", "-log-level", "warn"}, coinArgs()...)
 		if err := runStream(args); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}

@@ -29,11 +29,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"setsketch/internal/core"
 	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
 	"setsketch/internal/multiset"
+	"setsketch/internal/obs"
 	"setsketch/internal/streamio"
 )
 
@@ -108,7 +110,14 @@ func runBuild(args []string) error {
 	wise := fs.Int("wise", 8, "first-level hash independence degree")
 	seed := fs.Uint64("seed", 1, "stored-coins master seed")
 	bits := fs.Bool("bits", false, "build 1-bit-cell synopses (64× smaller; rejects deletions)")
+	level := fs.String("log-level", "warn", "progress/diagnostic log level: debug, info, warn, or error")
 	fs.Parse(args)
+
+	lv, err := obs.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	log := obs.NewLogger(os.Stderr, lv).Named("build")
 
 	cfg := core.DefaultConfig()
 	cfg.SecondLevel = *s
@@ -119,7 +128,9 @@ func runBuild(args []string) error {
 	if *bits {
 		return buildBits(*in, cfg, *seed, *copies, *out)
 	}
+	start := time.Now()
 	fams := make(map[string]*core.Family)
+	progress := 0
 	n, err := scanUpdates(*in, func(u datagen.Update) error {
 		f, ok := fams[u.Stream]
 		if !ok {
@@ -128,8 +139,14 @@ func runBuild(args []string) error {
 				return err
 			}
 			fams[u.Stream] = f
+			log.Debug("new stream", "stream", u.Stream)
 		}
 		f.Update(u.Elem, u.Delta)
+		progress++
+		if progress%(1<<20) == 0 {
+			log.Info("progress", "updates", progress, "streams", len(fams),
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
+		}
 		return nil
 	})
 	if err != nil {
@@ -144,6 +161,8 @@ func runBuild(args []string) error {
 		fmt.Printf("%s: %d updates summarized in %d KiB\n",
 			path, n, fams[name].MemoryBytes()/1024)
 	}
+	log.Info("build done", "updates", n, "streams", len(fams),
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
 	return nil
 }
 

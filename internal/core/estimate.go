@@ -92,6 +92,8 @@ func estimateUnionFrom(cfg Config, r int, occ occupancy, eps float64) (Estimate,
 			break // first index with count ≤ f (Fig. 5 step 9)
 		}
 	}
+	Stats.UnionEstimates.Add(1)
+	Stats.UnionLevelScans.Add(uint64(index + 1))
 	if index == cfg.Buckets {
 		// Cannot happen for domains within the sketch width: the
 		// occupancy probability at the top level is ≈ u/2^Buckets < f/r.
@@ -239,6 +241,7 @@ func estimateWitnessBinary(a, b *Family, eps float64, atomic func(xa, xb *Sketch
 			est.Witnesses += obs
 		}
 	}
+	recordWitnessStats(uint64(r), est)
 	if est.Valid == 0 {
 		return est, ErrNoObservations
 	}
@@ -396,6 +399,7 @@ func estimateExpressionOracle(e expr.Node, names []string, o exprOracle, eps flo
 			}
 		}
 	}
+	recordWitnessStats(uint64(r)*uint64(hi-lo+1), est)
 	if est.Valid == 0 {
 		return est, ErrNoObservations
 	}

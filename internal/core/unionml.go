@@ -47,6 +47,8 @@ func estimateUnionMLFrom(cfg Config, r int, occ occupancy) (Estimate, error) {
 		}
 		total += counts[j]
 	}
+	Stats.UnionEstimates.Add(1)
+	Stats.UnionLevelScans.Add(uint64(cfg.Buckets))
 	est := Estimate{Copies: r, Valid: r, Witnesses: total}
 	if total == 0 {
 		return est, nil // no live element anywhere

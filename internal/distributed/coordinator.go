@@ -8,6 +8,7 @@ import (
 	"setsketch/internal/core"
 	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
+	"setsketch/internal/obs"
 )
 
 // Coordinator is the central site of Fig. 1: it accumulates synopses
@@ -19,6 +20,9 @@ import (
 type Coordinator struct {
 	coins Coins
 
+	met coordMetrics
+	log *obs.Logger
+
 	mu      sync.RWMutex
 	fams    map[string]*core.Family
 	sites   map[string]int // pushes accepted per site, for diagnostics
@@ -29,6 +33,94 @@ type Coordinator struct {
 	nextID   int
 }
 
+// coordMetrics is the coordinator's instrument set; per obs's contract
+// every instrument works (uncollected) when no registry is attached.
+type coordMetrics struct {
+	deltasMerged   *obs.Counter
+	rawBatches     *obs.Counter
+	rawUpdates     *obs.Counter
+	estimates      *obs.Counter
+	estimateErrors *obs.Counter
+	watchRounds    *obs.Counter
+	watchEvals     *obs.Counter
+	watchDelivered *obs.Counter
+	watchDropped   *obs.Counter
+	watchSlowDrops *obs.Counter
+}
+
+func newCoordMetrics(reg *obs.Registry) coordMetrics {
+	return coordMetrics{
+		deltasMerged: reg.Counter("coord_deltas_merged_total",
+			"Synopsis deltas (and one-shot pushes) merged by linearity."),
+		rawBatches: reg.Counter("coord_raw_update_batches_total",
+			"Raw update batches sketched centrally (forward-mode sessions)."),
+		rawUpdates: reg.Counter("coord_raw_updates_total",
+			"Raw stream updates sketched centrally."),
+		estimates: reg.Counter("coord_estimates_total",
+			"Set-expression cardinality estimates computed."),
+		estimateErrors: reg.Counter("coord_estimate_errors_total",
+			"Estimates that failed (parse error, missing stream, no valid observations)."),
+		watchRounds: reg.Counter("watch_rounds_total",
+			"Continuous-query evaluation rounds fired (update-count, interval, and Tick rounds)."),
+		watchEvals: reg.Counter("watch_evaluations_total",
+			"Individual watch-expression evaluations (rounds x expressions)."),
+		watchDelivered: reg.Counter("watch_results_delivered_total",
+			"Watch results enqueued to watcher channels."),
+		watchDropped: reg.Counter("watch_results_dropped_total",
+			"Watch results lost to full bounded watcher queues."),
+		watchSlowDrops: reg.Counter("watch_slow_consumer_drops_total",
+			"Watchers unregistered after exceeding MaxDrops consecutive losses."),
+	}
+}
+
+// SetObservability attaches a metrics registry and logger to the
+// coordinator, exporting the coord_*, watch_*, and estimator_* series
+// documented in OPERATIONS.md. Call it once, before the coordinator
+// serves traffic; either argument may be nil.
+func (c *Coordinator) SetObservability(reg *obs.Registry, log *obs.Logger) {
+	c.met = newCoordMetrics(reg)
+	c.log = log.Named("coord")
+	reg.CounterFunc("coord_updates_credited_total",
+		"Stream updates credited toward watch triggers (raw updates individually; deltas by reported counts).",
+		c.Updates)
+	reg.GaugeFunc("coord_streams",
+		"Distinct streams with merged synopses.",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(len(c.fams))
+		})
+	reg.GaugeFunc("watch_active",
+		"Standing continuous queries currently registered.",
+		func() float64 { return float64(c.Watchers()) })
+	reg.GaugeFunc("watch_queue_occupancy",
+		"Buffered results across all watcher queues (bounded; drops when full).",
+		func() float64 {
+			c.wmu.Lock()
+			defer c.wmu.Unlock()
+			n := 0
+			for _, w := range c.watchers {
+				n += len(w.ch)
+			}
+			return float64(n)
+		})
+	// The estimator quality counters live in core (the estimate path has
+	// no coordinator handle); export them here so singleton-bucket hit
+	// rate and witness yield ride along with the coordinator's series.
+	for name, help := range map[string]string{
+		"estimator_estimates_total":         "Witness-estimator invocations (expression/difference/intersection).",
+		"estimator_no_observations_total":   "Estimates that found no valid witness observation (ErrNoObservations).",
+		"estimator_singleton_checks_total":  "(copy, level) union-bucket singleton probes.",
+		"estimator_singleton_hits_total":    "Probes that found a singleton union bucket (valid observations r').",
+		"estimator_witnesses_total":         "Valid observations that witnessed the estimated expression.",
+		"estimator_union_estimates_total":   "Union-estimator invocations, including internal u-hat sub-estimates.",
+		"estimator_union_level_scans_total": "First-level bucket indices scanned by union estimators.",
+	} {
+		name := name
+		reg.CounterFunc(name, help, func() uint64 { return core.Stats.Snapshot()[name] })
+	}
+}
+
 // NewCoordinator creates a coordinator expecting synopses built from
 // the given coins.
 func NewCoordinator(coins Coins) (*Coordinator, error) {
@@ -37,6 +129,7 @@ func NewCoordinator(coins Coins) (*Coordinator, error) {
 	}
 	return &Coordinator{
 		coins:    coins,
+		met:      newCoordMetrics(nil), // unregistered instruments until SetObservability
 		fams:     make(map[string]*core.Family),
 		sites:    make(map[string]int),
 		watchers: make(map[int]*Watcher),
@@ -81,6 +174,7 @@ func (c *Coordinator) ApplyDelta(site, stream string, fam *core.Family, count ui
 	c.updates += count
 	total := c.updates
 	c.mu.Unlock()
+	c.met.deltasMerged.Inc()
 	c.evalDue(total)
 	return nil
 }
@@ -106,6 +200,8 @@ func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
 	c.updates += uint64(len(ups))
 	total := c.updates
 	c.mu.Unlock()
+	c.met.rawBatches.Inc()
+	c.met.rawUpdates.Add(uint64(len(ups)))
 	c.evalDue(total)
 	return nil
 }
@@ -161,13 +257,20 @@ func (c *Coordinator) Pushes() map[string]int {
 // Estimate answers a set-expression cardinality query over the merged
 // synopses (the paper's "Set-Expression Cardinality Query Processor").
 func (c *Coordinator) Estimate(expression string, eps float64) (core.Estimate, error) {
+	c.met.estimates.Inc()
 	node, err := expr.Parse(expression)
 	if err != nil {
+		c.met.estimateErrors.Inc()
 		return core.Estimate{}, err
 	}
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return core.EstimateExpressionMultiLevel(node, c.fams, eps)
+	est, err := core.EstimateExpressionMultiLevel(node, c.fams, eps)
+	c.mu.RUnlock()
+	if err != nil {
+		c.met.estimateErrors.Inc()
+		c.log.Debug("estimate failed", "expr", expression, "err", err)
+	}
+	return est, err
 }
 
 // Family returns a deep copy of the merged synopsis for a stream, or

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"setsketch/internal/core"
+	"setsketch/internal/obs"
 )
 
 // Wire protocol between sites, query clients, and the coordinator:
@@ -123,15 +124,138 @@ type Server struct {
 	// before Serve.
 	WatchWriteTimeout time.Duration
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
+	// IdleTimeout, when positive, arms a read deadline on open
+	// streaming sessions (watch connections excluded — they only
+	// receive): a session that sends no frame — not even a heartbeat —
+	// within the window is torn down and counted as a heartbeat miss.
+	// Zero (the default) disables liveness enforcement. Set before
+	// Serve.
+	IdleTimeout time.Duration
+
+	met *serverMetrics
+	log *obs.Logger
+
+	watchWG sync.WaitGroup // live watch pusher goroutines
+
+	mu        sync.Mutex
+	listener  net.Listener
+	conns     map[net.Conn]struct{}
+	seenSites map[string]int // hello count per site, to spot reconnects
+	closed    bool
 }
 
 // NewServer wraps a coordinator for network serving.
 func NewServer(coord *Coordinator) *Server {
-	return &Server{coord: coord, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		coord:     coord,
+		conns:     make(map[net.Conn]struct{}),
+		seenSites: make(map[string]int),
+		met:       newServerMetrics(nil),
+	}
+}
+
+// SetObservability attaches a metrics registry and logger to the
+// server, exporting the stream_* series documented in OPERATIONS.md.
+// Call it once, before Serve; either argument may be nil. It does not
+// instrument the wrapped coordinator — call the coordinator's own
+// SetObservability for the coord_*/watch_* series.
+func (s *Server) SetObservability(reg *obs.Registry, log *obs.Logger) {
+	s.met = newServerMetrics(reg)
+	s.log = log.Named("server")
+	reg.GaugeFunc("stream_connections",
+		"Currently open client connections.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
+}
+
+// frameTypeName names each wire frame type for the per-type frame
+// counters; requests and replies are disjoint sets.
+var requestTypeNames = map[byte]string{
+	msgPush:        "push",
+	msgQuery:       "query",
+	msgStreams:     "streams",
+	msgHello:       "hello",
+	msgUpdateBatch: "update_batch",
+	msgDelta:       "delta",
+	msgHeartbeat:   "heartbeat",
+	msgWatch:       "watch",
+}
+
+var replyTypeNames = map[byte]string{
+	msgOK:          "ok",
+	msgEstimate:    "estimate",
+	msgNames:       "names",
+	msgAck:         "ack",
+	msgWatchResult: "watch_result",
+	msgError:       "error",
+}
+
+// serverMetrics is the server's instrument set; with a nil registry
+// every instrument still works, it is just never collected.
+type serverMetrics struct {
+	framesIn   map[byte]*obs.Counter
+	framesOut  map[byte]*obs.Counter
+	inUnknown  *obs.Counter
+	outUnknown *obs.Counter
+
+	handleSeconds   *obs.Histogram
+	connsTotal      *obs.Counter
+	sessionsOpened  *obs.Counter
+	sessionReopens  *obs.Counter
+	heartbeats      *obs.Counter
+	heartbeatMisses *obs.Counter
+	watchTimeouts   *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	const (
+		helpIn  = "Frames received from clients, by frame type."
+		helpOut = "Frames sent to clients, by frame type."
+	)
+	m := &serverMetrics{
+		framesIn:  make(map[byte]*obs.Counter, len(requestTypeNames)),
+		framesOut: make(map[byte]*obs.Counter, len(replyTypeNames)),
+	}
+	for typ, name := range requestTypeNames {
+		m.framesIn[typ] = reg.Counter(obs.Label("stream_frames_received_total", "type", name), helpIn)
+	}
+	for typ, name := range replyTypeNames {
+		m.framesOut[typ] = reg.Counter(obs.Label("stream_frames_sent_total", "type", name), helpOut)
+	}
+	m.inUnknown = reg.Counter(obs.Label("stream_frames_received_total", "type", "unknown"), helpIn)
+	m.outUnknown = reg.Counter(obs.Label("stream_frames_sent_total", "type", "unknown"), helpOut)
+	m.handleSeconds = reg.Histogram("stream_handle_seconds",
+		"Request dispatch-to-reply latency (the server side of session ack latency).", nil)
+	m.connsTotal = reg.Counter("stream_connections_total",
+		"Client connections accepted since start.")
+	m.sessionsOpened = reg.Counter("stream_sessions_opened_total",
+		"Streaming sessions opened (hello frames accepted).")
+	m.sessionReopens = reg.Counter("stream_session_reopens_total",
+		"Sessions opened by a site that had a session before (reconnects).")
+	m.heartbeats = reg.Counter("stream_heartbeats_total",
+		"Session heartbeat frames handled.")
+	m.heartbeatMisses = reg.Counter("stream_heartbeat_misses_total",
+		"Sessions torn down because no frame arrived within IdleTimeout.")
+	m.watchTimeouts = reg.Counter("stream_watch_write_timeouts_total",
+		"Watch-result writes abandoned after WatchWriteTimeout (stalled watch clients).")
+	return m
+}
+
+func (m *serverMetrics) in(typ byte) *obs.Counter {
+	if c, ok := m.framesIn[typ]; ok {
+		return c
+	}
+	return m.inUnknown
+}
+
+func (m *serverMetrics) out(typ byte) *obs.Counter {
+	if c, ok := m.framesOut[typ]; ok {
+		return c
+	}
+	return m.outUnknown
 }
 
 // Serve accepts connections on l until Close is called. It returns nil
@@ -177,11 +301,15 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops accepting and tears down live connections.
+// Close stops accepting and tears down live connections. Watchers are
+// dropped first — registered directly on the coordinator or through
+// the protocol — so watch clients receive a terminal "coordinator
+// shutting down" frame (bounded by WatchWriteTimeout per stalled
+// client) instead of a silent connection reset.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
@@ -189,25 +317,44 @@ func (s *Server) Close() error {
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
+	s.mu.Unlock()
+	s.coord.CloseWatchers("coordinator shutting down")
+	s.watchWG.Wait()
+	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
+	s.mu.Unlock()
 	return err
 }
 
 func (s *Server) handle(conn net.Conn) {
 	st := &connState{srv: s, conn: conn}
 	defer st.cleanup()
+	s.met.connsTotal.Inc()
+	s.log.Debug("connection opened", "remote", conn.RemoteAddr().String())
 	for {
+		if s.IdleTimeout > 0 && st.open && st.watcher == nil {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		typ, payload, err := readFrame(conn)
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.met.heartbeatMisses.Inc()
+				s.log.Warn("session idle timeout: no frame (not even a heartbeat) within deadline",
+					"site", st.site, "timeout", s.IdleTimeout.String())
+			}
 			return // EOF or broken peer; nothing to answer
 		}
+		s.met.in(typ).Inc()
+		start := time.Now()
 		reply, replyType := s.dispatch(st, typ, payload)
 		if replyType == 0 {
 			continue // handler already wrote its own frames
 		}
-		if err := st.write(replyType, reply); err != nil {
+		err = st.write(replyType, reply)
+		s.met.handleSeconds.ObserveSince(start)
+		if err != nil {
 			return
 		}
 	}

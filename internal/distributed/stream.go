@@ -98,7 +98,11 @@ type connState struct {
 func (st *connState) write(typ byte, payload []byte) error {
 	st.wmu.Lock()
 	defer st.wmu.Unlock()
-	return writeFrame(st.conn, typ, payload)
+	err := writeFrame(st.conn, typ, payload)
+	if err == nil {
+		st.srv.met.out(typ).Inc()
+	}
+	return err
 }
 
 // writeDeadline writes one frame under a deadline, so a stalled peer
@@ -110,7 +114,11 @@ func (st *connState) writeDeadline(typ byte, payload []byte, d time.Duration) er
 		st.conn.SetWriteDeadline(time.Now().Add(d))
 		defer st.conn.SetWriteDeadline(time.Time{})
 	}
-	return writeFrame(st.conn, typ, payload)
+	err := writeFrame(st.conn, typ, payload)
+	if err == nil {
+		st.srv.met.out(typ).Inc()
+	}
+	return err
 }
 
 func (st *connState) cleanup() {
@@ -155,6 +163,17 @@ func (s *Server) handleHello(st *connState, payload []byte) ([]byte, byte) {
 	}
 	st.site = m.Site
 	st.open = true
+	s.mu.Lock()
+	seen := s.seenSites[m.Site]
+	s.seenSites[m.Site]++
+	s.mu.Unlock()
+	s.met.sessionsOpened.Inc()
+	if seen > 0 {
+		s.met.sessionReopens.Inc()
+		s.log.Info("session reopened", "site", m.Site, "prior_sessions", seen)
+	} else {
+		s.log.Info("session opened", "site", m.Site)
+	}
 	return nil, msgOK
 }
 
@@ -208,6 +227,7 @@ func (s *Server) handleHeartbeat(st *connState, payload []byte) ([]byte, byte) {
 	if err := decodeGob(payload, &m); err != nil {
 		return failReply(err)
 	}
+	s.met.heartbeats.Inc()
 	return st.ackReply(m.Seq)
 }
 
@@ -238,6 +258,7 @@ func (s *Server) handleWatch(st *connState, payload []byte) ([]byte, byte) {
 	}
 	st.watcher = w
 	st.watchWG.Add(1)
+	s.watchWG.Add(1)
 	go s.pushWatchResults(st, w)
 	return nil, 0
 }
@@ -247,6 +268,7 @@ func (s *Server) handleWatch(st *connState, payload []byte) ([]byte, byte) {
 // write path fails.
 func (s *Server) pushWatchResults(st *connState, w *Watcher) {
 	defer st.watchWG.Done()
+	defer s.watchWG.Done()
 	timeout := s.WatchWriteTimeout
 	if timeout <= 0 {
 		timeout = defaultWatchWriteTimeout
@@ -267,6 +289,11 @@ func (s *Server) pushWatchResults(st *connState, w *Watcher) {
 			continue
 		}
 		if err := st.writeDeadline(msgWatchResult, out, timeout); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.met.watchTimeouts.Inc()
+				s.log.Warn("watch client stalled: result write timed out",
+					"remote", st.conn.RemoteAddr().String(), "timeout", timeout.String())
+			}
 			w.Close()
 			return
 		}
@@ -274,6 +301,7 @@ func (s *Server) pushWatchResults(st *connState, w *Watcher) {
 	// The hub closed the channel (e.g. slow consumer): tell the client
 	// why before the connection goes quiet.
 	if reason := w.Reason(); reason != "closed" {
+		s.log.Warn("watch terminated", "remote", st.conn.RemoteAddr().String(), "reason", reason)
 		if out, err := encodeGob(errorMsg{Message: "watch terminated: " + reason}); err == nil {
 			st.writeDeadline(msgError, out, timeout)
 		}
@@ -418,15 +446,30 @@ type WatchEvent struct {
 	Updates uint64
 	Est     core.Estimate
 	Err     string // per-round evaluation error, or terminal session error
+	// Terminal marks the last event of the stream: the server ended the
+	// watch (Err carries its reason — e.g. a slow-consumer drop or
+	// coordinator shutdown) or the connection failed. No further events
+	// follow; the channel closes next.
+	Terminal bool
 }
 
 // Watch registers standing continuous queries and dedicates this
 // client's connection to the result stream: the returned channel
 // yields one event per expression per evaluation round until the
-// server drops the watch or the connection closes (the channel then
-// closes; a terminal server-side reason arrives as a final event with
-// Err set). every triggers a round after that many accepted updates;
-// interval adds wall-clock rounds; either may be zero.
+// server drops the watch or the connection closes. every triggers a
+// round after that many accepted updates; interval adds wall-clock
+// rounds; either may be zero.
+//
+// Results are delivered through bounded queues at both ends — the
+// coordinator's per-watcher queue and this channel — and the
+// coordinator never blocks on a watcher: a client that stops reading
+// loses rounds, and past the coordinator's MaxDrops consecutive
+// losses the watch is dropped server-side. The stream then ends with
+// one final event carrying Terminal=true and the server's reason in
+// Err ("watch terminated: slow consumer: ..."), after which the
+// channel closes. A connection failure likewise yields a terminal
+// event (including after a local Close, where the reason is the local
+// read error).
 func (c *Client) Watch(exprs []string, eps float64, every uint64, interval time.Duration) (<-chan WatchEvent, error) {
 	payload, err := encodeGob(watchMsg{
 		Exprs:          exprs,
@@ -454,16 +497,25 @@ func (c *Client) Watch(exprs []string, eps float64, every uint64, interval time.
 	ch := make(chan WatchEvent, 32)
 	go func() {
 		defer close(ch)
+		// terminal delivers the final event without ever blocking: an
+		// abandoned consumer must not leak this goroutine.
+		terminal := func(reason string) {
+			select {
+			case ch <- WatchEvent{Err: reason, Terminal: true}:
+			default:
+			}
+		}
 		for {
 			typ, payload, err := readFrame(c.conn)
 			if err != nil {
+				terminal("watch stream closed: " + err.Error())
 				return
 			}
 			switch typ {
 			case msgWatchResult:
 				var m watchResultMsg
 				if err := decodeGob(payload, &m); err != nil {
-					ch <- WatchEvent{Err: err.Error()}
+					terminal("undecodable watch result: " + err.Error())
 					return
 				}
 				ch <- WatchEvent{
@@ -479,12 +531,14 @@ func (c *Client) Watch(exprs []string, eps float64, every uint64, interval time.
 				}
 			case msgError:
 				var m errorMsg
-				if err := decodeGob(payload, &m); err == nil {
-					ch <- WatchEvent{Err: m.Message}
+				if err := decodeGob(payload, &m); err != nil {
+					terminal("undecodable watch error frame: " + err.Error())
+				} else {
+					terminal(m.Message)
 				}
 				return
 			default:
-				ch <- WatchEvent{Err: fmt.Sprintf("unexpected frame type %#x in watch stream", typ)}
+				terminal(fmt.Sprintf("unexpected frame type %#x in watch stream", typ))
 				return
 			}
 		}

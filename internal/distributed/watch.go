@@ -77,6 +77,15 @@ type Watcher struct {
 
 // Watch registers a standing continuous query. Every expression must
 // parse; at least one trigger (EveryUpdates or Interval) must be set.
+//
+// Delivery semantics: each watcher owns a bounded queue of
+// spec.Buffer results, and the coordinator never blocks on it. A
+// round evaluated while the queue is full is lost, and after
+// spec.MaxDrops consecutive losses the watcher is unregistered and
+// its channel closed — Reason() then describes the drop, and
+// protocol clients receive it as a terminal error frame. Consumers
+// that must not lose rounds should drain C promptly or size Buffer
+// for their worst-case stall.
 func (c *Coordinator) Watch(spec WatchSpec) (*Watcher, error) {
 	if len(spec.Exprs) == 0 {
 		return nil, fmt.Errorf("distributed: watch registers no expressions")
@@ -165,6 +174,25 @@ func (w *Watcher) drop(reason string) {
 	w.c.wmu.Lock()
 	delete(w.c.watchers, w.id)
 	w.c.wmu.Unlock()
+	if reason != "closed" {
+		w.c.log.Warn("watcher dropped", "id", w.id, "reason", reason)
+	}
+}
+
+// CloseWatchers drops every registered watcher with the given reason,
+// closing their channels. Protocol sessions relay the reason to their
+// clients as a terminal error frame, so a shutting-down coordinator
+// should call this before tearing down connections.
+func (c *Coordinator) CloseWatchers(reason string) {
+	c.wmu.Lock()
+	all := make([]*Watcher, 0, len(c.watchers))
+	for _, w := range c.watchers {
+		all = append(all, w)
+	}
+	c.wmu.Unlock()
+	for _, w := range all {
+		w.drop(reason)
+	}
 }
 
 // deliver enqueues one result without ever blocking. A full queue
@@ -179,12 +207,15 @@ func (w *Watcher) deliver(res WatchResult) {
 	case w.ch <- res:
 		w.drops = 0
 		w.mu.Unlock()
+		w.c.met.watchDelivered.Inc()
 	default: // queue full: lose the result, never block ingest
 		w.drops++
 		over := w.drops > w.spec.MaxDrops
 		drops := w.drops
 		w.mu.Unlock()
+		w.c.met.watchDropped.Inc()
 		if over {
+			w.c.met.watchSlowDrops.Inc()
 			w.drop(fmt.Sprintf("slow consumer: %d consecutive results dropped", drops))
 		}
 	}
@@ -235,6 +266,8 @@ func (c *Coordinator) evalRound(w *Watcher) {
 	epoch := w.epoch
 	c.wmu.Unlock()
 	total := c.Updates()
+	c.met.watchRounds.Inc()
+	c.met.watchEvals.Add(uint64(len(w.spec.Exprs)))
 	for _, e := range w.spec.Exprs {
 		res := WatchResult{Expr: e, Epoch: epoch, Updates: total}
 		est, err := c.Estimate(e, w.spec.Eps)

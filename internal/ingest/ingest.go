@@ -23,10 +23,13 @@ package ingest
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"setsketch/internal/core"
 	"setsketch/internal/datagen"
+	"setsketch/internal/obs"
 )
 
 // Options tunes the engine. The zero value selects sane defaults.
@@ -42,6 +45,12 @@ type Options struct {
 	// blocks (backpressure) when a worker falls this far behind.
 	// Defaults to 8.
 	QueueLen int
+	// Obs registers the engine's metrics (see OPERATIONS.md, "ingest_*")
+	// on this registry. nil disables export; the engine still counts
+	// internally at one atomic add per event.
+	Obs *obs.Registry
+	// Log receives engine lifecycle and error records. nil discards.
+	Log *obs.Logger
 }
 
 func (o Options) withDefaults(copies int) Options {
@@ -80,13 +89,20 @@ type workItem struct {
 type worker struct {
 	lo, hi int
 	ch     chan workItem
+
+	batches *obs.Counter // work items carrying entries, applied by this worker
+	applied *obs.Counter // updates applied to this worker's copy shard
 }
 
 func (w *worker) run(wg *sync.WaitGroup, fail func(error)) {
 	defer wg.Done()
 	for it := range w.ch {
-		for _, en := range it.entries {
-			en.fam.UpdateRange(w.lo, w.hi, en.elem, en.delta)
+		if len(it.entries) > 0 {
+			for _, en := range it.entries {
+				en.fam.UpdateRange(w.lo, w.hi, en.elem, en.delta)
+			}
+			w.batches.Inc()
+			w.applied.Add(uint64(len(it.entries)))
 		}
 		if it.delta != nil {
 			// Alignment was validated at submit time; a failure here
@@ -98,6 +114,38 @@ func (w *worker) run(wg *sync.WaitGroup, fail func(error)) {
 		if it.barrier != nil {
 			it.barrier.Done()
 		}
+	}
+}
+
+// metrics is the engine's instrument set; every field works (and
+// counts) even when no registry is attached, per obs's nil-Registry
+// contract.
+type metrics struct {
+	accepted     *obs.Counter
+	batches      *obs.Counter
+	merges       *obs.Counter
+	flushes      *obs.Counter
+	drains       *obs.Counter
+	workerErrors *obs.Counter
+	drainSeconds *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		accepted: reg.Counter("ingest_updates_accepted_total",
+			"Stream updates accepted by the ingest engine."),
+		batches: reg.Counter("ingest_batches_total",
+			"Update batches broadcast to the shard workers."),
+		merges: reg.Counter("ingest_merges_total",
+			"Synopsis deltas merged into the engine by linearity."),
+		flushes: reg.Counter("ingest_flushes_total",
+			"Flush operations (drain + snapshot + reset)."),
+		drains: reg.Counter("ingest_drains_total",
+			"Quiescence barriers executed (Drain/Flush/Snapshot/View/Close)."),
+		workerErrors: reg.Counter("ingest_worker_errors_total",
+			"Asynchronous shard-worker failures (corrupted merges)."),
+		drainSeconds: reg.Histogram("ingest_drain_seconds",
+			"Latency of the quiescence barrier: flushing pending work and waiting for every worker.", nil),
 	}
 }
 
@@ -113,6 +161,8 @@ type Engine struct {
 
 	workers []*worker
 	wg      sync.WaitGroup
+	met     metrics
+	log     *obs.Logger
 
 	mu       sync.Mutex
 	fams     map[string]*core.Family
@@ -141,6 +191,8 @@ func New(cfg core.Config, seed uint64, copies int, opts Options) (*Engine, error
 		seed:   seed,
 		copies: copies,
 		opts:   opts,
+		met:    newMetrics(opts.Obs),
+		log:    opts.Log.Named("ingest"),
 		fams:   make(map[string]*core.Family),
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -148,15 +200,41 @@ func New(cfg core.Config, seed uint64, copies int, opts Options) (*Engine, error
 			lo: i * copies / opts.Workers,
 			hi: (i + 1) * copies / opts.Workers,
 			ch: make(chan workItem, opts.QueueLen),
+			batches: opts.Obs.Counter(obs.Label("ingest_worker_batches_total", "worker", strconv.Itoa(i)),
+				"Update batches applied, per shard worker."),
+			applied: opts.Obs.Counter(obs.Label("ingest_worker_updates_total", "worker", strconv.Itoa(i)),
+				"Updates applied to the worker's copy shard."),
 		}
 		e.workers = append(e.workers, w)
 		e.wg.Add(1)
 		go w.run(&e.wg, e.fail)
 	}
+	// Instantaneous views are sampled at export time; the newest engine
+	// on a registry owns these series (GaugeFunc overwrites).
+	opts.Obs.GaugeFunc("ingest_queue_depth_batches",
+		"Work items queued across all shard workers (backpressure indicator).",
+		func() float64 {
+			depth := 0
+			for _, w := range e.workers {
+				depth += len(w.ch)
+			}
+			return float64(depth)
+		})
+	opts.Obs.GaugeFunc("ingest_streams",
+		"Distinct streams with live synopses in the engine.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(len(e.fams))
+		})
+	e.log.Debug("engine started", "workers", opts.Workers, "copies", copies,
+		"batch_size", opts.BatchSize, "queue_len", opts.QueueLen)
 	return e, nil
 }
 
 func (e *Engine) fail(err error) {
+	e.met.workerErrors.Inc()
+	e.log.Error("shard worker failed", "err", err)
 	e.errOnce.Do(func() {
 		e.errMu.Lock()
 		e.err = err
@@ -206,6 +284,7 @@ func (e *Engine) flushPendingLocked() {
 	batch := e.pending
 	e.pending = make([]entry, 0, e.opts.BatchSize)
 	e.broadcastLocked(workItem{entries: batch})
+	e.met.batches.Inc()
 }
 
 // Update accepts the stream update ⟨stream, e, ±v⟩. The update is
@@ -223,6 +302,7 @@ func (e *Engine) Update(stream string, elem uint64, delta int64) error {
 	}
 	e.pending = append(e.pending, entry{fam: f, elem: elem, delta: delta})
 	e.accepted++
+	e.met.accepted.Inc()
 	if len(e.pending) >= e.opts.BatchSize {
 		e.flushPendingLocked()
 	}
@@ -243,6 +323,7 @@ func (e *Engine) UpdateBatch(ups []datagen.Update) error {
 		}
 		e.pending = append(e.pending, entry{fam: f, elem: u.Elem, delta: u.Delta})
 		e.accepted++
+		e.met.accepted.Inc()
 		if len(e.pending) >= e.opts.BatchSize {
 			e.flushPendingLocked()
 		}
@@ -276,6 +357,7 @@ func (e *Engine) Merge(stream string, delta *core.Family) error {
 	e.flushPendingLocked()
 	e.broadcastLocked(workItem{target: target, delta: delta.Clone()})
 	e.merged++
+	e.met.merges.Inc()
 	return nil
 }
 
@@ -285,11 +367,14 @@ func (e *Engine) Merge(stream string, delta *core.Family) error {
 // and consistent. Worker queues are FIFO, so arming the barrier behind
 // the flush is sufficient.
 func (e *Engine) drainLocked() {
+	start := time.Now()
 	e.flushPendingLocked()
 	var barrier sync.WaitGroup
 	barrier.Add(len(e.workers))
 	e.broadcastLocked(workItem{barrier: &barrier})
 	barrier.Wait()
+	e.met.drains.Inc()
+	e.met.drainSeconds.ObserveSince(start)
 }
 
 // Drain blocks until every accepted update has been applied to all
@@ -332,6 +417,8 @@ func (e *Engine) Flush() map[string]*core.Family {
 		out[name] = f.Clone()
 		f.Reset()
 	}
+	e.met.flushes.Inc()
+	e.log.Debug("flushed", "streams", len(out))
 	return out
 }
 

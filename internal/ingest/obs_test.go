@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"setsketch/internal/obs"
+)
+
+// TestEngineMetrics: the engine's instruments track the flush/drain
+// life cycle — accepted updates, batches fanned out, flushes, drains —
+// and are readable both as raw instruments (get-or-create returns the
+// live counter) and through the Prometheus exporter.
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := New(testCfg, 3, 16, Options{Workers: 2, BatchSize: 8, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := e.Update("A", uint64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deltas := e.Flush()
+	if len(deltas) == 0 {
+		t.Fatal("flush returned no deltas")
+	}
+	e.Drain()
+
+	counter := func(name string) uint64 { return reg.Counter(name, "").Value() }
+	if got := counter("ingest_updates_accepted_total"); got != n {
+		t.Errorf("accepted counter = %d, want %d", got, n)
+	}
+	// 100 updates at BatchSize 8 force at least 12 full-batch flushes;
+	// Flush and Drain add their own pending flushes.
+	if got := counter("ingest_batches_total"); got < n/8 {
+		t.Errorf("batches counter = %d, want >= %d", got, n/8)
+	}
+	if got := counter("ingest_flushes_total"); got != 1 {
+		t.Errorf("flushes counter = %d, want 1", got)
+	}
+	// Flush drains internally; the explicit Drain makes at least two.
+	if got := counter("ingest_drains_total"); got < 2 {
+		t.Errorf("drains counter = %d, want >= 2", got)
+	}
+	if got := counter("ingest_worker_errors_total"); got != 0 {
+		t.Errorf("worker errors counter = %d, want 0", got)
+	}
+	if got := reg.Histogram("ingest_drain_seconds", "", nil).Count(); got < 2 {
+		t.Errorf("drain latency observations = %d, want >= 2", got)
+	}
+
+	// Per-worker batch counters must sum to batches × workers (every
+	// batch is broadcast to all workers) and applied updates to n.
+	var workerBatches, workerUpdates uint64
+	for i := 0; i < 2; i++ {
+		id := string(rune('0' + i))
+		workerBatches += counter(obs.Label("ingest_worker_batches_total", "worker", id))
+		workerUpdates += counter(obs.Label("ingest_worker_updates_total", "worker", id))
+	}
+	if want := counter("ingest_batches_total") * 2; workerBatches != want {
+		t.Errorf("worker batches sum = %d, want %d", workerBatches, want)
+	}
+	if workerUpdates != n*2 {
+		t.Errorf("worker updates sum = %d, want %d", workerUpdates, n*2)
+	}
+
+	// The exporter sees the same numbers.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ingest_updates_accepted_total 100",
+		"ingest_flushes_total 1",
+		"ingest_streams 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

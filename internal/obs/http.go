@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry: Prometheus text
+// by default, JSON when the request carries ?format=json or an
+// application/json Accept header.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			req.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// HealthHandler serves /healthz: 200 "ok" while check returns nil, 503
+// with the error text otherwise. A nil check always reports healthy.
+func HealthHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// AdminMux assembles the admin HTTP surface every long-running command
+// exposes behind -admin:
+//
+//	/metrics        registry export (Prometheus text; ?format=json)
+//	/healthz        liveness (200 ok / 503 + reason)
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// It also registers the process-level runtime series (goroutines, heap
+// bytes, GC count, uptime) on reg.
+func AdminMux(reg *Registry, check func() error) *http.ServeMux {
+	RegisterRuntimeMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/healthz", HealthHandler(check))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RegisterRuntimeMetrics registers the process-level gauges shared by
+// every admin surface.
+func RegisterRuntimeMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("process_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("process_heap_alloc_bytes", "Bytes of live heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("process_gc_cycles_total", "Completed GC cycles.",
+		func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return uint64(ms.NumGC)
+		})
+	reg.GaugeFunc("process_uptime_seconds", "Seconds since the admin surface was assembled.",
+		func() float64 { return time.Since(start).Seconds() })
+}

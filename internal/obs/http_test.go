@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "metric").Add(5)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "m_total 5\n") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type = %q", ct)
+	}
+	if !strings.Contains(string(body), `"m_total": 5`) {
+		t.Errorf("json body missing counter:\n%s", body)
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	var failing error
+	srv := httptest.NewServer(HealthHandler(func() error { return failing }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthy: status %d body %q", resp.StatusCode, body)
+	}
+
+	failing = errors.New("coordinator stopped")
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "coordinator stopped") {
+		t.Errorf("unhealthy: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestAdminMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Inc()
+	srv := httptest.NewServer(AdminMux(reg, nil))
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":             "a_total 1",
+		"/healthz":             "ok",
+		"/metrics?format=json": `"a_total": 1`,
+		// Runtime series are registered by AdminMux itself.
+		"/metrics?": "process_goroutines",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s: body missing %q:\n%s", path, want, body)
+		}
+	}
+
+	// pprof index answers (the full profile endpoints are exercised by
+	// net/http/pprof's own tests; here we only assert the mounting).
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. The logger emits records at or above its
+// configured level.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// Logger is a minimal leveled structured logger emitting logfmt-style
+// records:
+//
+//	ts=2026-08-05T12:00:00.000Z level=info comp=server msg="session opened" site=edge1
+//
+// Records are written with a single Write under a mutex, so lines from
+// concurrent goroutines never interleave. A nil *Logger discards
+// everything, so components can thread a logger unconditionally.
+type Logger struct {
+	w     io.Writer
+	mu    *sync.Mutex
+	level *atomic.Int32
+	comp  string
+	now   func() time.Time
+}
+
+// NewLogger builds a logger writing records at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{w: w, mu: &sync.Mutex{}, level: &atomic.Int32{}, now: time.Now}
+	l.level.Store(int32(level))
+	return l
+}
+
+// Named returns a logger that stamps comp=name on every record, sharing
+// the parent's sink and level.
+func (l *Logger) Named(name string) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	if child.comp != "" {
+		name = child.comp + "." + name
+	}
+	child.comp = name
+	return &child
+}
+
+// SetLevel changes the minimum emitted level at runtime.
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.level.Store(int32(level))
+	}
+}
+
+// Enabled reports whether records at the given level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= Level(l.level.Load())
+}
+
+// Log emits one record at the given level. kv alternates keys and
+// values; values are rendered with %v and quoted when they contain
+// spaces or quotes.
+func (l *Logger) Log(level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	if l.comp != "" {
+		b.WriteString(" comp=")
+		b.WriteString(l.comp)
+	}
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		b.WriteString(quoteValue(fmt.Sprintf("%v", kv[i+1])))
+	}
+	if len(kv)%2 == 1 { // dangling key: surface rather than drop
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[len(kv)-1])
+		b.WriteString("=MISSING")
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Debug emits a debug-level record.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+
+// Info emits an info-level record.
+func (l *Logger) Info(msg string, kv ...any) { l.Log(LevelInfo, msg, kv...) }
+
+// Warn emits a warn-level record.
+func (l *Logger) Warn(msg string, kv ...any) { l.Log(LevelWarn, msg, kv...) }
+
+// Error emits an error-level record.
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+// quoteValue renders a logfmt value, quoting only when needed.
+func quoteValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

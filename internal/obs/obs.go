@@ -1,0 +1,421 @@
+// Package obs is the stdlib-only observability layer of the repo: an
+// atomic metrics registry (counters, gauges, histograms, and sampled
+// function metrics) with Prometheus-text and JSON exporters, a
+// lightweight leveled structured logger, and the admin HTTP surface
+// (/metrics, /healthz, /debug/pprof/*) that cmd/sketchd mounts behind
+// its -admin flag.
+//
+// The package exists because the live pieces grown around the paper's
+// sketches — the sharded ingest engine, the streaming wire sessions,
+// and the coordinator's standing watch queries — are long-running
+// concurrent systems whose health (throughput, queue depth, drop
+// counts, estimator yield) must be visible without a debugger. The
+// DataSketches framework line of work makes the same point: sketch
+// systems live or die in production by their observable accuracy and
+// retained-observation counters.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost is one atomic add per event. Instruments are
+//     resolved once (at component construction) and then touched
+//     lock-free; the registry lock is only taken at registration and
+//     export time.
+//   - Everything is optional. Instrument constructors accept a nil
+//     *Registry and return fully functional (just unexported)
+//     instruments, so instrumented code never branches on "is
+//     observability on".
+//   - No dependencies. The Prometheus text exposition format is simple
+//     enough to emit by hand, and that keeps the module stdlib-only.
+//
+// Series names may carry Prometheus-style labels inline, e.g.
+// obs.Label("ingest_worker_batches_total", "worker", "3") returns
+// `ingest_worker_batches_total{worker="3"}`; the exporter groups series
+// sharing a base name under one # HELP/# TYPE header.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; counters handed out by a Registry are additionally exported.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is usable.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (negative d decreases it).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds,
+// spanning microsecond batch hand-offs to multi-second stalls.
+var DefBuckets = []float64{
+	0.000025, 0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 10,
+}
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style. Construct via Registry.Histogram (or NewHistogram for an
+// unregistered one); the zero value is not usable.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    Gauge // CAS-accumulated sum of observations
+	count  atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram with the given upper
+// bounds (nil selects DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since start — the idiom for
+// latency histograms.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// snapshot returns cumulative bucket counts aligned with h.bounds plus
+// the +Inf bucket, the total count, and the sum.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, h.count.Load(), h.sum.Value()
+}
+
+// Registry is a named collection of instruments with deterministic
+// export order. All methods are safe for concurrent use, and all
+// instrument constructors are get-or-create: asking twice for the same
+// series returns the same instrument, so components created and torn
+// down repeatedly keep accumulating into one series. Function-backed
+// series (CounterFunc/GaugeFunc) instead overwrite on re-registration,
+// so the newest component owns the sample.
+//
+// A nil *Registry is valid everywhere and hands out working,
+// unregistered instruments.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	cfns     map[string]func() uint64
+	gfns     map[string]func() float64
+	help     map[string]string // base name -> help text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		cfns:     make(map[string]func() uint64),
+		gfns:     make(map[string]func() float64),
+		help:     make(map[string]string),
+	}
+}
+
+// Label renders a series name with inline Prometheus labels:
+// Label("x_total", "worker", "3") == `x_total{worker="3"}`. kv pairs
+// alternate key, value.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseName strips an inline label set from a series name.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+func (r *Registry) setHelp(series, help string) {
+	if base := baseName(series); help != "" && r.help[base] == "" {
+		r.help[base] = help
+	}
+}
+
+// Counter returns the registered counter for the series, creating it on
+// first use. help documents the base name (first non-empty wins).
+func (r *Registry) Counter(series, help string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[series]
+	if !ok {
+		c = &Counter{}
+		r.counters[series] = c
+	}
+	r.setHelp(series, help)
+	return c
+}
+
+// Gauge returns the registered gauge for the series, creating it on
+// first use.
+func (r *Registry) Gauge(series, help string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[series]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[series] = g
+	}
+	r.setHelp(series, help)
+	return g
+}
+
+// Histogram returns the registered histogram for the series, creating
+// it with the given bounds (nil selects DefBuckets) on first use.
+func (r *Registry) Histogram(series, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[series]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[series] = h
+	}
+	r.setHelp(series, help)
+	return h
+}
+
+// CounterFunc registers (or replaces) a counter series sampled from fn
+// at export time — for monotonic values a component already maintains.
+func (r *Registry) CounterFunc(series, help string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfns[series] = fn
+	r.setHelp(series, help)
+}
+
+// GaugeFunc registers (or replaces) a gauge series sampled from fn at
+// export time — for instantaneous values like queue depths.
+func (r *Registry) GaugeFunc(series, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gfns[series] = fn
+	r.setHelp(series, help)
+}
+
+// series is one exported sample, resolved under the registry lock.
+type series struct {
+	name string
+	typ  string // counter | gauge | histogram
+	val  float64
+	hist *Histogram
+}
+
+// collect resolves every series (sampling the function metrics) in
+// sorted order, grouped so equal base names are adjacent.
+func (r *Registry) collect() ([]series, map[string]string) {
+	r.mu.RLock()
+	out := make([]series, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.cfns)+len(r.gfns))
+	for name, c := range r.counters {
+		out = append(out, series{name: name, typ: "counter", val: float64(c.Value())})
+	}
+	for name, fn := range r.cfns {
+		out = append(out, series{name: name, typ: "counter", val: float64(fn())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, series{name: name, typ: "gauge", val: g.Value()})
+	}
+	for name, fn := range r.gfns {
+		out = append(out, series{name: name, typ: "gauge", val: fn()})
+	}
+	for name, h := range r.hists {
+		out = append(out, series{name: name, typ: "histogram", hist: h})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, help
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (version 0.0.4), sorted by series name, with # HELP and
+// # TYPE headers emitted once per base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	all, help := r.collect()
+	lastBase := ""
+	for _, s := range all {
+		base := baseName(s.name)
+		if base != lastBase {
+			if h := help[base]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, s.typ); err != nil {
+				return err
+			}
+			lastBase = base
+		}
+		if s.hist != nil {
+			if err := writePromHistogram(w, s.name, s.hist); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.name, formatFloat(s.val)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram as cumulative _bucket series
+// plus _sum and _count. Inline labels on the series name are merged
+// with the le label.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	cum, count, sum := h.snapshot()
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i+1:len(name)-1]+","
+	}
+	for i, bound := range h.bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+			base, labels, formatFloat(bound), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n", base, strings.TrimSuffix(labels, ","), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", base, strings.TrimSuffix(labels, ","), count)
+	return err
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// jsonHistogram is the JSON shape of one histogram.
+type jsonHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// WriteJSON writes every series as one JSON object: scalar series map
+// name -> value; histograms map name -> {count, sum, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	all, _ := r.collect()
+	doc := make(map[string]any, len(all))
+	for _, s := range all {
+		if s.hist != nil {
+			cum, count, sum := s.hist.snapshot()
+			buckets := make(map[string]uint64, len(cum))
+			for i, bound := range s.hist.bounds {
+				buckets[formatFloat(bound)] = cum[i]
+			}
+			buckets["+Inf"] = cum[len(cum)-1]
+			doc[s.name] = jsonHistogram{Count: count, Sum: sum, Buckets: buckets}
+			continue
+		}
+		doc[s.name] = s.val
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

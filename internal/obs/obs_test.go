@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Get-or-create: same series, same instrument.
+	if r.Counter("reqs_total", "") != c {
+		t.Error("second Counter call returned a different instrument")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if g.Value() != 2.25 {
+		t.Errorf("gauge = %v, want 2.25", g.Value())
+	}
+	if r.Gauge("depth", "") != g {
+		t.Error("second Gauge call returned a different instrument")
+	}
+}
+
+func TestNilRegistryHandsOutWorkingInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("nil-registry counter broken")
+	}
+	g := r.Gauge("y", "")
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Error("nil-registry gauge broken")
+	}
+	h := r.Histogram("z", "", nil)
+	h.Observe(0.5)
+	if h.Count() != 1 {
+		t.Error("nil-registry histogram broken")
+	}
+	r.CounterFunc("cf", "", func() uint64 { return 0 })
+	r.GaugeFunc("gf", "", func() float64 { return 0 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil || strings.TrimSpace(sb.String()) != "{}" {
+		t.Errorf("nil-registry JSON = %q err %v, want {}", sb.String(), err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if sum != 106 {
+		t.Errorf("sum = %v, want 106", sum)
+	}
+	// Cumulative: le=1 -> 2 (0.5, 1), le=2 -> 3, le=4 -> 4, +Inf -> 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestLabelRendering(t *testing.T) {
+	if got := Label("x_total"); got != "x_total" {
+		t.Errorf("no-label = %q", got)
+	}
+	got := Label("x_total", "worker", "3", "mode", "fast")
+	if got != `x_total{worker="3",mode="fast"}` {
+		t.Errorf("labels = %q", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees").Add(2)
+	r.Counter(Label("b_total", "kind", "worker"), "").Add(3)
+	r.Gauge("a_gauge", "alpha").Set(1.5)
+	r.CounterFunc("fn_total", "sampled", func() uint64 { return 9 })
+	r.GaugeFunc("fn_gauge", "", func() float64 { return -2 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.0625) // powers of two keep the _sum line exact
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP b_total bees\n# TYPE b_total counter\nb_total 2\nb_total{kind=\"worker\"} 3\n",
+		"# HELP a_gauge alpha\n# TYPE a_gauge gauge\na_gauge 1.5\n",
+		"fn_total 9\n",
+		"fn_gauge -2\n",
+		"lat_seconds_bucket{le=\"0.1\"} 1\n",
+		"lat_seconds_bucket{le=\"1\"} 2\n",
+		"lat_seconds_bucket{le=\"+Inf\"} 2\n",
+		"lat_seconds_sum{} 0.5625\n",
+		"lat_seconds_count{} 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n--- got:\n%s", want, out)
+		}
+	}
+	// Series are sorted, so the gauge block precedes the counter block.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Error("series not sorted by name")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	r.Gauge("g", "").Set(2.5)
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc["c_total"].(float64) != 7 || doc["g"].(float64) != 2.5 {
+		t.Errorf("scalars wrong: %v", doc)
+	}
+	h := doc["h_seconds"].(map[string]any)
+	if h["count"].(float64) != 1 || h["sum"].(float64) != 0.5 {
+		t.Errorf("histogram wrong: %v", h)
+	}
+	if h["buckets"].(map[string]any)["+Inf"].(float64) != 1 {
+		t.Errorf("histogram +Inf bucket wrong: %v", h)
+	}
+}
+
+func TestCounterFuncOverwrites(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("f", "", func() uint64 { return 1 })
+	r.CounterFunc("f", "", func() uint64 { return 2 }) // newest component wins
+	r.GaugeFunc("g", "", func() float64 { return 1 })
+	r.GaugeFunc("g", "", func() float64 { return 3 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "f 2\n") || !strings.Contains(sb.String(), "g 3\n") {
+		t.Errorf("func metrics not overwritten:\n%s", sb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if formatFloat(3) != "3" || formatFloat(0.25) != "0.25" || formatFloat(-2) != "-2" {
+		t.Error("formatFloat rendering broken")
+	}
+	if formatFloat(math.Inf(1)) != "+Inf" {
+		t.Errorf("formatFloat(+Inf) = %q", formatFloat(math.Inf(1)))
+	}
+}
+
+// TestRegistryRaceHammer pounds one registry from many goroutines —
+// registration, instrument updates, and concurrent exports — and is
+// meaningful under -race (the tier-1 gate runs it there).
+func TestRegistryRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := Label("hammer_total", "g", string(rune('a'+g%4)))
+			for i := 0; i < iters; i++ {
+				r.Counter(name, "hammered").Inc()
+				r.Gauge("hammer_gauge", "").Add(1)
+				r.Histogram("hammer_seconds", "", nil).Observe(float64(i) / iters)
+				if i%16 == 0 {
+					r.GaugeFunc("hammer_fn", "", func() float64 { return float64(i) })
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+					if err := r.WriteJSON(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter(Label("hammer_total", "g", l), "").Value()
+	}
+	if total != goroutines*iters {
+		t.Errorf("hammered counters sum to %d, want %d", total, goroutines*iters)
+	}
+	if r.Histogram("hammer_seconds", "", nil).Count() != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d",
+			r.Histogram("hammer_seconds", "", nil).Count(), goroutines*iters)
+	}
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# bench.sh — regenerate BENCH_ingest.json reproducibly from the ingest
+# throughput benchmarks (BenchmarkIngest* in bench_test.go). Run from
+# anywhere: the benchmarks run once, the output is parsed, and the JSON
+# is rewritten in place with the current host's numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_ingest.json
+CMD="go test -run xxx -bench BenchmarkIngest -benchtime 1s ."
+
+echo "== $CMD" >&2
+RAW="$($CMD)"
+echo "$RAW" >&2
+
+GOOS=$(go env GOOS)
+GOARCH=$(go env GOARCH)
+CPU=$(printf '%s\n' "$RAW" | awk -F': ' '/^cpu:/{sub(/^[ \t]+/, "", $2); print $2; exit}')
+[ -n "$CPU" ] || CPU=unknown
+CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+# The benchmark name suffix (BenchmarkFoo-N) is the GOMAXPROCS it ran at.
+MAXPROCS=$(printf '%s\n' "$RAW" | awk '/^BenchmarkIngest/{n=$1; if (match(n, /-[0-9]+$/)) {print substr(n, RSTART+1); exit}}')
+[ -n "$MAXPROCS" ] || MAXPROCS=1
+
+RESULTS=$(printf '%s\n' "$RAW" | awk '
+/^BenchmarkIngest/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; ups = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "updates/s") ups = $(i - 1)
+    }
+    if (ns == "" || ups == "") next
+    printf "%s    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"updates_per_s\": %.0f}", sep, name, ns, ups
+    sep = ",\n"
+}
+END { print "" }')
+
+if [ -z "${RESULTS// /}" ]; then
+    echo "bench.sh: no BenchmarkIngest results parsed" >&2
+    exit 1
+fi
+
+# config mirrors the constants in bench_test.go (benchCfg, copies,
+# streams, batch size); update both together.
+cat > "$OUT" <<EOF
+{
+  "benchmark": "ingest throughput: sharded copy-range workers vs single-threaded family updates",
+  "command": "$CMD",
+  "host": {
+    "goos": "$GOOS",
+    "goarch": "$GOARCH",
+    "cpu": "$CPU",
+    "cores": $CORES,
+    "gomaxprocs": $MAXPROCS
+  },
+  "config": {
+    "copies": 128,
+    "second_level": 32,
+    "first_wise": 8,
+    "streams": 3,
+    "batch_size": 256
+  },
+  "results": [
+$RESULTS
+  ],
+  "notes": [
+    "Regenerate with 'make bench' (scripts/bench.sh); results vary with host core count.",
+    "Each update costs r*(s+1) = 128*33 counter additions plus hashing; worker w performs only the [lo_w, hi_w) copy slice of that, so the hot-path work divides across workers on multi-core hosts.",
+    "On a 1-core host the sharded-over-serial gain comes purely from batching (amortized stream-map lookups and lighter producer loop), not concurrent copy-shard work.",
+    "updates_per_s is reported by the benchmark itself via b.ReportMetric."
+  ]
+}
+EOF
+
+echo "bench.sh: wrote $OUT" >&2

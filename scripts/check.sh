@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # check.sh — the repo's tier-1 gate plus the race detector over the
-# concurrent ingest/session code. Run from anywhere.
+# concurrent ingest/session code, gofmt enforcement, and a coverage
+# floor on the observability layer. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -12,5 +21,20 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+# The metrics/logging layer is what operators debug everything else
+# with; keep it thoroughly tested.
+OBS_FLOOR=80
+echo "== go test -cover ./internal/obs (floor ${OBS_FLOOR}%)"
+COVER=$(go test -cover ./internal/obs | awk '{for (i=1; i<=NF; i++) if ($i == "coverage:") {sub(/%.*/, "", $(i+1)); print $(i+1)}}')
+if [ -z "$COVER" ]; then
+    echo "check: could not read internal/obs coverage" >&2
+    exit 1
+fi
+if awk -v c="$COVER" -v f="$OBS_FLOOR" 'BEGIN{exit !(c < f)}'; then
+    echo "check: internal/obs coverage ${COVER}% is below the ${OBS_FLOOR}% floor" >&2
+    exit 1
+fi
+echo "internal/obs coverage: ${COVER}%"
 
 echo "check: OK"
