@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-ingest
+.PHONY: check vet build test race race-ingest bench bench-ingest bench-update
 
 check:
 	./scripts/check.sh
+
+# Focused race pass over the concurrent ingest/distributed paths (also
+# part of `make check`).
+race-ingest:
+	$(GO) test -race -count=2 ./internal/ingest ./internal/distributed
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +25,10 @@ race:
 bench-ingest:
 	$(GO) test -run xxx -bench BenchmarkIngest -benchtime 1s .
 
-# bench regenerates BENCH_ingest.json from a fresh benchmark run on
-# this host (see scripts/bench.sh).
+bench-update:
+	$(GO) test -run xxx -bench '^(BenchmarkUpdate|BenchmarkUpdateDigest|BenchmarkUpdateDigestCompute|BenchmarkMergeFlat)$$' -benchtime 1s .
+
+# bench regenerates BENCH_ingest.json and BENCH_update.json from fresh
+# benchmark runs on this host (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh

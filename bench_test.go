@@ -323,6 +323,88 @@ func BenchmarkSingletonChecks(b *testing.B) {
 	}
 }
 
+// --- Digest-kernel benchmarks -----------------------------------------
+//
+// BenchmarkUpdate vs BenchmarkUpdateDigest isolates the digest kernel's
+// payoff at the paper's experimental shape (r = 128, s = 32, t = 8): the
+// direct path pays r Horner evaluations plus r·s pairwise hashes per
+// stream item, the digest (cache-hit) path replays r·(s+1) plain
+// counter additions. BenchmarkUpdateDigestCompute is the cache-miss
+// bound: compute the digest, then replay it once. Recorded results:
+// BENCH_update.json (regenerate with scripts/bench.sh).
+
+const benchDigestElems = 1024
+
+// BenchmarkUpdate is the direct hashing path at the paper shape.
+func BenchmarkUpdate(b *testing.B) {
+	f, err := core.NewFamily(benchCfg, 1, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Update(uint64(i%benchDigestElems), 1)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkUpdateDigest is the cache-hit path: digests precomputed,
+// each update is a pure replay.
+func BenchmarkUpdateDigest(b *testing.B) {
+	f, err := core.NewFamily(benchCfg, 1, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digs := make([]core.Digest, benchDigestElems)
+	for e := range digs {
+		digs[e] = f.Digest(uint64(e))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.UpdateDigest(digs[i%benchDigestElems], 1)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkUpdateDigestCompute is the cache-miss bound: full digest
+// computation plus one replay per update.
+func BenchmarkUpdateDigestCompute(b *testing.B) {
+	f, err := core.NewFamily(benchCfg, 1, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := make(core.Digest, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.DigestInto(d, uint64(i%benchDigestElems))
+		f.UpdateDigest(d, 1)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkMergeFlat measures coordinator-side merging of one pushed
+// 128-copy synopsis over the family-owned flat counter arenas (two
+// linear slice additions regardless of r).
+func BenchmarkMergeFlat(b *testing.B) {
+	mk := func() *core.Family {
+		f, err := core.NewFamily(benchCfg, 1, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := uint64(0); e < 4096; e++ {
+			f.Insert(e)
+		}
+		return f
+	}
+	dst, src := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Merge(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Live-ingest benchmarks -------------------------------------------
 //
 // BenchmarkIngestSerial vs BenchmarkIngestSharded measure the same
@@ -383,6 +465,36 @@ func BenchmarkIngestShardedWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) { benchIngestSharded(b, w) })
 	}
+}
+
+// BenchmarkIngestCoalesced drives the engine's digest path end to end
+// on a Zipf(1.0) update stream — the skewed regime of §5 where a few
+// hot elements dominate the volume, batch coalescing folds repeats, and
+// the digest cache absorbs the hash bill. Compare against
+// BenchmarkIngestSerial (plain per-update family hashing) in
+// BENCH_ingest.json.
+func BenchmarkIngestCoalesced(b *testing.B) {
+	const copies = 128
+	rng := hashing.NewRNG(2026)
+	stream, err := datagen.ZipfStream(datagen.DomainUniform, 1<<14, 1<<16, 1.0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"A", "B", "C"}
+	eng, err := ingest.New(benchCfg, 1, copies, ingest.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := stream[i%len(stream)]
+		if err := eng.Update(names[i%len(names)], e, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Drain()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }
 
 func benchIngestSharded(b *testing.B, workers int) {

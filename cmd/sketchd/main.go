@@ -274,6 +274,7 @@ func runStream(args []string) error {
 	mode := fs.String("mode", "sketch", "sketch: local sharded ingest + delta flushes; forward: relay raw update batches")
 	workers := fs.Int("workers", 0, "ingest shard workers (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 256, "updates per batch hand-off")
+	digestCache := fs.Int("digest-cache", 0, "element-digest cache entries, rounded up to a power of two (0 = default 8192, negative = disable digest path)")
 	flushUpdates := fs.Int("flush-updates", 10000, "flush a synopsis delta every N updates (sketch mode)")
 	flushInterval := fs.Duration("flush-interval", 2*time.Second, "also flush after this long without one (sketch mode)")
 	admin := fs.String("admin", "", "admin endpoint address for the site's own /metrics, /healthz, /debug/pprof (disabled if empty)")
@@ -316,7 +317,7 @@ func runStream(args []string) error {
 		return streamForward(sess, *in, *batch)
 	case "sketch":
 		return streamSketch(sess, *in, coins(),
-			ingest.Options{Workers: *workers, BatchSize: *batch, Obs: reg, Log: log},
+			ingest.Options{Workers: *workers, BatchSize: *batch, DigestCache: *digestCache, Obs: reg, Log: log},
 			*flushUpdates, *flushInterval)
 	default:
 		return fmt.Errorf("stream: unknown -mode %q", *mode)

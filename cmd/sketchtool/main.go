@@ -34,6 +34,7 @@ import (
 	"setsketch/internal/core"
 	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
+	"setsketch/internal/ingest"
 	"setsketch/internal/multiset"
 	"setsketch/internal/obs"
 	"setsketch/internal/streamio"
@@ -110,6 +111,8 @@ func runBuild(args []string) error {
 	wise := fs.Int("wise", 8, "first-level hash independence degree")
 	seed := fs.Uint64("seed", 1, "stored-coins master seed")
 	bits := fs.Bool("bits", false, "build 1-bit-cell synopses (64× smaller; rejects deletions)")
+	workers := fs.Int("workers", 0, "ingest shard workers (0 = GOMAXPROCS)")
+	digestCache := fs.Int("digest-cache", 0, "element-digest cache entries (0 = default 8192, negative = disable digest path)")
 	level := fs.String("log-level", "warn", "progress/diagnostic log level: debug, info, warn, or error")
 	fs.Parse(args)
 
@@ -129,29 +132,36 @@ func runBuild(args []string) error {
 		return buildBits(*in, cfg, *seed, *copies, *out)
 	}
 	start := time.Now()
-	fams := make(map[string]*core.Family)
+	// Updates flow through the ingest engine: sharded copy-range
+	// workers, per-batch coalescing, and the element-digest cache — a
+	// skewed input file pays the hash bill once per hot element instead
+	// of once per line.
+	eng, err := ingest.New(cfg, *seed, *copies, ingest.Options{
+		Workers: *workers, DigestCache: *digestCache, Log: log,
+	})
+	if err != nil {
+		return err
+	}
 	progress := 0
 	n, err := scanUpdates(*in, func(u datagen.Update) error {
-		f, ok := fams[u.Stream]
-		if !ok {
-			var err error
-			if f, err = core.NewFamily(cfg, *seed, *copies); err != nil {
-				return err
-			}
-			fams[u.Stream] = f
-			log.Debug("new stream", "stream", u.Stream)
+		if err := eng.Update(u.Stream, u.Elem, u.Delta); err != nil {
+			return err
 		}
-		f.Update(u.Elem, u.Delta)
 		progress++
 		if progress%(1<<20) == 0 {
-			log.Info("progress", "updates", progress, "streams", len(fams),
+			log.Info("progress", "updates", progress,
 				"elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
 		return nil
 	})
 	if err != nil {
+		eng.Close()
 		return err
 	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	fams := eng.Snapshot()
 	names := sortedKeys(fams)
 	for _, name := range names {
 		path := filepath.Join(*out, name+fileExt)

@@ -15,10 +15,21 @@ import (
 // distributed-streams model: every site derives the identical hash
 // functions from the shared seed, so synopses shipped to a coordinator
 // merge and compare exactly.
+//
+// All r copies' counters live in two family-owned contiguous slices;
+// the copies are views into them (copy i's totals occupy
+// totals[i·Buckets : (i+1)·Buckets], likewise counts). The flat layout
+// turns Merge, Reset, and Equal into single linear passes and keeps the
+// update path walking one cache-friendly arena instead of r separately
+// allocated counter arrays. The serialized form is unchanged: WriteTo
+// still walks copy-by-copy, so the wire bytes are identical to the
+// per-copy layout's.
 type Family struct {
 	cfg    Config
 	seed   uint64
 	copies []*Sketch
+	totals []int64 // len r·Buckets; copy i at [i·Buckets, (i+1)·Buckets)
+	counts []int64 // len r·counters(); copy i at [i·counters(), (i+1)·counters())
 }
 
 // NewFamily builds a family of r empty sketches from a master seed.
@@ -29,15 +40,31 @@ func NewFamily(cfg Config, seed uint64, r int) (*Family, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	copies := make([]*Sketch, r)
-	for i := range copies {
-		sk, err := NewSketch(cfg, hashing.DeriveSeed(seed, uint64(i)))
-		if err != nil {
-			return nil, err
-		}
-		copies[i] = sk
+	f := &Family{
+		cfg:    cfg,
+		seed:   seed,
+		copies: make([]*Sketch, r),
+		totals: make([]int64, r*cfg.Buckets),
+		counts: make([]int64, r*cfg.counters()),
 	}
-	return &Family{cfg: cfg, seed: seed, copies: copies}, nil
+	for i := range f.copies {
+		f.copies[i] = newSketchView(cfg, hashing.DeriveSeed(seed, uint64(i)),
+			f.copyTotals(i), f.copyCounts(i))
+	}
+	return f, nil
+}
+
+// copyTotals returns copy i's slice of the flat totals arena, capped so
+// an erroneous append cannot bleed into the next copy's counters.
+func (f *Family) copyTotals(i int) []int64 {
+	nb := f.cfg.Buckets
+	return f.totals[i*nb : (i+1)*nb : (i+1)*nb]
+}
+
+// copyCounts returns copy i's slice of the flat counts arena.
+func (f *Family) copyCounts(i int) []int64 {
+	nc := f.cfg.counters()
+	return f.counts[i*nc : (i+1)*nc : (i+1)*nc]
 }
 
 // Config returns the family's sketch configuration.
@@ -52,10 +79,12 @@ func (f *Family) Copies() int { return len(f.copies) }
 // Copy returns the i-th sketch copy.
 func (f *Family) Copy(i int) *Sketch { return f.copies[i] }
 
-// Update applies the stream update ⟨e, ±v⟩ to every copy.
+// Update applies the stream update ⟨e, ±v⟩ to every copy. The element
+// is reduced into the hash field once, not once per copy.
 func (f *Family) Update(e uint64, v int64) {
+	er := hashing.Reduce61(e)
 	for _, x := range f.copies {
-		x.Update(e, v)
+		x.updateReduced(er, v)
 	}
 }
 
@@ -65,8 +94,67 @@ func (f *Family) Update(e uint64, v int64) {
 // the ingest workers use to shard one family across goroutines, each
 // goroutine owning its own [lo, hi) slice of the copies.
 func (f *Family) UpdateRange(lo, hi int, e uint64, v int64) {
+	er := hashing.Reduce61(e)
 	for _, x := range f.copies[lo:hi] {
-		x.Update(e, v)
+		x.updateReduced(er, v)
+	}
+}
+
+// Digest is the packed replay form of one element's hash evaluations
+// across a whole family: word i holds copy i's first-level bucket and
+// second-level bit vector (see digestWord). Digests are pure functions
+// of (seed, configuration, element) — the stored coins — so they are
+// valid for every family aligned with the one that built them, can be
+// cached across a stream, and can be shipped between goroutines freely
+// (they are never mutated after construction).
+type Digest []uint64
+
+// DigestMaxSecondLevel is the largest s whose second-level bit vector
+// still fits a digest word next to the 6-bit bucket index.
+const DigestMaxSecondLevel = 64 - digestBucketBits
+
+// DigestPackable reports whether sketches of this shape can pack an
+// element's full hash outcome into one uint64 per copy (s ≤ 58; the
+// paper's experimental shape s = 32 fits comfortably).
+func (c Config) DigestPackable() bool { return c.SecondLevel <= DigestMaxSecondLevel }
+
+// Digest evaluates all r first-level hashes and r·s second-level bits
+// for e — the entire per-element hash bill — and packs them. Applying
+// the result via UpdateDigest costs s+1 additions per copy with zero
+// field arithmetic. The configuration must be DigestPackable.
+func (f *Family) Digest(e uint64) Digest {
+	d := make(Digest, len(f.copies))
+	f.DigestInto(d, e)
+	return d
+}
+
+// DigestInto computes e's digest into d, which must have length ≥
+// Copies(). It lets callers that manage their own digest storage (the
+// ingest cache) avoid a per-element allocation.
+func (f *Family) DigestInto(d Digest, e uint64) {
+	if !f.cfg.DigestPackable() {
+		panic(fmt.Sprintf("core: digest with SecondLevel = %d > %d", f.cfg.SecondLevel, DigestMaxSecondLevel))
+	}
+	er := hashing.Reduce61(e)
+	for i, x := range f.copies {
+		d[i] = x.digestWord(er)
+	}
+}
+
+// UpdateDigest applies the stream update ⟨e, ±v⟩ to every copy given
+// e's precomputed digest: s+1 counter additions per copy, no hashing.
+// Equivalent to Update(e, v) when d = f.Digest(e) (or the digest of any
+// aligned family).
+func (f *Family) UpdateDigest(d Digest, v int64) {
+	f.UpdateRangeDigest(0, len(f.copies), d, v)
+}
+
+// UpdateRangeDigest applies a digest update to copies lo..hi-1 only —
+// the digest-path analogue of UpdateRange, with the same disjoint-
+// storage sharding guarantee.
+func (f *Family) UpdateRangeDigest(lo, hi int, d Digest, v int64) {
+	for i := lo; i < hi; i++ {
+		f.copies[i].applyDigest(d[i], v)
 	}
 }
 
@@ -83,10 +171,12 @@ func (f *Family) MergeRange(lo, hi int, g *Family) error {
 	if len(f.copies) != len(g.copies) {
 		return fmt.Errorf("core: merging families with %d and %d copies", len(f.copies), len(g.copies))
 	}
-	for i := lo; i < hi; i++ {
-		if err := f.copies[i].Merge(g.copies[i]); err != nil {
-			return err
-		}
+	nb, nc := f.cfg.Buckets, f.cfg.counters()
+	for i, t := range g.totals[lo*nb : hi*nb] {
+		f.totals[lo*nb+i] += t
+	}
+	for i, c := range g.counts[lo*nc : hi*nc] {
+		f.counts[lo*nc+i] += c
 	}
 	return nil
 }
@@ -106,8 +196,9 @@ func (f *Family) Aligned(g *Family) bool {
 }
 
 // Merge adds g's counters into f copy-by-copy, making f the synopsis of
-// the combined update stream. The families must be aligned and have the
-// same number of copies.
+// the combined update stream. With the flat layout this is two linear
+// slice additions regardless of r. The families must be aligned and
+// have the same number of copies.
 func (f *Family) Merge(g *Family) error {
 	if !f.Aligned(g) {
 		return ErrNotAligned
@@ -115,27 +206,41 @@ func (f *Family) Merge(g *Family) error {
 	if len(f.copies) != len(g.copies) {
 		return fmt.Errorf("core: merging families with %d and %d copies", len(f.copies), len(g.copies))
 	}
-	for i := range f.copies {
-		if err := f.copies[i].Merge(g.copies[i]); err != nil {
-			return err
-		}
+	for i, t := range g.totals {
+		f.totals[i] += t
+	}
+	for i, c := range g.counts {
+		f.counts[i] += c
 	}
 	return nil
 }
 
-// Clone returns a deep copy of the family.
+// Clone returns a deep copy of the family. The copies share the
+// original's immutable hash functions; only counter storage is
+// duplicated.
 func (f *Family) Clone() *Family {
-	copies := make([]*Sketch, len(f.copies))
-	for i, x := range f.copies {
-		copies[i] = x.Clone()
+	g := &Family{
+		cfg:    f.cfg,
+		seed:   f.seed,
+		copies: make([]*Sketch, len(f.copies)),
+		totals: make([]int64, len(f.totals)),
+		counts: make([]int64, len(f.counts)),
 	}
-	return &Family{cfg: f.cfg, seed: f.seed, copies: copies}
+	copy(g.totals, f.totals)
+	copy(g.counts, f.counts)
+	for i, x := range f.copies {
+		g.copies[i] = x.viewWith(g.copyTotals(i), g.copyCounts(i))
+	}
+	return g
 }
 
 // Reset zeroes every copy's counters.
 func (f *Family) Reset() {
-	for _, x := range f.copies {
-		x.Reset()
+	for i := range f.totals {
+		f.totals[i] = 0
+	}
+	for i := range f.counts {
+		f.counts[i] = 0
 	}
 }
 
@@ -147,7 +252,13 @@ func (f *Family) Truncate(r int) (*Family, error) {
 	if r < 1 || r > len(f.copies) {
 		return nil, fmt.Errorf("core: truncating %d-copy family to %d copies", len(f.copies), r)
 	}
-	return &Family{cfg: f.cfg, seed: f.seed, copies: f.copies[:r]}, nil
+	return &Family{
+		cfg:    f.cfg,
+		seed:   f.seed,
+		copies: f.copies[:r],
+		totals: f.totals[:r*f.cfg.Buckets],
+		counts: f.counts[:r*f.cfg.counters()],
+	}, nil
 }
 
 // Equal reports whether both families are aligned and every pair of
@@ -156,8 +267,13 @@ func (f *Family) Equal(g *Family) bool {
 	if !f.Aligned(g) || len(f.copies) != len(g.copies) {
 		return false
 	}
-	for i := range f.copies {
-		if !f.copies[i].Equal(g.copies[i]) {
+	for i, t := range f.totals {
+		if t != g.totals[i] {
+			return false
+		}
+	}
+	for i, c := range f.counts {
+		if c != g.counts[i] {
 			return false
 		}
 	}
@@ -176,9 +292,5 @@ func (f *Family) Validate() error {
 
 // MemoryBytes reports the total counter footprint across all copies.
 func (f *Family) MemoryBytes() int {
-	var n int
-	for _, x := range f.copies {
-		n += x.MemoryBytes()
-	}
-	return n
+	return 8 * (len(f.totals) + len(f.counts))
 }

@@ -76,3 +76,114 @@ func TestMergeRangeCoversFamily(t *testing.T) {
 		t.Error("MergeRange accepted a copy-count mismatch")
 	}
 }
+
+// TestDigestMatchesUpdate: replaying a packed digest must touch exactly
+// the counters a direct Update touches, across shapes, deletions, and
+// the range entry points.
+func TestDigestMatchesUpdate(t *testing.T) {
+	for _, cfg := range []Config{
+		DefaultConfig(), // paper shape: s = 32
+		{Buckets: 8, SecondLevel: 1, FirstWise: 2},
+		{Buckets: 61, SecondLevel: DigestMaxSecondLevel, FirstWise: 8},
+	} {
+		if !cfg.DigestPackable() {
+			t.Fatalf("cfg %+v should be packable", cfg)
+		}
+		const r = 9
+		direct, _ := NewFamily(cfg, 21, r)
+		viaDigest, _ := NewFamily(cfg, 21, r)
+		rng := hashing.NewRNG(8)
+		for i := 0; i < 1500; i++ {
+			e := rng.Uint64n(1 << 18)
+			v := int64(rng.Intn(3) + 1)
+			if i%4 == 0 {
+				v = -1
+				e = rng.Uint64n(1 << 8) // drive dense counters down through zero
+			}
+			direct.Update(e, v)
+			d := viaDigest.Digest(e)
+			// Split the replay across two disjoint copy ranges, as the
+			// ingest workers do.
+			viaDigest.UpdateRangeDigest(0, 4, d, v)
+			viaDigest.UpdateRangeDigest(4, r, d, v)
+		}
+		if !direct.Equal(viaDigest) {
+			t.Errorf("cfg %+v: digest-path family differs from direct updates", cfg)
+		}
+	}
+}
+
+// TestDigestAlignedFamilies: a digest computed by one family applies
+// correctly to any aligned family — the property the ingest engine's
+// shared per-seed cache relies on.
+func TestDigestAlignedFamilies(t *testing.T) {
+	cfg := Config{Buckets: 32, SecondLevel: 16, FirstWise: 4}
+	a, _ := NewFamily(cfg, 5, 6)
+	b, _ := NewFamily(cfg, 5, 6)
+	want, _ := NewFamily(cfg, 5, 6)
+	for e := uint64(0); e < 300; e++ {
+		d := a.Digest(e) // a never receives the updates, only builds digests
+		b.UpdateDigest(d, 2)
+		want.Update(e, 2)
+	}
+	if !want.Equal(b) {
+		t.Fatal("digest from an aligned sibling family applied incorrectly")
+	}
+}
+
+// TestDigestUnpackable: shapes whose second-level bit vector cannot
+// share a word with the bucket index must refuse to build digests.
+func TestDigestUnpackable(t *testing.T) {
+	cfg := Config{Buckets: 61, SecondLevel: DigestMaxSecondLevel + 1, FirstWise: 2}
+	if cfg.DigestPackable() {
+		t.Fatal("s = 59 reported packable")
+	}
+	f, _ := NewFamily(cfg, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Digest on an unpackable shape did not panic")
+		}
+	}()
+	f.Digest(1)
+}
+
+// TestCloneAndTruncateShareFlatLayout: Clone duplicates counters (and
+// shares coins), Truncate views the flat prefix in place.
+func TestCloneAndTruncateShareFlatLayout(t *testing.T) {
+	cfg := Config{Buckets: 16, SecondLevel: 4, FirstWise: 2}
+	f, _ := NewFamily(cfg, 13, 8)
+	for e := uint64(0); e < 100; e++ {
+		f.Insert(e)
+	}
+	c := f.Clone()
+	if !c.Equal(f) {
+		t.Fatal("clone differs")
+	}
+	c.Insert(7)
+	if c.Equal(f) {
+		t.Fatal("clone shares counter storage with original")
+	}
+
+	tr, err := f.Truncate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Copies() != 3 {
+		t.Fatalf("truncated to %d copies", tr.Copies())
+	}
+	// The truncated view shares storage: updating it must show through
+	// the parent's first copies and nowhere else.
+	before := f.Copy(5).Clone()
+	tr.Insert(4242)
+	if !f.Copy(5).Equal(before) {
+		t.Error("truncated view wrote outside its copy prefix")
+	}
+	probe, _ := NewFamily(cfg, 13, 8)
+	for e := uint64(0); e < 100; e++ {
+		probe.Insert(e)
+	}
+	probe.Insert(4242)
+	if !f.Copy(0).Equal(probe.Copy(0)) {
+		t.Error("update through truncated view did not reach the parent's copy 0")
+	}
+}

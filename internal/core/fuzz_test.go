@@ -5,6 +5,50 @@ import (
 	"testing"
 )
 
+// FuzzDigestEquivalence drives the digest-based update kernel against
+// the direct hashing path with fuzzer-chosen shape, coins, and update
+// sequence — including deletions that push counters down through zero —
+// and requires bit-identical families. Linearity is what makes the
+// digest path safe: both paths add the same ±v to the same s+1 counters
+// per copy, so any divergence is a packing or replay bug.
+func FuzzDigestEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(61), uint8(32), uint8(8), []byte("\x01\x02\x03\xff\x02"))
+	f.Add(uint64(99), uint8(8), uint8(1), uint8(2), []byte{0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(uint64(7), uint8(16), uint8(58), uint8(3), []byte("stream"))
+	f.Fuzz(func(t *testing.T, seed uint64, buckets, s, wise uint8, data []byte) {
+		cfg := Config{
+			Buckets:     1 + int(buckets)%61,
+			SecondLevel: 1 + int(s)%int(DigestMaxSecondLevel),
+			FirstWise:   2 + int(wise)%8,
+		}
+		const r = 5
+		direct, err := NewFamily(cfg, seed, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaDigest, _ := NewFamily(cfg, seed, r)
+		// Decode the byte stream as alternating (element, delta) nibbles:
+		// a tiny element domain forces collisions, repeated elements, and
+		// counters that return to zero.
+		for i, b := range data {
+			e := uint64(b >> 4)
+			v := int64(b&7) - 3 // deltas in [−3, +4]
+			if v == 0 {
+				v = 4
+			}
+			direct.Update(e, v)
+			d := viaDigest.Digest(e)
+			mid := i % (r + 1)
+			viaDigest.UpdateRangeDigest(0, mid, d, v)
+			viaDigest.UpdateRangeDigest(mid, r, d, v)
+		}
+		if !direct.Equal(viaDigest) {
+			t.Fatalf("digest path diverged from direct path (cfg %+v, seed %d, %d updates)",
+				cfg, seed, len(data))
+		}
+	})
+}
+
 // FuzzReadFamily hardens deserialization: arbitrary bytes must be
 // rejected cleanly (error, not panic, not unbounded allocation), and
 // any input that IS accepted must re-serialize to a working family.

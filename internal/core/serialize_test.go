@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -188,5 +190,61 @@ func TestSerializeDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
 		t.Fatal("serialization is not deterministic")
+	}
+}
+
+// TestSerializeGoldenBytes pins the wire format to byte-recorded
+// golden values captured before the flat counter-layout refactor. The
+// flat arena is an in-memory detail: WriteTo must keep emitting the
+// copy-by-copy varint stream that sketchtool files and the distributed
+// protocol already hold. If this test fails, the on-disk/wire format
+// changed — that needs a version bump, not a golden update.
+func TestSerializeGoldenBytes(t *testing.T) {
+	// Small shape: exact bytes.
+	f := mustFamily(t, Config{Buckets: 8, SecondLevel: 4, FirstWise: 3}, 0x5eed, 3)
+	for e := uint64(0); e < 40; e++ {
+		f.Update(e, int64(e%5)+1)
+	}
+	for e := uint64(0); e < 40; e += 4 {
+		f.Update(e, -1)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const goldenHex = "324c485301080004000300ed5e00000000000003000000920126100a0a000000583a464c920100444e12140e1826000c1a08080c041000020e000a0a000a000a00000a0a000a000a0000000000000000000000000000000000000000000000000084011e26000a0a00003a4a4e364c3842421e000a140c120c1212141a0c10160e180000000000000000000a000a000a000a000a000a02080208000000000000000000000000000000007c24201602000004403c28542c505e1e10141c081a0a1014140c0e120818120e0c0a04120412120400020002000202000000000000000000000000000000000000040400040000043d0acb81"
+	if got := hex.EncodeToString(buf.Bytes()); got != goldenHex {
+		t.Errorf("serialized bytes changed:\n got %s\nwant %s", got, goldenHex)
+	}
+
+	// Paper shape (61 buckets, s = 32, t = 8): too large to embed, so
+	// pin its SHA-256.
+	g := mustFamily(t, DefaultConfig(), 7, 4)
+	for e := uint64(100); e < 160; e++ {
+		g.Insert(e)
+	}
+	for e := uint64(100); e < 120; e++ {
+		g.Delete(e)
+	}
+	var buf2 bytes.Buffer
+	if _, err := g.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf2.Bytes())
+	const goldenSum = "cda57cb7f104567a78ac8df6bcb97dbb86d1d17c70b6962cdc9c966e2110ffdd"
+	if got := hex.EncodeToString(sum[:]); got != goldenSum {
+		t.Errorf("paper-shape serialization sha256 = %s, want %s", got, goldenSum)
+	}
+
+	// And both must still round-trip through ReadFamily into families
+	// the estimators can use (the consumers of sketchtool files).
+	for _, b := range []*bytes.Buffer{&buf, &buf2} {
+		got, err := ReadFamily(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

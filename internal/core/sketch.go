@@ -103,6 +103,13 @@ func NewSketch(cfg Config, seed uint64) (*Sketch, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return newSketchView(cfg, seed, make([]int64, cfg.Buckets), make([]int64, cfg.counters())), nil
+}
+
+// newSketchView builds a sketch whose counters live in caller-provided
+// storage. Family uses it to lay all r copies' counters out in two
+// contiguous family-owned slices; cfg must already be validated.
+func newSketchView(cfg Config, seed uint64, totals, counts []int64) *Sketch {
 	g := make([]*hashing.PairBit, cfg.SecondLevel)
 	for j := range g {
 		g[j] = hashing.NewPairBit(hashing.DeriveSeed(seed, 1, uint64(j)))
@@ -112,9 +119,17 @@ func NewSketch(cfg Config, seed uint64) (*Sketch, error) {
 		seed:   seed,
 		h:      hashing.NewPoly(hashing.DeriveSeed(seed, 0), cfg.FirstWise),
 		g:      g,
-		totals: make([]int64, cfg.Buckets),
-		counts: make([]int64, cfg.counters()),
-	}, nil
+		totals: totals,
+		counts: counts,
+	}
+}
+
+// viewWith returns a sketch sharing x's immutable hash functions but
+// reading and writing the given counter storage. Cloning a family
+// re-uses the already-derived coins this way instead of re-running the
+// seed derivation r·(s+1) times.
+func (x *Sketch) viewWith(totals, counts []int64) *Sketch {
+	return &Sketch{cfg: x.cfg, seed: x.seed, h: x.h, g: x.g, totals: totals, counts: counts}
 }
 
 // Config returns the sketch's configuration.
@@ -128,12 +143,52 @@ func (x *Sketch) Seed() uint64 { return x.seed }
 // under every g_j (§3.1). Cost is s+1 counter additions plus s+1 hash
 // evaluations per stream item.
 func (x *Sketch) Update(e uint64, v int64) {
-	b := hashing.LSB(x.h.Hash(e), x.cfg.Buckets)
+	x.updateReduced(hashing.Reduce61(e), v)
+}
+
+// updateReduced is Update for an element already reduced into the hash
+// field. Family hoists the reduction out of its per-copy loop: one
+// Reduce61 serves all r copies instead of being recomputed in each.
+func (x *Sketch) updateReduced(er uint64, v int64) {
+	b := hashing.LSB(x.h.HashReduced(er), x.cfg.Buckets)
 	x.totals[b] += v
 	base := b * x.cfg.SecondLevel * 2
-	er := hashing.Reduce61(e)
 	for j, g := range x.g {
 		x.counts[base+2*j+g.BitReduced(er)] += v
+	}
+}
+
+// Digest packing: one uint64 per copy carries everything the update
+// path needs to know about an element — the first-level bucket in the
+// low digestBucketBits bits (buckets range over [0, 61), so 6 bits
+// suffice) and the s second-level bits above them. Replaying a packed
+// word is s+1 counter additions with zero field arithmetic, which is
+// what makes digests worth caching: the hashes are a pure function of
+// (seed, element), so the expensive part is paid once per distinct
+// element rather than once per stream item.
+const (
+	digestBucketBits = 6
+	digestBucketMask = 1<<digestBucketBits - 1
+)
+
+// digestWord evaluates all of the sketch's hash functions at the
+// reduced element er and packs the outcome: bucket | secondLevelBits<<6.
+// Requires cfg.DigestPackable().
+func (x *Sketch) digestWord(er uint64) uint64 {
+	b := hashing.LSB(x.h.HashReduced(er), x.cfg.Buckets)
+	return uint64(b) | hashing.PackBits(x.g, er)<<digestBucketBits
+}
+
+// applyDigest replays a packed digest word as s+1 counter additions.
+// By construction it touches exactly the counters updateReduced would.
+func (x *Sketch) applyDigest(w uint64, v int64) {
+	b := int(w & digestBucketMask)
+	x.totals[b] += v
+	base := b * x.cfg.SecondLevel * 2
+	bits := w >> digestBucketBits
+	for j := 0; j < x.cfg.SecondLevel; j++ {
+		x.counts[base+2*j+int(bits&1)] += v
+		bits >>= 1
 	}
 }
 

@@ -2,6 +2,8 @@ package datagen
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"setsketch/internal/hashing"
 )
@@ -94,6 +96,43 @@ func Elements(d Domain, n int, rng *hashing.RNG) ([]uint64, error) {
 		}
 	default:
 		return nil, fmt.Errorf("datagen: unknown domain %v", d)
+	}
+	return out, nil
+}
+
+// ZipfStream draws n stream elements i.i.d. from a Zipf(theta)
+// frequency law over a support of `support` distinct elements laid out
+// by domain d: rank i (0-based) is drawn with probability proportional
+// to 1/(i+1)^theta. theta = 1.0 is the classic web/caching skew — the
+// hot few elements dominate the update volume, which is exactly the
+// regime the ingest engine's digest cache and batch coalescing exploit.
+// The returned slice is an update stream (repeats expected), not an
+// element set.
+func ZipfStream(d Domain, support, n int, theta float64, rng *hashing.RNG) ([]uint64, error) {
+	if support < 1 {
+		return nil, fmt.Errorf("datagen: Zipf support %d < 1", support)
+	}
+	if theta < 0 {
+		return nil, fmt.Errorf("datagen: Zipf skew %g < 0", theta)
+	}
+	elems, err := Elements(d, support, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Inverse-CDF sampling over the precomputed cumulative weights.
+	cum := make([]float64, support)
+	var total float64
+	for i := range cum {
+		total += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = total
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		j := sort.SearchFloat64s(cum, rng.Float64()*total)
+		if j >= support {
+			j = support - 1
+		}
+		out[i] = elems[j]
 	}
 	return out, nil
 }

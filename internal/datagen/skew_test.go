@@ -93,3 +93,58 @@ func TestSkewedOverlap(t *testing.T) {
 		t.Error("inter > u accepted")
 	}
 }
+
+// TestZipfStream: the empirical frequency ranking follows the law —
+// rank 0 strictly dominates, the head of the distribution carries most
+// of the volume at theta = 1, and theta = 0 degenerates to uniform.
+func TestZipfStream(t *testing.T) {
+	rng := hashing.NewRNG(31)
+	const support, n = 1000, 200000
+	stream, err := ZipfStream(DomainUniform, support, n, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != n {
+		t.Fatalf("stream length %d, want %d", len(stream), n)
+	}
+	freq := make(map[uint64]int)
+	for _, e := range stream {
+		freq[e]++
+	}
+	if len(freq) > support {
+		t.Fatalf("%d distinct elements exceed support %d", len(freq), support)
+	}
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	// At theta = 1 over 1000 ranks, rank 0 carries 1/H_1000 ≈ 13.4% of
+	// the volume; allow generous slack.
+	if max < n/12 {
+		t.Errorf("hottest element has %d/%d draws; Zipf(1.0) head should carry ~13%%", max, n)
+	}
+
+	// theta = 0: uniform — no element should come close to Zipf's head.
+	flat, err := ZipfStream(DomainUniform, support, n, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq = make(map[uint64]int)
+	for _, e := range flat {
+		freq[e]++
+	}
+	for _, c := range freq {
+		if c > n/100 {
+			t.Errorf("uniform draw has an element with %d/%d hits", c, n)
+		}
+	}
+
+	if _, err := ZipfStream(DomainUniform, 0, 1, 1, rng); err == nil {
+		t.Error("support 0 accepted")
+	}
+	if _, err := ZipfStream(DomainUniform, 10, 1, -1, rng); err == nil {
+		t.Error("negative skew accepted")
+	}
+}

@@ -106,14 +106,16 @@ func NewPoly(seed uint64, wise int) *Poly {
 // Hash evaluates the polynomial at x (reduced into the field) by
 // Horner's rule.
 func (p *Poly) Hash(x uint64) uint64 {
-	// Reduce x into the field. Elements come from [M] with M ≤ 2^32 in
-	// the paper's model, so this is usually a no-op.
-	if x >= MersennePrime {
-		x = (x >> 61) + (x & MersennePrime)
-		if x >= MersennePrime {
-			x -= MersennePrime
-		}
-	}
+	// Elements come from [M] with M ≤ 2^32 in the paper's model, so the
+	// reduction is usually a no-op.
+	return p.HashReduced(Reduce61(x))
+}
+
+// HashReduced evaluates the polynomial at an input already reduced into
+// the field, skipping the entry reduction Hash performs. The digest and
+// family update paths reduce a stream element once and evaluate many
+// polynomials at it.
+func (p *Poly) HashReduced(x uint64) uint64 {
 	acc := p.coef[len(p.coef)-1]
 	for i := len(p.coef) - 2; i >= 0; i-- {
 		acc = addmod61(mulmod61(acc, x), p.coef[i])
@@ -158,6 +160,20 @@ func (g *PairBit) Bit(x uint64) int {
 func (g *PairBit) BitReduced(x uint64) int {
 	v := addmod61(mulmod61(g.a, x), g.b)
 	return int(v >> (FieldBits - 1))
+}
+
+// PackBits evaluates every function in gs at the reduced input x and
+// packs the resulting bits into one word, g[j]'s bit at position j.
+// This is the digest builder's batch form of BitReduced: the sketch
+// kernel evaluates all s second-level functions for an element exactly
+// once and replays the packed word thereafter. len(gs) must be ≤ 64.
+func PackBits(gs []*PairBit, x uint64) uint64 {
+	var w uint64
+	for j, g := range gs {
+		v := addmod61(mulmod61(g.a, x), g.b)
+		w |= (v >> (FieldBits - 1)) << uint(j)
+	}
+	return w
 }
 
 // Reduce61 maps an arbitrary 64-bit value into [0, 2^61−1).

@@ -355,3 +355,41 @@ func BenchmarkPairBit(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestHashReducedMatchesHash: HashReduced on a pre-reduced input is the
+// same function as Hash on the raw input — the contract the update
+// kernel relies on when hoisting the reduction out of per-copy loops.
+func TestHashReducedMatchesHash(t *testing.T) {
+	p := NewPoly(77, 8)
+	rng := NewRNG(5)
+	for i := 0; i < 2000; i++ {
+		x := rng.Uint64()
+		if got, want := p.HashReduced(Reduce61(x)), p.Hash(x); got != want {
+			t.Fatalf("HashReduced(Reduce61(%#x)) = %d, Hash = %d", x, got, want)
+		}
+	}
+}
+
+// TestPackBitsMatchesBitReduced: bit j of the packed word must equal
+// g_j's individual evaluation, for every width up to a full word.
+func TestPackBitsMatchesBitReduced(t *testing.T) {
+	for _, n := range []int{1, 2, 32, 58, 64} {
+		gs := make([]*PairBit, n)
+		for j := range gs {
+			gs[j] = NewPairBit(DeriveSeed(9, uint64(j)))
+		}
+		rng := NewRNG(uint64(n))
+		for i := 0; i < 500; i++ {
+			x := Reduce61(rng.Uint64())
+			w := PackBits(gs, x)
+			for j, g := range gs {
+				if got, want := int(w>>uint(j))&1, g.BitReduced(x); got != want {
+					t.Fatalf("n=%d: packed bit %d = %d, BitReduced = %d (x=%#x)", n, j, got, want, x)
+				}
+			}
+			if n < 64 && w>>uint(n) != 0 {
+				t.Fatalf("n=%d: PackBits set bits above position %d: %#x", n, n-1, w)
+			}
+		}
+	}
+}

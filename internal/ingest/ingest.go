@@ -45,6 +45,15 @@ type Options struct {
 	// blocks (backpressure) when a worker falls this far behind.
 	// Defaults to 8.
 	QueueLen int
+	// DigestCache is the capacity, in distinct elements, of the
+	// per-engine digest cache (rounded up to a power of two). Because
+	// every family in the engine is built from the same stored coins,
+	// one cache serves all streams. 0 selects the default (8192
+	// entries ≈ copies·8 bytes each); negative disables the digest
+	// path entirely, hashing every update in the workers as before.
+	// The digest path also disables itself when the configuration is
+	// not DigestPackable (SecondLevel > 58).
+	DigestCache int
 	// Obs registers the engine's metrics (see OPERATIONS.md, "ingest_*")
 	// on this registry. nil disables export; the engine still counts
 	// internally at one atomic add per event.
@@ -66,6 +75,17 @@ func (o Options) withDefaults(copies int) Options {
 	if o.QueueLen <= 0 {
 		o.QueueLen = 8
 	}
+	if o.DigestCache == 0 {
+		o.DigestCache = 8192
+	}
+	if o.DigestCache > 0 {
+		// Round up to a power of two so slot selection is a mask.
+		n := 1
+		for n < o.DigestCache {
+			n <<= 1
+		}
+		o.DigestCache = n
+	}
 	return o
 }
 
@@ -77,10 +97,12 @@ type entry struct {
 	delta int64
 }
 
-// workItem is one unit handed to every worker: an update batch, an
-// optional delta merge, and/or a barrier to arm.
+// workItem is one unit handed to every worker: an update batch (raw
+// entries when the digest path is off, coalesced digest entries when it
+// is on), an optional delta merge, and/or a barrier to arm.
 type workItem struct {
 	entries []entry
+	digests []digestEntry
 	target  *core.Family // merge target (nil if no merge)
 	delta   *core.Family // aligned delta to add into target
 	barrier *sync.WaitGroup
@@ -103,6 +125,15 @@ func (w *worker) run(wg *sync.WaitGroup, fail func(error)) {
 			}
 			w.batches.Inc()
 			w.applied.Add(uint64(len(it.entries)))
+		}
+		if len(it.digests) > 0 {
+			// Digest replay: s+1 additions per copy in [lo, hi), no
+			// hashing — the digests were resolved by the producer.
+			for _, en := range it.digests {
+				en.fam.UpdateRangeDigest(w.lo, w.hi, en.dig, en.delta)
+			}
+			w.batches.Inc()
+			w.applied.Add(uint64(len(it.digests)))
 		}
 		if it.delta != nil {
 			// Alignment was validated at submit time; a failure here
@@ -128,10 +159,23 @@ type metrics struct {
 	drains       *obs.Counter
 	workerErrors *obs.Counter
 	drainSeconds *obs.Histogram
+
+	coalesced      *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
 	return metrics{
+		coalesced: reg.Counter("ingest_coalesced_updates_total",
+			"Updates eliminated by per-batch coalescing (repeated or net-zero elements folded before sketch work)."),
+		cacheHits: reg.Counter("ingest_digest_cache_hits_total",
+			"Element-digest cache hits: updates whose full hash bill was skipped."),
+		cacheMisses: reg.Counter("ingest_digest_cache_misses_total",
+			"Element-digest cache misses: digests computed from scratch."),
+		cacheEvictions: reg.Counter("ingest_digest_cache_evictions_total",
+			"Digest cache slot evictions (working set exceeding the cache, or slot collisions)."),
 		accepted: reg.Counter("ingest_updates_accepted_total",
 			"Stream updates accepted by the ingest engine."),
 		batches: reg.Counter("ingest_batches_total",
@@ -164,6 +208,11 @@ type Engine struct {
 	met     metrics
 	log     *obs.Logger
 
+	// cache is the seed-keyed element-digest cache; nil when the digest
+	// path is disabled (Options.DigestCache < 0 or an unpackable shape).
+	// Guarded by mu: only the producer side touches it.
+	cache *digestCache
+
 	mu       sync.Mutex
 	fams     map[string]*core.Family
 	pending  []entry
@@ -194,6 +243,9 @@ func New(cfg core.Config, seed uint64, copies int, opts Options) (*Engine, error
 		met:    newMetrics(opts.Obs),
 		log:    opts.Log.Named("ingest"),
 		fams:   make(map[string]*core.Family),
+	}
+	if opts.DigestCache > 0 && cfg.DigestPackable() {
+		e.cache = newDigestCache(opts.DigestCache, seed, e.met)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{
@@ -227,8 +279,12 @@ func New(cfg core.Config, seed uint64, copies int, opts Options) (*Engine, error
 			defer e.mu.Unlock()
 			return float64(len(e.fams))
 		})
+	cacheSlots := 0
+	if e.cache != nil {
+		cacheSlots = int(e.cache.mask) + 1
+	}
 	e.log.Debug("engine started", "workers", opts.Workers, "copies", copies,
-		"batch_size", opts.BatchSize, "queue_len", opts.QueueLen)
+		"batch_size", opts.BatchSize, "queue_len", opts.QueueLen, "digest_cache", cacheSlots)
 	return e, nil
 }
 
@@ -276,14 +332,23 @@ func (e *Engine) broadcastLocked(it workItem) {
 	}
 }
 
-// flushPendingLocked ships the buffered partial batch, if any.
+// flushPendingLocked ships the buffered partial batch, if any. With the
+// digest path on, the batch is first coalesced to net per-element
+// deltas and resolved to cached digests, so the workers replay pure
+// counter additions.
 func (e *Engine) flushPendingLocked() {
 	if len(e.pending) == 0 {
 		return
 	}
 	batch := e.pending
 	e.pending = make([]entry, 0, e.opts.BatchSize)
-	e.broadcastLocked(workItem{entries: batch})
+	if e.cache != nil {
+		if reps := e.coalesceLocked(batch); len(reps) > 0 {
+			e.broadcastLocked(workItem{digests: reps})
+		}
+	} else {
+		e.broadcastLocked(workItem{entries: batch})
+	}
 	e.met.batches.Inc()
 }
 

@@ -291,3 +291,104 @@ func TestNewRejectsBadParameters(t *testing.T) {
 		t.Error("zero copies accepted")
 	}
 }
+
+// TestDigestPathMatchesDirect: the same workload through the digest
+// cache + coalescing path and through the raw per-worker hashing path
+// (DigestCache < 0) must produce bit-identical synopses, with a
+// deliberately tiny cache forcing evictions along the way.
+func TestDigestPathMatchesDirect(t *testing.T) {
+	const seed, copies = 17, 13
+	ups := randomUpdates(23, 5000)
+	want := serialFamilies(t, seed, copies, ups)
+
+	for _, opts := range []Options{
+		{Workers: 3, BatchSize: 32, DigestCache: -1},  // digest path off
+		{Workers: 3, BatchSize: 32, DigestCache: 16},  // thrashing cache
+		{Workers: 3, BatchSize: 500, DigestCache: 0},  // default cache
+		{Workers: 1, BatchSize: 1, DigestCache: 1024}, // degenerate batches
+	} {
+		e, err := New(testCfg, seed, copies, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.UpdateBatch(ups); err != nil {
+			t.Fatal(err)
+		}
+		got := e.Snapshot()
+		for name, f := range want {
+			if !f.Equal(got[name]) {
+				t.Errorf("opts %+v: stream %q differs from serial ingest", opts, name)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCoalescing: a batch made of repeats of one element must reach the
+// sketches as a single net update, and exact insert/delete cancellation
+// must be dropped without touching a counter.
+func TestCoalescing(t *testing.T) {
+	const seed, copies = 4, 6
+	e, err := New(testCfg, seed, copies, Options{Workers: 2, BatchSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// 500 inserts and 500 deletes of element 1: net zero, fully folded.
+	// 300 inserts of element 2: net +300 in one replay.
+	for i := 0; i < 500; i++ {
+		if err := e.Update("A", 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Update("A", 1, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if err := e.Update("A", 2, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.Snapshot()["A"]
+	want, _ := core.NewFamily(testCfg, seed, copies)
+	want.Update(2, 300)
+	if !want.Equal(got) {
+		t.Fatal("coalesced batch differs from net-effect family")
+	}
+}
+
+// TestDigestCacheDisabledForUnpackableShape: shapes with s > 58 must
+// quietly fall back to the hashing path.
+func TestDigestCacheDisabledForUnpackableShape(t *testing.T) {
+	wide := core.Config{Buckets: 32, SecondLevel: 64, FirstWise: 4}
+	ups := randomUpdates(3, 400)
+	e, err := New(wide, 2, 4, Options{Workers: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.cache != nil {
+		t.Fatal("digest cache built for an unpackable shape")
+	}
+	if err := e.UpdateBatch(ups); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Snapshot()
+	fams := make(map[string]*core.Family)
+	for _, u := range ups {
+		f, ok := fams[u.Stream]
+		if !ok {
+			f, _ = core.NewFamily(wide, 2, 4)
+			fams[u.Stream] = f
+		}
+		f.Update(u.Elem, u.Delta)
+	}
+	for name, f := range fams {
+		if !f.Equal(got[name]) {
+			t.Errorf("stream %q differs on the fallback path", name)
+		}
+	}
+}

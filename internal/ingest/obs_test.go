@@ -85,3 +85,60 @@ func TestEngineMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestDigestCacheMetrics: the cache instruments add up — every batch
+// element is a hit or a miss, a hot element hits after its first touch,
+// and coalescing accounts for folded updates.
+func TestDigestCacheMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := New(testCfg, 11, 8, Options{Workers: 2, BatchSize: 64, DigestCache: 1024, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Round 1: 64 distinct elements, all cold.
+	for i := 0; i < 64; i++ {
+		if err := e.Update("A", uint64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	counter := func(name string) uint64 { return reg.Counter(name, "").Value() }
+	misses1 := counter("ingest_digest_cache_misses_total")
+	if misses1 == 0 {
+		t.Fatal("no cache misses after a cold batch")
+	}
+	if got := counter("ingest_digest_cache_hits_total"); got != 0 {
+		t.Errorf("cold batch produced %d hits", got)
+	}
+
+	// Round 2: the same 64 elements — all warm now (1024 slots, no
+	// evictions possible at this occupancy short of slot collisions;
+	// hits must dominate).
+	for i := 0; i < 64; i++ {
+		if err := e.Update("A", uint64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	hits := counter("ingest_digest_cache_hits_total")
+	misses2 := counter("ingest_digest_cache_misses_total") - misses1
+	if hits+misses2 != 64 {
+		t.Errorf("warm batch: hits %d + misses %d != 64", hits, misses2)
+	}
+	if hits < 32 {
+		t.Errorf("warm batch: only %d/64 cache hits", hits)
+	}
+
+	// Coalescing: 10 updates of one element fold to one replay.
+	for i := 0; i < 10; i++ {
+		if err := e.Update("A", 999, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	if got := counter("ingest_coalesced_updates_total"); got < 9 {
+		t.Errorf("coalesced counter = %d, want >= 9", got)
+	}
+}

@@ -22,6 +22,14 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The digest cache and batch coalescing live on the producer side of
+# the ingest engine's mutex, and the distributed layer drives the same
+# engine from network goroutines; run those two packages under the race
+# detector twice more with fresh schedules so the cache/coalescing
+# paths get extra interleavings in tier-1.
+echo "== go test -race -count=2 ./internal/ingest ./internal/distributed"
+go test -race -count=2 ./internal/ingest ./internal/distributed
+
 # The metrics/logging layer is what operators debug everything else
 # with; keep it thoroughly tested.
 OBS_FLOOR=80
