@@ -497,6 +497,69 @@ func BenchmarkIngestCoalesced(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }
 
+// --- Query-kernel benchmarks ------------------------------------------
+//
+// BenchmarkEstimateExpression vs BenchmarkEstimateCompiled vs
+// BenchmarkEstimateParallel isolate the compiled query kernel's payoff
+// at the paper's experimental shape (r = 128, s = 32): the reference
+// path re-walks the raw counters with the interpreted Boolean mapping
+// (map[string]bool per witness + recursive EvalBool), the compiled
+// serial path evaluates the precompiled occupancy-word program over
+// the packed per-family bitmaps, and the parallel path additionally
+// fans the witness scan across GOMAXPROCS workers. All three return
+// bit-identical estimates (pinned by TestCompiledMatchesReference).
+// Recorded results: BENCH_estimate.json (regenerate with
+// scripts/bench.sh).
+
+// benchEstimateWorkload is the Fig. 8 expression at the paper shape.
+func benchEstimateWorkload(b *testing.B) (expr.Node, map[string]*core.Family) {
+	const union, r = 1 << 12, 128
+	return buildWorkloadFamilies(b, "(A - B) & C", union, union/16, r)
+}
+
+// BenchmarkEstimateExpression is the pre-kernel reference estimator.
+func BenchmarkEstimateExpression(b *testing.B) {
+	node, fams := benchEstimateWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EstimateExpressionReference(node, fams, 0.1, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateCompiled is the compiled kernel, serial scan.
+func BenchmarkEstimateCompiled(b *testing.B) {
+	node, fams := benchEstimateWorkload(b)
+	q, err := core.CompileQuery(node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Estimate(fams, 0.1, true, core.EstimateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateParallel is the compiled kernel with the default
+// worker pool (one worker per CPU).
+func BenchmarkEstimateParallel(b *testing.B) {
+	node, fams := benchEstimateWorkload(b)
+	q, err := core.CompileQuery(node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultEstimateOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Estimate(fams, 0.1, true, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchIngestSharded(b *testing.B, workers int) {
 	const copies = 128
 	ups := benchIngestUpdates(4096)

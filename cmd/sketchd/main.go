@@ -124,9 +124,10 @@ type daemon struct {
 
 // startDaemon listens, wires observability into the coordinator and
 // server, and begins serving. adminAddr "" disables the admin
-// endpoint; logw nil discards logs.
+// endpoint; logw nil discards logs. estWorkers sizes the witness-scan
+// worker pool (0 = one per CPU, negative = serial).
 func startDaemon(listen, adminAddr string, coins distributed.Coins,
-	idleTimeout time.Duration, log *obs.Logger) (*daemon, error) {
+	idleTimeout time.Duration, estWorkers int, log *obs.Logger) (*daemon, error) {
 	coord, err := distributed.NewCoordinator(coins)
 	if err != nil {
 		return nil, err
@@ -137,6 +138,13 @@ func startDaemon(listen, adminAddr string, coins distributed.Coins,
 	}
 	reg := obs.NewRegistry()
 	coord.SetObservability(reg, log)
+	if estWorkers != 0 {
+		n := estWorkers
+		if n < 0 {
+			n = 0 // serial
+		}
+		coord.SetEstimateOptions(core.EstimateOptions{Workers: n})
+	}
 	srv := distributed.NewServer(coord)
 	srv.IdleTimeout = idleTimeout
 	srv.SetObservability(reg, log)
@@ -183,6 +191,7 @@ func runServe(args []string) error {
 	listen := fs.String("listen", ":7070", "address to listen on")
 	admin := fs.String("admin", "", "admin endpoint address for /metrics, /healthz, /debug/pprof (disabled if empty)")
 	idle := fs.Duration("idle-timeout", 0, "tear down sessions idle longer than this (0 disables)")
+	estWorkers := fs.Int("estimate-workers", 0, "witness-scan workers per estimate (0 = one per CPU, negative = serial)")
 	mkLog := logFlags(fs)
 	coins := coinFlags(fs)
 	fs.Parse(args)
@@ -191,7 +200,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := startDaemon(*listen, *admin, coins(), *idle, log)
+	d, err := startDaemon(*listen, *admin, coins(), *idle, *estWorkers, log)
 	if err != nil {
 		return err
 	}

@@ -18,9 +18,13 @@ import (
 // ContinuousID identifies a registered continuous query.
 type ContinuousID int
 
-// continuousQuery is the registration record.
+// continuousQuery is the registration record. The expression is
+// compiled once here; every firing reuses the compiled query (q is nil
+// only for expressions over more than 64 streams, which fall back to
+// the interpreted estimator).
 type continuousQuery struct {
 	node    expr.Node
+	q       *core.Query
 	streams map[string]struct{}
 	eps     float64
 	every   int64
@@ -65,10 +69,14 @@ func (p *Processor) RegisterContinuous(expression string, eps float64, every int
 	cs := p.continuous()
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	q, err := core.CompileQuery(node)
+	if err != nil {
+		q = nil // > 64 streams: interpreted fallback per firing
+	}
 	cs.nextID++
 	id := cs.nextID
 	cs.queries[id] = &continuousQuery{
-		node: node, streams: streams, eps: eps, every: int64(every), fn: fn,
+		node: node, q: q, streams: streams, eps: eps, every: int64(every), fn: fn,
 	}
 	return id, nil
 }
@@ -125,7 +133,13 @@ func (p *Processor) notifyContinuous(stream string) {
 		// Exclusive lock, like Estimate: a consistent read of every
 		// counter even while other goroutines keep updating.
 		p.mu.Lock()
-		est, err := core.EstimateExpressionMultiLevel(q.node, p.fams, q.eps)
+		var est core.Estimate
+		var err error
+		if q.q != nil {
+			est, err = q.q.Estimate(p.fams, q.eps, true, p.estOpts)
+		} else {
+			est, err = core.EstimateExpressionOpts(q.node, p.fams, q.eps, true, p.estOpts)
+		}
 		p.mu.Unlock()
 		q.fn(fromCore(est), err)
 	}

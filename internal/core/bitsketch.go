@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"setsketch/internal/hashing"
 )
@@ -182,6 +184,13 @@ type BitFamily struct {
 	cfg    Config
 	seed   uint64
 	copies []*BitSketch
+
+	// Query-view invalidation, mirroring Family: mutate only through
+	// BitFamily-level methods (Insert/Merge), not Copy(i).Insert, or the
+	// cached view goes stale. Truncate views share the version pointer.
+	version *atomic.Uint64
+	viewMu  sync.Mutex
+	view    *familyView
 }
 
 // NewBitFamily builds a family of r empty bit sketches from a master
@@ -202,7 +211,7 @@ func NewBitFamily(cfg Config, seed uint64, r int) (*BitFamily, error) {
 		}
 		copies[i] = sk
 	}
-	return &BitFamily{cfg: cfg, seed: seed, copies: copies}, nil
+	return &BitFamily{cfg: cfg, seed: seed, copies: copies, version: new(atomic.Uint64)}, nil
 }
 
 // Config returns the family's configuration.
@@ -222,6 +231,7 @@ func (f *BitFamily) Insert(e uint64) {
 	for _, x := range f.copies {
 		x.Insert(e)
 	}
+	f.bumpVersion()
 }
 
 // Aligned reports shared coins.
@@ -242,6 +252,7 @@ func (f *BitFamily) Merge(g *BitFamily) error {
 			return err
 		}
 	}
+	f.bumpVersion()
 	return nil
 }
 
@@ -250,7 +261,7 @@ func (f *BitFamily) Truncate(r int) (*BitFamily, error) {
 	if r < 1 || r > len(f.copies) {
 		return nil, fmt.Errorf("core: truncating %d-copy bit family to %d copies", len(f.copies), r)
 	}
-	return &BitFamily{cfg: f.cfg, seed: f.seed, copies: f.copies[:r]}, nil
+	return &BitFamily{cfg: f.cfg, seed: f.seed, copies: f.copies[:r], version: f.version}, nil
 }
 
 // ToCounters converts the bit family into a counter family with the
@@ -287,7 +298,7 @@ func (f *BitFamily) ToCounters() *Family {
 		}
 		copies[i] = sk
 	}
-	return &Family{cfg: f.cfg, seed: f.seed, copies: copies}
+	return &Family{cfg: f.cfg, seed: f.seed, copies: copies, version: new(atomic.Uint64)}
 }
 
 // MemoryBytes reports the total packed footprint.

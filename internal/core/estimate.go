@@ -254,25 +254,123 @@ func estimateWitnessBinary(a, b *Family, eps float64, atomic func(xa, xb *Sketch
 // exprOracle abstracts the per-copy, per-bucket observations the
 // witness estimators read, so the same estimation logic runs over
 // counter synopses (general update streams) and bit synopses (the
-// paper's insert-only experimental variant, §5.2).
+// paper's insert-only experimental variant, §5.2). Oracles own their
+// scratch state (the flag map of the interpreted Boolean mapping), so
+// the estimator itself allocates nothing per call.
 type exprOracle interface {
 	config() Config
 	copies() int
 	// occupied reports whether stream k's copy-i bucket b is non-empty.
 	occupied(k, i, b int) bool
+	// unionOccupied reports whether any stream's copy-i bucket b is
+	// non-empty.
+	unionOccupied(i, b int) bool
 	// unionSingleton reports whether the union of all streams' copy-i
 	// bucket-b contents is a single distinct element.
 	unionSingleton(i, b int) bool
+	// flags returns the oracle's reusable per-stream flag scratch map.
+	flags() map[string]bool
 }
 
-// counterOracle adapts aligned counter families.
-type counterOracle struct {
-	fams    []*Family
-	scratch []*Sketch
+// viewOracle reads every observation through the families' packed
+// query views (queryview.go): occupied is a one-word bit test and
+// unionSingleton is an OR of wps signature words plus the packed pair
+// test — the production oracle behind counterOracle and bitOracle.
+type viewOracle struct {
+	cfg     Config
+	r       int
+	views   []*familyView
+	scratch map[string]bool
 }
 
-func (o *counterOracle) config() Config { return o.fams[0].cfg }
-func (o *counterOracle) copies() int {
+func (o *viewOracle) config() Config         { return o.cfg }
+func (o *viewOracle) copies() int            { return o.r }
+func (o *viewOracle) flags() map[string]bool { return o.scratch }
+func (o *viewOracle) occupied(k, i, b int) bool {
+	return o.views[k].occ[i]>>uint(b)&1 == 1
+}
+func (o *viewOracle) unionOccupied(i, b int) bool {
+	for _, v := range o.views {
+		if v.occ[i]>>uint(b)&1 == 1 {
+			return true
+		}
+	}
+	return false
+}
+func (o *viewOracle) unionSingleton(i, b int) bool {
+	if !o.unionOccupied(i, b) {
+		return false
+	}
+	wps := o.views[0].wps
+	base := (i*o.cfg.Buckets + b) * wps
+	for w := 0; w < wps; w++ {
+		var or uint64
+		for _, v := range o.views {
+			or |= v.sig[base+w]
+		}
+		if sigCollision(or) {
+			return false
+		}
+	}
+	return true
+}
+
+// counterOracle adapts aligned counter families through their views.
+type counterOracle struct{ viewOracle }
+
+func newCounterOracle(fams []*Family, r int, streams int) *counterOracle {
+	o := &counterOracle{viewOracle{
+		cfg:     fams[0].cfg,
+		r:       r,
+		views:   make([]*familyView, len(fams)),
+		scratch: make(map[string]bool, streams),
+	}}
+	for k, f := range fams {
+		o.views[k] = f.queryView()
+	}
+	return o
+}
+
+// bitOracle adapts aligned bit families through their views: union
+// contents are the OR of the per-stream signatures (bits saturate, so
+// OR is set union).
+type bitOracle struct{ viewOracle }
+
+func newBitOracle(fams []*BitFamily, r int, streams int) *bitOracle {
+	o := &bitOracle{viewOracle{
+		cfg:     fams[0].cfg,
+		r:       r,
+		views:   make([]*familyView, len(fams)),
+		scratch: make(map[string]bool, streams),
+	}}
+	for k, f := range fams {
+		o.views[k] = f.queryView()
+	}
+	return o
+}
+
+// rawCounterOracle is the pre-bitmap oracle that scans counters
+// directly (SingletonUnionBucketN over summed cells). It is retained as
+// the independently-derived baseline behind EstimateExpressionReference:
+// differential tests pin the compiled/bitmap kernels bit-identical to
+// it, and the benchmark suite measures the kernels' speedup against it.
+type rawCounterOracle struct {
+	fams        []*Family
+	scratch     []*Sketch
+	flagScratch map[string]bool
+}
+
+func newRawCounterOracle(fams []*Family, streams int) *rawCounterOracle {
+	return &rawCounterOracle{
+		fams:        fams,
+		scratch:     make([]*Sketch, len(fams)),
+		flagScratch: make(map[string]bool, streams),
+	}
+}
+
+func (o *rawCounterOracle) config() Config         { return o.fams[0].cfg }
+func (o *rawCounterOracle) flags() map[string]bool { return o.flagScratch }
+func (o *rawCounterOracle) copies() int {
 	r := o.fams[0].Copies()
 	for _, f := range o.fams[1:] {
 		if f.Copies() < r {
@@ -281,24 +379,38 @@ func (o *counterOracle) copies() int {
 	}
 	return r
 }
-func (o *counterOracle) occupied(k, i, b int) bool {
+func (o *rawCounterOracle) occupied(k, i, b int) bool {
 	return o.fams[k].copies[i].totals[b] != 0
 }
-func (o *counterOracle) unionSingleton(i, b int) bool {
+func (o *rawCounterOracle) unionOccupied(i, b int) bool {
+	for _, f := range o.fams {
+		if f.copies[i].totals[b] != 0 {
+			return true
+		}
+	}
+	return false
+}
+func (o *rawCounterOracle) unionSingleton(i, b int) bool {
 	for k, f := range o.fams {
 		o.scratch[k] = f.copies[i]
 	}
 	return SingletonUnionBucketN(o.scratch, b)
 }
 
-// bitOracle adapts aligned bit families: union contents are the OR of
-// the per-stream bit signatures (bits saturate, so OR is set union).
-type bitOracle struct {
-	fams []*BitFamily
+// rawBitOracle is the pre-bitmap oracle over bit sketches, retained for
+// the same differential-baseline role as rawCounterOracle.
+type rawBitOracle struct {
+	fams        []*BitFamily
+	flagScratch map[string]bool
 }
 
-func (o *bitOracle) config() Config { return o.fams[0].cfg }
-func (o *bitOracle) copies() int {
+func newRawBitOracle(fams []*BitFamily, streams int) *rawBitOracle {
+	return &rawBitOracle{fams: fams, flagScratch: make(map[string]bool, streams)}
+}
+
+func (o *rawBitOracle) config() Config         { return o.fams[0].cfg }
+func (o *rawBitOracle) flags() map[string]bool { return o.flagScratch }
+func (o *rawBitOracle) copies() int {
 	r := o.fams[0].Copies()
 	for _, f := range o.fams[1:] {
 		if f.Copies() < r {
@@ -307,21 +419,22 @@ func (o *bitOracle) copies() int {
 	}
 	return r
 }
-func (o *bitOracle) occupied(k, i, b int) bool {
+func (o *rawBitOracle) occupied(k, i, b int) bool {
 	return !o.fams[k].copies[i].BucketEmpty(b)
 }
-func (o *bitOracle) unionSingleton(i, b int) bool {
+func (o *rawBitOracle) unionOccupied(i, b int) bool {
+	for _, f := range o.fams {
+		if !f.copies[i].BucketEmpty(b) {
+			return true
+		}
+	}
+	return false
+}
+func (o *rawBitOracle) unionSingleton(i, b int) bool {
 	// Fast path: every element sets one of the two g_1 cells, so a
 	// bucket empty in every stream is decided by j = 0 alone — and
 	// most (copy, level) pairs are empty.
-	anyOccupied := false
-	for _, f := range o.fams {
-		if !f.copies[i].BucketEmpty(b) {
-			anyOccupied = true
-			break
-		}
-	}
-	if !anyOccupied {
+	if !o.unionOccupied(i, b) {
 		return false
 	}
 	s := o.fams[0].cfg.SecondLevel
@@ -355,20 +468,20 @@ func estimateExpressionOracle(e expr.Node, names []string, o exprOracle, eps flo
 	if r < 1 {
 		return Estimate{}, errors.New("core: family has no copies")
 	}
-	occ := func(i, b int) bool {
-		for k := range names {
-			if o.occupied(k, i, b) {
-				return true
+	var counts [64]int
+	for level := 0; level < cfg.Buckets; level++ {
+		for i := 0; i < r; i++ {
+			if o.unionOccupied(i, level) {
+				counts[level]++
 			}
 		}
-		return false
 	}
 	var u Estimate
 	var err error
 	if multiLevel {
-		u, err = estimateUnionMLFrom(cfg, r, occ)
+		u, err = unionMLFromCounts(cfg, r, &counts)
 	} else {
-		u, err = estimateUnionFrom(cfg, r, occ, eps/3)
+		u, err = unionFromCounts(cfg, r, &counts, eps/3)
 	}
 	if err != nil {
 		return Estimate{}, err
@@ -384,7 +497,7 @@ func estimateExpressionOracle(e expr.Node, names []string, o exprOracle, eps flo
 	}
 	est.Level = chooseWitnessLevel(cfg, u.Value, Beta, eps)
 
-	flags := make(map[string]bool, len(names))
+	flags := o.flags()
 	for i := 0; i < r; i++ {
 		for level := lo; level <= hi; level++ {
 			if !o.unionSingleton(i, level) {
@@ -399,19 +512,65 @@ func estimateExpressionOracle(e expr.Node, names []string, o exprOracle, eps flo
 			}
 		}
 	}
-	recordWitnessStats(uint64(r)*uint64(hi-lo+1), est)
+	if err := finishWitnessEstimate(&est, u, uint64(r)*uint64(hi-lo+1)); err != nil {
+		return est, err
+	}
+	return est, nil
+}
+
+// unionFromCounts is the Fig. 5 estimator over a precomputed occupancy
+// profile: counts[j] = number of copies whose union bucket j is
+// non-empty. It is shared by the interpreted oracle path and the
+// compiled query kernel so both produce bit-identical values and Stats
+// (the level-scan accounting matches estimateUnionFrom's early break
+// even though the profile was filled eagerly).
+func unionFromCounts(cfg Config, r int, counts *[64]int, eps float64) (Estimate, error) {
+	if eps <= 0 || eps >= 1 {
+		return Estimate{}, fmt.Errorf("core: relative accuracy ε = %v out of (0, 1)", eps)
+	}
+	f := (1 + eps) * float64(r) / 8
+	index := 0
+	count := 0
+	for ; index < cfg.Buckets; index++ {
+		count = counts[index]
+		if float64(count) <= f {
+			break // first index with count ≤ f (Fig. 5 step 9)
+		}
+	}
+	Stats.UnionEstimates.Add(1)
+	Stats.UnionLevelScans.Add(uint64(index + 1))
+	if index == cfg.Buckets {
+		return Estimate{}, fmt.Errorf("core: union estimator exhausted all %d levels", cfg.Buckets)
+	}
+	est := Estimate{Level: index, Copies: r, Valid: r, Witnesses: count}
+	if count == 0 {
+		est.Value = 0
+		return est, nil
+	}
+	p := float64(count) / float64(r)
+	invR := math.Pow(2, -float64(index+1))
+	est.Value = math.Log1p(-p) / math.Log1p(-invR)
+	return est, nil
+}
+
+// finishWitnessEstimate folds witness tallies into the final estimate —
+// one shared epilogue so the interpreted, compiled, and parallel paths
+// cannot drift numerically. est must carry Valid/Witnesses/Union.
+//
+// The error bar is the delta method: Var(p̂·û) ≈ û²·p(1−p)/valid +
+// p²·Var(û). Witness observations within one sketch are correlated
+// across levels, so this mildly understates multi-level noise; it is an
+// indicator, not a guarantee.
+func finishWitnessEstimate(est *Estimate, u Estimate, checks uint64) error {
+	recordWitnessStats(checks, *est)
 	if est.Valid == 0 {
-		return est, ErrNoObservations
+		return ErrNoObservations
 	}
 	p := float64(est.Witnesses) / float64(est.Valid)
 	est.Value = p * u.Value
-	// Delta-method error bar: Var(p̂·û) ≈ û²·p(1−p)/valid + p²·Var(û).
-	// Witness observations within one sketch are correlated across
-	// levels, so this mildly understates multi-level noise; it is an
-	// indicator, not a guarantee.
 	varP := p * (1 - p) / float64(est.Valid)
 	est.StdError = math.Sqrt(u.Value*u.Value*varP + p*p*u.StdError*u.StdError)
-	return est, nil
+	return nil
 }
 
 // orderedFamilies resolves an expression's stream names against a
@@ -440,6 +599,36 @@ func orderedFamilies[F any](e expr.Node, fams map[string]F, isNil func(F) bool) 
 // non-empty in X_{A_i}", ∪ ↦ ∨, ∩ ↦ ∧, − ↦ ∧¬. The fraction of valid
 // copies satisfying B(E), scaled by û = |∪_i A_i|, estimates |E|.
 func EstimateExpression(e expr.Node, fams map[string]*Family, eps float64) (Estimate, error) {
+	return EstimateExpressionOpts(e, fams, eps, false, DefaultEstimateOptions())
+}
+
+// EstimateExpressionOpts is EstimateExpression with explicit kernel
+// options and level policy. It compiles the expression and runs the
+// bitmap-backed query kernel (querykernel.go); expressions over more
+// than expr.MaxCompiledStreams distinct streams fall back to the
+// interpreted oracle, still reading through the packed views.
+func EstimateExpressionOpts(e expr.Node, fams map[string]*Family, eps float64, multiLevel bool, opts EstimateOptions) (Estimate, error) {
+	q, err := CompileQuery(e)
+	if err != nil {
+		names, ordered, err := orderedFamilies(e, fams, func(f *Family) bool { return f == nil })
+		if err != nil {
+			return Estimate{}, err
+		}
+		r, err := alignedCopies(ordered)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return estimateExpressionOracle(e, names, newCounterOracle(ordered, r, len(names)), eps, multiLevel)
+	}
+	return q.Estimate(fams, eps, multiLevel, opts)
+}
+
+// EstimateExpressionReference is the pre-kernel interpreted estimator —
+// counter scans, per-witness flag maps, recursive EvalBool — retained
+// as the independently-derived baseline: tests pin the compiled and
+// parallel kernels bit-identical to it, and the benchmark suite
+// measures the kernels against it.
+func EstimateExpressionReference(e expr.Node, fams map[string]*Family, eps float64, multiLevel bool) (Estimate, error) {
 	names, ordered, err := orderedFamilies(e, fams, func(f *Family) bool { return f == nil })
 	if err != nil {
 		return Estimate{}, err
@@ -447,8 +636,7 @@ func EstimateExpression(e expr.Node, fams map[string]*Family, eps float64) (Esti
 	if _, err := alignedCopies(ordered); err != nil {
 		return Estimate{}, err
 	}
-	o := &counterOracle{fams: ordered, scratch: make([]*Sketch, len(ordered))}
-	return estimateExpressionOracle(e, names, o, eps, false)
+	return estimateExpressionOracle(e, names, newRawCounterOracle(ordered, len(names)), eps, multiLevel)
 }
 
 // alignedBitCopies verifies mutual alignment of bit families.
@@ -466,6 +654,30 @@ func alignedBitCopies(fams []*BitFamily) error {
 // insert-only bit synopses (§5.2). Estimates are identical to the
 // counter version on the same insert stream and coins.
 func EstimateExpressionBits(e expr.Node, fams map[string]*BitFamily, eps float64) (Estimate, error) {
+	return EstimateExpressionBitsOpts(e, fams, eps, false, DefaultEstimateOptions())
+}
+
+// EstimateExpressionBitsOpts is EstimateExpressionBits with explicit
+// kernel options and level policy; see EstimateExpressionOpts.
+func EstimateExpressionBitsOpts(e expr.Node, fams map[string]*BitFamily, eps float64, multiLevel bool, opts EstimateOptions) (Estimate, error) {
+	q, err := CompileQuery(e)
+	if err != nil {
+		names, ordered, err := orderedFamilies(e, fams, func(f *BitFamily) bool { return f == nil })
+		if err != nil {
+			return Estimate{}, err
+		}
+		if err := alignedBitCopies(ordered); err != nil {
+			return Estimate{}, err
+		}
+		r := bitFamilyCopies(ordered)
+		return estimateExpressionOracle(e, names, newBitOracle(ordered, r, len(names)), eps, multiLevel)
+	}
+	return q.EstimateBits(fams, eps, multiLevel, opts)
+}
+
+// EstimateExpressionReferenceBits is EstimateExpressionReference over
+// bit synopses.
+func EstimateExpressionReferenceBits(e expr.Node, fams map[string]*BitFamily, eps float64, multiLevel bool) (Estimate, error) {
 	names, ordered, err := orderedFamilies(e, fams, func(f *BitFamily) bool { return f == nil })
 	if err != nil {
 		return Estimate{}, err
@@ -473,20 +685,25 @@ func EstimateExpressionBits(e expr.Node, fams map[string]*BitFamily, eps float64
 	if err := alignedBitCopies(ordered); err != nil {
 		return Estimate{}, err
 	}
-	return estimateExpressionOracle(e, names, &bitOracle{fams: ordered}, eps, false)
+	return estimateExpressionOracle(e, names, newRawBitOracle(ordered, len(names)), eps, multiLevel)
 }
 
 // EstimateExpressionMultiLevelBits is EstimateExpressionMultiLevel
 // over bit synopses.
 func EstimateExpressionMultiLevelBits(e expr.Node, fams map[string]*BitFamily, eps float64) (Estimate, error) {
-	names, ordered, err := orderedFamilies(e, fams, func(f *BitFamily) bool { return f == nil })
-	if err != nil {
-		return Estimate{}, err
+	return EstimateExpressionBitsOpts(e, fams, eps, true, DefaultEstimateOptions())
+}
+
+// bitFamilyCopies returns the usable copy count across aligned bit
+// families (the minimum).
+func bitFamilyCopies(fams []*BitFamily) int {
+	r := fams[0].Copies()
+	for _, f := range fams[1:] {
+		if f.Copies() < r {
+			r = f.Copies()
+		}
 	}
-	if err := alignedBitCopies(ordered); err != nil {
-		return Estimate{}, err
-	}
-	return estimateExpressionOracle(e, names, &bitOracle{fams: ordered}, eps, true)
+	return r
 }
 
 // EstimateUnionBits estimates |∪_i A_i| over bit families with the
@@ -498,15 +715,8 @@ func EstimateUnionBits(fams []*BitFamily, eps float64) (Estimate, error) {
 	if err := alignedBitCopies(fams); err != nil {
 		return Estimate{}, err
 	}
-	o := &bitOracle{fams: fams}
-	occ := func(i, b int) bool {
-		for k := range fams {
-			if o.occupied(k, i, b) {
-				return true
-			}
-		}
-		return false
-	}
+	o := newRawBitOracle(fams, len(fams))
+	occ := func(i, b int) bool { return o.unionOccupied(i, b) }
 	return estimateUnionFrom(o.config(), o.copies(), occ, eps)
 }
 
@@ -528,15 +738,7 @@ func EstimateUnionBits(fams []*BitFamily, eps float64) (Estimate, error) {
 // one sketch are slightly negatively correlated across levels, which
 // only helps concentration.
 func EstimateExpressionMultiLevel(e expr.Node, fams map[string]*Family, eps float64) (Estimate, error) {
-	names, ordered, err := orderedFamilies(e, fams, func(f *Family) bool { return f == nil })
-	if err != nil {
-		return Estimate{}, err
-	}
-	if _, err := alignedCopies(ordered); err != nil {
-		return Estimate{}, err
-	}
-	o := &counterOracle{fams: ordered, scratch: make([]*Sketch, len(ordered))}
-	return estimateExpressionOracle(e, names, o, eps, true)
+	return EstimateExpressionOpts(e, fams, eps, true, DefaultEstimateOptions())
 }
 
 // RecommendedCopies returns the Θ(log(1/δ)/ε²) copy count for the union

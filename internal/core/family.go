@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"setsketch/internal/hashing"
 )
@@ -30,6 +32,16 @@ type Family struct {
 	copies []*Sketch
 	totals []int64 // len r·Buckets; copy i at [i·Buckets, (i+1)·Buckets)
 	counts []int64 // len r·counters(); copy i at [i·counters(), (i+1)·counters())
+
+	// version counts counter mutations (Update/Merge/Reset …) and gates
+	// the lazily rebuilt query view (see queryview.go). It is a shared
+	// pointer because Truncate views alias the same counter storage:
+	// a mutation through any view must invalidate all of them. Atomic
+	// because ingest workers call UpdateRange concurrently on disjoint
+	// copy shards.
+	version *atomic.Uint64
+	viewMu  sync.Mutex
+	view    *familyView
 }
 
 // NewFamily builds a family of r empty sketches from a master seed.
@@ -41,11 +53,12 @@ func NewFamily(cfg Config, seed uint64, r int) (*Family, error) {
 		return nil, err
 	}
 	f := &Family{
-		cfg:    cfg,
-		seed:   seed,
-		copies: make([]*Sketch, r),
-		totals: make([]int64, r*cfg.Buckets),
-		counts: make([]int64, r*cfg.counters()),
+		cfg:     cfg,
+		seed:    seed,
+		copies:  make([]*Sketch, r),
+		totals:  make([]int64, r*cfg.Buckets),
+		counts:  make([]int64, r*cfg.counters()),
+		version: new(atomic.Uint64),
 	}
 	for i := range f.copies {
 		f.copies[i] = newSketchView(cfg, hashing.DeriveSeed(seed, uint64(i)),
@@ -86,6 +99,7 @@ func (f *Family) Update(e uint64, v int64) {
 	for _, x := range f.copies {
 		x.updateReduced(er, v)
 	}
+	f.bumpVersion()
 }
 
 // UpdateRange applies ⟨e, ±v⟩ to copies lo..hi-1 only. Because the r
@@ -98,6 +112,7 @@ func (f *Family) UpdateRange(lo, hi int, e uint64, v int64) {
 	for _, x := range f.copies[lo:hi] {
 		x.updateReduced(er, v)
 	}
+	f.bumpVersion()
 }
 
 // Digest is the packed replay form of one element's hash evaluations
@@ -156,6 +171,7 @@ func (f *Family) UpdateRangeDigest(lo, hi int, d Digest, v int64) {
 	for i := lo; i < hi; i++ {
 		f.copies[i].applyDigest(d[i], v)
 	}
+	f.bumpVersion()
 }
 
 // MergeRange adds copies lo..hi-1 of g into the same copies of f. Like
@@ -178,6 +194,7 @@ func (f *Family) MergeRange(lo, hi int, g *Family) error {
 	for i, c := range g.counts[lo*nc : hi*nc] {
 		f.counts[lo*nc+i] += c
 	}
+	f.bumpVersion()
 	return nil
 }
 
@@ -212,6 +229,7 @@ func (f *Family) Merge(g *Family) error {
 	for i, c := range g.counts {
 		f.counts[i] += c
 	}
+	f.bumpVersion()
 	return nil
 }
 
@@ -220,11 +238,12 @@ func (f *Family) Merge(g *Family) error {
 // duplicated.
 func (f *Family) Clone() *Family {
 	g := &Family{
-		cfg:    f.cfg,
-		seed:   f.seed,
-		copies: make([]*Sketch, len(f.copies)),
-		totals: make([]int64, len(f.totals)),
-		counts: make([]int64, len(f.counts)),
+		cfg:     f.cfg,
+		seed:    f.seed,
+		copies:  make([]*Sketch, len(f.copies)),
+		totals:  make([]int64, len(f.totals)),
+		counts:  make([]int64, len(f.counts)),
+		version: new(atomic.Uint64),
 	}
 	copy(g.totals, f.totals)
 	copy(g.counts, f.counts)
@@ -242,6 +261,7 @@ func (f *Family) Reset() {
 	for i := range f.counts {
 		f.counts[i] = 0
 	}
+	f.bumpVersion()
 }
 
 // Truncate returns a view of the family restricted to its first r
@@ -258,6 +278,11 @@ func (f *Family) Truncate(r int) (*Family, error) {
 		copies: f.copies[:r],
 		totals: f.totals[:r*f.cfg.Buckets],
 		counts: f.counts[:r*f.cfg.counters()],
+		// Share the parent's version counter: the view aliases the
+		// parent's counter storage, so mutations through either must
+		// invalidate both caches. The view cache itself is per-view
+		// (different r ⇒ different bitmap shapes).
+		version: f.version,
 	}, nil
 }
 

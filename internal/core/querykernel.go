@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"setsketch/internal/expr"
+)
+
+// The compiled query kernel — the read-path mirror of the digest
+// update kernel (family.go). Three layers stack:
+//
+//  1. expr.Compile turns the expression's Boolean mapping B(E) into a
+//     truth table / postfix program over a packed uint64 occupancy
+//     word, replacing the per-witness map[string]bool and recursive
+//     EvalBool of the interpreted estimator.
+//  2. familyView (queryview.go) caches packed per-copy occupancy and
+//     cell-signature bitmaps behind each family's version counter, so
+//     "bucket occupied" and "union bucket singleton" are word tests.
+//  3. The witness scan partitions the r independent sketch copies
+//     across a bounded worker pool; per-worker integer tallies merge
+//     associatively, so the result is bit-identical to the serial scan
+//     (pinned against EstimateExpressionReference by tests).
+
+// EstimateOptions tunes the query kernel. The zero value (Workers 0)
+// runs serially; DefaultEstimateOptions parallelizes across
+// GOMAXPROCS workers.
+type EstimateOptions struct {
+	// Workers is the witness-scan worker-pool size. 0 or 1 scans
+	// serially on the calling goroutine; n > 1 partitions the r sketch
+	// copies across min(n, r) goroutines. Results are bit-identical
+	// either way.
+	Workers int
+}
+
+// DefaultEstimateOptions returns the options the public wrappers use:
+// one worker per available CPU.
+func DefaultEstimateOptions() EstimateOptions {
+	return EstimateOptions{Workers: runtime.GOMAXPROCS(0)}
+}
+
+// Query is a compiled set-expression query: the parsed node plus its
+// compiled occupancy-word program and sorted stream binding. A Query
+// is immutable and safe for concurrent use; watchers compile once at
+// registration and reuse the Query every round.
+type Query struct {
+	node  expr.Node
+	names []string // sorted distinct streams; bit k of the occupancy word
+	prog  *expr.Program
+}
+
+// CompileQuery compiles an expression for the query kernel. It fails
+// only for expressions over more than expr.MaxCompiledStreams (64)
+// distinct streams; callers then fall back to the interpreted path.
+func CompileQuery(e expr.Node) (*Query, error) {
+	names := expr.Streams(e)
+	prog, err := expr.Compile(e, names)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{node: e, names: names, prog: prog}, nil
+}
+
+// Node returns the parsed expression.
+func (q *Query) Node() expr.Node { return q.node }
+
+// String renders the canonical expression text.
+func (q *Query) String() string { return q.node.String() }
+
+// Streams returns the sorted distinct stream names the query reads.
+func (q *Query) Streams() []string { return append([]string(nil), q.names...) }
+
+// Estimate runs the compiled kernel over counter families; see
+// EstimateExpression for the estimator semantics. The serial path
+// (opts.Workers ≤ 1) performs no allocations once the family views are
+// warm.
+func (q *Query) Estimate(fams map[string]*Family, eps float64, multiLevel bool, opts EstimateOptions) (Estimate, error) {
+	var views [expr.MaxCompiledStreams]*familyView
+	var first *Family
+	r := 0
+	for k, name := range q.names {
+		f := fams[name]
+		if f == nil {
+			return Estimate{}, &ErrMissingStream{Name: name}
+		}
+		if k == 0 {
+			first, r = f, f.Copies()
+		} else {
+			if !first.Aligned(f) {
+				return Estimate{}, ErrNotAligned
+			}
+			if f.Copies() < r {
+				r = f.Copies()
+			}
+		}
+		views[k] = f.queryView()
+	}
+	return q.run(first.cfg, r, views[:len(q.names)], eps, multiLevel, opts.Workers)
+}
+
+// EstimateBits runs the compiled kernel over bit families; estimates
+// are identical to the counter version on the same insert stream and
+// coins.
+func (q *Query) EstimateBits(fams map[string]*BitFamily, eps float64, multiLevel bool, opts EstimateOptions) (Estimate, error) {
+	var views [expr.MaxCompiledStreams]*familyView
+	var first *BitFamily
+	r := 0
+	for k, name := range q.names {
+		f := fams[name]
+		if f == nil {
+			return Estimate{}, &ErrMissingStream{Name: name}
+		}
+		if k == 0 {
+			first, r = f, f.Copies()
+		} else {
+			if !first.Aligned(f) {
+				return Estimate{}, ErrNotAligned
+			}
+			if f.Copies() < r {
+				r = f.Copies()
+			}
+		}
+		views[k] = f.queryView()
+	}
+	return q.run(first.cfg, r, views[:len(q.names)], eps, multiLevel, opts.Workers)
+}
+
+// run is the kernel shared by both synopsis representations: a union
+// occupancy pass feeding the (single-level or ML) û estimate, then the
+// witness scan at the chosen level range. Both passes partition copies
+// across workers when workers > 1; partial tallies are integers and
+// merge associatively, and the float epilogue is the same code the
+// interpreted path runs, so results are bit-identical regardless of
+// worker count.
+func (q *Query) run(cfg Config, r int, views []*familyView, eps float64, multiLevel bool, workers int) (Estimate, error) {
+	if eps <= 0 || eps >= 1 {
+		return Estimate{}, fmt.Errorf("core: relative accuracy ε = %v out of (0, 1)", eps)
+	}
+	if r < 1 {
+		return Estimate{}, fmt.Errorf("core: family has no copies")
+	}
+	if workers > r {
+		workers = r
+	}
+
+	var counts [64]int
+	if workers > 1 {
+		vs := append([]*familyView(nil), views...) // heap copy for the goroutines
+		partial := make([][64]int, workers)
+		forEachRange(workers, r, func(t, lo, hi int) {
+			countUnionOccupancy(vs, lo, hi, &partial[t])
+		})
+		for t := range partial {
+			for j, c := range partial[t] {
+				counts[j] += c
+			}
+		}
+	} else {
+		countUnionOccupancy(views, 0, r, &counts)
+	}
+
+	var u Estimate
+	var err error
+	if multiLevel {
+		u, err = unionMLFromCounts(cfg, r, &counts)
+	} else {
+		u, err = unionFromCounts(cfg, r, &counts, eps/3)
+	}
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{Copies: r, Union: u.Value}
+	if u.Value == 0 {
+		return est, nil
+	}
+	lvlLo := chooseWitnessLevel(cfg, u.Value, Beta, eps)
+	lvlHi := lvlLo
+	if multiLevel {
+		lvlLo, lvlHi = 0, cfg.Buckets-1
+	}
+	est.Level = chooseWitnessLevel(cfg, u.Value, Beta, eps)
+
+	if workers > 1 {
+		vs := append([]*familyView(nil), views...)
+		valid := make([]int, workers)
+		witness := make([]int, workers)
+		forEachRange(workers, r, func(t, lo, hi int) {
+			valid[t], witness[t] = scanWitnesses(q.prog, vs, cfg.Buckets, lo, hi, lvlLo, lvlHi)
+		})
+		for t := 0; t < workers; t++ {
+			est.Valid += valid[t]
+			est.Witnesses += witness[t]
+		}
+	} else {
+		est.Valid, est.Witnesses = scanWitnesses(q.prog, views, cfg.Buckets, 0, r, lvlLo, lvlHi)
+	}
+	if err := finishWitnessEstimate(&est, u, uint64(r)*uint64(lvlHi-lvlLo+1)); err != nil {
+		return est, err
+	}
+	return est, nil
+}
+
+// forEachRange splits [0, r) into `workers` near-equal chunks and runs
+// fn(worker, lo, hi) concurrently, waiting for all.
+func forEachRange(workers, r int, fn func(t, lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for t := 0; t < workers; t++ {
+		go func(t int) {
+			defer wg.Done()
+			fn(t, t*r/workers, (t+1)*r/workers)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// countUnionOccupancy tallies, per level, the copies in [lo, hi) whose
+// union first-level bucket is non-empty: one OR across streams per
+// copy, then an iteration over the set bits.
+func countUnionOccupancy(views []*familyView, lo, hi int, counts *[64]int) {
+	for i := lo; i < hi; i++ {
+		var w uint64
+		for _, v := range views {
+			w |= v.occ[i]
+		}
+		for w != 0 {
+			counts[bits.TrailingZeros64(w)]++
+			w &= w - 1
+		}
+	}
+}
+
+// scanWitnesses runs the witness scan over copies [lo, hi) and levels
+// [lvlLo, lvlHi]: for each candidate whose union bucket is occupied and
+// passes the packed singleton test, it builds the per-stream occupancy
+// word and evaluates the compiled Boolean mapping.
+func scanWitnesses(prog *expr.Program, views []*familyView, buckets, lo, hi, lvlLo, lvlHi int) (valid, witness int) {
+	wps := views[0].wps
+	for i := lo; i < hi; i++ {
+		var union uint64
+		for _, v := range views {
+			union |= v.occ[i]
+		}
+		if union>>uint(lvlLo) == 0 {
+			continue // no occupied level in range: every check is noEstimate
+		}
+		for level := lvlLo; level <= lvlHi; level++ {
+			if union>>uint(level)&1 == 0 {
+				continue // empty union bucket: not a singleton
+			}
+			base := (i*buckets + level) * wps
+			collision := false
+			for w := 0; w < wps; w++ {
+				var or uint64
+				for _, v := range views {
+					or |= v.sig[base+w]
+				}
+				if sigCollision(or) {
+					collision = true
+					break
+				}
+			}
+			if collision {
+				continue // ≥ 2 distinct elements: noEstimate
+			}
+			valid++
+			var occWord uint64
+			for k, v := range views {
+				occWord |= (v.occ[i] >> uint(level) & 1) << uint(k)
+			}
+			if prog.Eval(occWord) {
+				witness++
+			}
+		}
+	}
+	return valid, witness
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"setsketch/internal/core"
 	"setsketch/internal/datagen"
@@ -23,15 +24,42 @@ type Coordinator struct {
 	met coordMetrics
 	log *obs.Logger
 
+	// estOpts tunes the core query kernel (worker-pool size). Set it
+	// via SetEstimateOptions before the coordinator serves traffic,
+	// like SetObservability.
+	estOpts core.EstimateOptions
+
 	mu      sync.RWMutex
 	fams    map[string]*core.Family
 	sites   map[string]int // pushes accepted per site, for diagnostics
 	updates uint64         // stream updates credited so far (watch triggers)
 
+	// cmu guards the ad-hoc query compile cache: Estimate(string) hits
+	// it so repeated queries skip parse + compile. Watchers bypass it —
+	// they hold their compiled queries from registration.
+	cmu          sync.Mutex
+	compileCache map[string]compiledExpr
+
 	wmu      sync.Mutex // guards the watcher registry; never taken under w.mu
 	watchers map[int]*Watcher
 	nextID   int
 }
+
+// compiledExpr is one parse+compile result: the parsed node always,
+// plus the compiled kernel query when the expression fits the packed
+// occupancy word (≤ 64 distinct streams; q is nil otherwise and the
+// interpreted path serves it).
+type compiledExpr struct {
+	src  string
+	node expr.Node
+	q    *core.Query
+}
+
+// compileCacheMax bounds the ad-hoc compile cache. Eviction is an
+// arbitrary map entry — standing queries belong in watchers, which hold
+// their programs directly, so the cache only needs to absorb ad-hoc
+// query churn, not preserve recency.
+const compileCacheMax = 1024
 
 // coordMetrics is the coordinator's instrument set; per obs's contract
 // every instrument works (uncollected) when no registry is attached.
@@ -41,8 +69,12 @@ type coordMetrics struct {
 	rawUpdates     *obs.Counter
 	estimates      *obs.Counter
 	estimateErrors *obs.Counter
+	estimateSecs   *obs.Histogram
+	compileHits    *obs.Counter
+	compileMisses  *obs.Counter
 	watchRounds    *obs.Counter
 	watchEvals     *obs.Counter
+	watchSkipped   *obs.Counter
 	watchDelivered *obs.Counter
 	watchDropped   *obs.Counter
 	watchSlowDrops *obs.Counter
@@ -60,10 +92,18 @@ func newCoordMetrics(reg *obs.Registry) coordMetrics {
 			"Set-expression cardinality estimates computed."),
 		estimateErrors: reg.Counter("coord_estimate_errors_total",
 			"Estimates that failed (parse error, missing stream, no valid observations)."),
+		estimateSecs: reg.Histogram("estimate_latency_seconds",
+			"Set-expression estimate latency through the compiled query kernel (ad-hoc and watch rounds).", nil),
+		compileHits: reg.Counter("coord_compile_cache_hits_total",
+			"Ad-hoc estimate expressions served from the parse+compile cache."),
+		compileMisses: reg.Counter("coord_compile_cache_misses_total",
+			"Ad-hoc estimate expressions parsed and compiled fresh."),
 		watchRounds: reg.Counter("watch_rounds_total",
 			"Continuous-query evaluation rounds fired (update-count, interval, and Tick rounds)."),
 		watchEvals: reg.Counter("watch_evaluations_total",
 			"Individual watch-expression evaluations (rounds x expressions)."),
+		watchSkipped: reg.Counter("watch_rounds_skipped_total",
+			"Watch rounds skipped because no referenced family's version changed since the watcher's last evaluation."),
 		watchDelivered: reg.Counter("watch_results_delivered_total",
 			"Watch results enqueued to watcher channels."),
 		watchDropped: reg.Counter("watch_results_dropped_total",
@@ -128,12 +168,22 @@ func NewCoordinator(coins Coins) (*Coordinator, error) {
 		return nil, err
 	}
 	return &Coordinator{
-		coins:    coins,
-		met:      newCoordMetrics(nil), // unregistered instruments until SetObservability
-		fams:     make(map[string]*core.Family),
-		sites:    make(map[string]int),
-		watchers: make(map[int]*Watcher),
+		coins:        coins,
+		met:          newCoordMetrics(nil), // unregistered instruments until SetObservability
+		estOpts:      core.DefaultEstimateOptions(),
+		fams:         make(map[string]*core.Family),
+		sites:        make(map[string]int),
+		compileCache: make(map[string]compiledExpr),
+		watchers:     make(map[int]*Watcher),
 	}, nil
+}
+
+// SetEstimateOptions tunes the query kernel for all estimates this
+// coordinator computes (ad-hoc and watch rounds). Call it before the
+// coordinator serves traffic; the default is one witness-scan worker
+// per CPU.
+func (c *Coordinator) SetEstimateOptions(opts core.EstimateOptions) {
+	c.estOpts = opts
 }
 
 // Coins returns the coordinator's expected coins.
@@ -254,23 +304,91 @@ func (c *Coordinator) Pushes() map[string]int {
 	return out
 }
 
-// Estimate answers a set-expression cardinality query over the merged
-// synopses (the paper's "Set-Expression Cardinality Query Processor").
+// Estimate answers an ad-hoc set-expression cardinality query over the
+// merged synopses (the paper's "Set-Expression Cardinality Query
+// Processor"). The expression string is parsed and compiled at most
+// once per process (bounded cache); standing queries should use Watch,
+// which compiles at registration and never touches the cache.
 func (c *Coordinator) Estimate(expression string, eps float64) (core.Estimate, error) {
-	c.met.estimates.Inc()
-	node, err := expr.Parse(expression)
+	ce, err := c.compiled(expression)
 	if err != nil {
+		c.met.estimates.Inc()
 		c.met.estimateErrors.Inc()
 		return core.Estimate{}, err
 	}
+	return c.estimateCompiled(ce, eps)
+}
+
+// compiled returns the parse+compile result for an ad-hoc expression,
+// consulting the bounded cache.
+func (c *Coordinator) compiled(expression string) (compiledExpr, error) {
+	c.cmu.Lock()
+	ce, ok := c.compileCache[expression]
+	c.cmu.Unlock()
+	if ok {
+		c.met.compileHits.Inc()
+		return ce, nil
+	}
+	c.met.compileMisses.Inc()
+	node, err := expr.Parse(expression)
+	if err != nil {
+		return compiledExpr{}, err
+	}
+	ce = compiledExpr{src: expression, node: node}
+	// CompileQuery fails only for > 64 distinct streams; such
+	// expressions run interpreted (q stays nil).
+	if q, err := core.CompileQuery(node); err == nil {
+		ce.q = q
+	}
+	c.cmu.Lock()
+	if len(c.compileCache) >= compileCacheMax {
+		for k := range c.compileCache {
+			delete(c.compileCache, k)
+			break
+		}
+	}
+	c.compileCache[expression] = ce
+	c.cmu.Unlock()
+	return ce, nil
+}
+
+// estimateCompiled runs one estimate through the query kernel,
+// recording latency and error metrics. Shared by ad-hoc queries and
+// watch rounds.
+func (c *Coordinator) estimateCompiled(ce compiledExpr, eps float64) (core.Estimate, error) {
+	c.met.estimates.Inc()
+	start := time.Now()
 	c.mu.RLock()
-	est, err := core.EstimateExpressionMultiLevel(node, c.fams, eps)
+	var est core.Estimate
+	var err error
+	if ce.q != nil {
+		est, err = ce.q.Estimate(c.fams, eps, true, c.estOpts)
+	} else {
+		est, err = core.EstimateExpressionOpts(ce.node, c.fams, eps, true, c.estOpts)
+	}
 	c.mu.RUnlock()
+	c.met.estimateSecs.ObserveSince(start)
 	if err != nil {
 		c.met.estimateErrors.Inc()
-		c.log.Debug("estimate failed", "expr", expression, "err", err)
+		c.log.Debug("estimate failed", "expr", ce.src, "err", err)
 	}
 	return est, err
+}
+
+// streamVersions fills out[i] with a change stamp for names[i]: 0 when
+// the stream has no merged synopsis yet, otherwise the family's
+// mutation version offset by 1 (so appearance itself is a change).
+// Watchers compare stamps between rounds to skip no-op re-evaluations.
+func (c *Coordinator) streamVersions(names []string, out []uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, name := range names {
+		if f, ok := c.fams[name]; ok {
+			out[i] = f.Version() + 1
+		} else {
+			out[i] = 0
+		}
+	}
 }
 
 // Family returns a deep copy of the merged synopsis for a stream, or

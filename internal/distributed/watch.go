@@ -2,6 +2,7 @@ package distributed
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,9 +64,21 @@ type Watcher struct {
 	id   int
 	spec WatchSpec
 
-	// lastEval and epoch are guarded by c.wmu.
-	lastEval uint64
-	epoch    uint64
+	// queries holds the parsed + compiled form of spec.Exprs, built
+	// once at registration and reused every round; streams is the
+	// sorted union of streams they reference. Both are immutable.
+	queries []compiledExpr
+	streams []string
+
+	// lastEval and epoch are guarded by c.wmu, as are the round-skip
+	// fields: evaluated ("at least one round ran") and lastVersions
+	// (the referenced families' change stamps at the last evaluated
+	// round, aligned with streams).
+	lastEval     uint64
+	epoch        uint64
+	evaluated    bool
+	lastHadError bool
+	lastVersions []uint64
 
 	mu      sync.Mutex // guards ch sends vs close; never hold c.wmu under it
 	ch      chan WatchResult
@@ -90,11 +103,29 @@ func (c *Coordinator) Watch(spec WatchSpec) (*Watcher, error) {
 	if len(spec.Exprs) == 0 {
 		return nil, fmt.Errorf("distributed: watch registers no expressions")
 	}
+	// Parse and compile every expression once here; rounds reuse the
+	// compiled queries instead of re-parsing the strings.
+	queries := make([]compiledExpr, 0, len(spec.Exprs))
+	streamSet := make(map[string]struct{})
 	for _, e := range spec.Exprs {
-		if _, err := expr.Parse(e); err != nil {
+		node, err := expr.Parse(e)
+		if err != nil {
 			return nil, fmt.Errorf("distributed: watch expression %q: %w", e, err)
 		}
+		ce := compiledExpr{src: e, node: node}
+		if q, err := core.CompileQuery(node); err == nil {
+			ce.q = q
+		}
+		queries = append(queries, ce)
+		for _, name := range expr.Streams(node) {
+			streamSet[name] = struct{}{}
+		}
 	}
+	streams := make([]string, 0, len(streamSet))
+	for name := range streamSet {
+		streams = append(streams, name)
+	}
+	sort.Strings(streams)
 	if spec.EveryUpdates == 0 && spec.Interval <= 0 {
 		return nil, fmt.Errorf("distributed: watch needs EveryUpdates or Interval")
 	}
@@ -108,10 +139,13 @@ func (c *Coordinator) Watch(spec WatchSpec) (*Watcher, error) {
 		spec.MaxDrops = 8
 	}
 	w := &Watcher{
-		c:       c,
-		spec:    spec,
-		ch:      make(chan WatchResult, spec.Buffer),
-		tickers: make(chan struct{}),
+		c:            c,
+		spec:         spec,
+		queries:      queries,
+		streams:      streams,
+		lastVersions: make([]uint64, len(streams)),
+		ch:           make(chan WatchResult, spec.Buffer),
+		tickers:      make(chan struct{}),
 	}
 	w.C = w.ch
 	c.wmu.Lock()
@@ -260,24 +294,56 @@ func (c *Coordinator) evalWatcher(w *Watcher, force bool) {
 }
 
 // evalRound evaluates all of a watcher's expressions once and delivers
-// the results.
+// the results — unless nothing the watcher reads has changed since its
+// last evaluated round, in which case the round is skipped (counted in
+// watch_rounds_skipped_total, no delivery). The first round always
+// evaluates, and rounds whose previous evaluation reported any
+// per-expression error keep re-evaluating (the error, e.g. a stream
+// that has not appeared yet, must keep reaching the consumer).
+// Versions are sampled before evaluating, so updates racing with the
+// evaluation re-trigger the next round rather than being lost.
 func (c *Coordinator) evalRound(w *Watcher) {
+	versions := make([]uint64, len(w.streams))
+	c.streamVersions(w.streams, versions)
 	c.wmu.Lock()
 	epoch := w.epoch
+	skip := w.evaluated && !w.lastHadError && versionsEqual(versions, w.lastVersions)
+	if !skip {
+		w.evaluated = true
+		copy(w.lastVersions, versions)
+	}
 	c.wmu.Unlock()
+	if skip {
+		c.met.watchSkipped.Inc()
+		return
+	}
 	total := c.Updates()
 	c.met.watchRounds.Inc()
-	c.met.watchEvals.Add(uint64(len(w.spec.Exprs)))
-	for _, e := range w.spec.Exprs {
-		res := WatchResult{Expr: e, Epoch: epoch, Updates: total}
-		est, err := c.Estimate(e, w.spec.Eps)
+	c.met.watchEvals.Add(uint64(len(w.queries)))
+	hadErr := false
+	for _, ce := range w.queries {
+		res := WatchResult{Expr: ce.src, Epoch: epoch, Updates: total}
+		est, err := c.estimateCompiled(ce, w.spec.Eps)
 		if err != nil {
 			res.Err = err.Error()
+			hadErr = true
 		} else {
 			res.Est = est
 		}
 		w.deliver(res)
 	}
+	c.wmu.Lock()
+	w.lastHadError = hadErr
+	c.wmu.Unlock()
+}
+
+func versionsEqual(a, b []uint64) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Tick forces an evaluation round for every registered watcher — the

@@ -1,0 +1,221 @@
+package expr
+
+import "fmt"
+
+// MaxCompiledStreams is the largest number of distinct streams a
+// compiled Program supports: one bit position per stream in a packed
+// uint64 occupancy word.
+const MaxCompiledStreams = 64
+
+// tableStreams is the widest expression compiled to a full truth table
+// (2^n bits in a single uint64); wider expressions run the postfix
+// program instead.
+const tableStreams = 6
+
+// Program is a compiled form of a set expression's Boolean mapping
+// B(E): stream names are mapped to bit positions in a packed uint64
+// occupancy word, and evaluation is either a single truth-table lookup
+// (≤ 6 streams) or a short postfix program over a fixed-size stack.
+// A Program is immutable after Compile and safe for concurrent use.
+type Program struct {
+	names    []string // bit position → stream name
+	code     []progIns
+	depth    int    // max operand-stack depth of code
+	cur      int    // stack depth at the current emit point (compile-time only)
+	table    uint64 // truth table indexed by occupancy word, if useTable
+	useTable bool
+}
+
+// progIns is one postfix instruction: the high byte is the opcode, the
+// low byte is the operand bit position (opLoad only).
+type progIns uint16
+
+const (
+	opLoad progIns = iota << 8 // push bit arg of the occupancy word
+	opUnion
+	opIntersect
+	opDiff    // pop y, pop x, push x &^ y (operands in source order)
+	opDiffRev // pop y, pop x, push y &^ x (operands emitted reversed)
+	opXor
+)
+
+// Compile compiles e against a bit assignment: names[k] occupies bit k
+// of the occupancy word. names must list every stream e references (it
+// may be a superset, e.g. all streams a processor tracks) and at most
+// MaxCompiledStreams entries are addressable; otherwise Compile returns
+// an error. The usual call is Compile(e, Streams(e)).
+func Compile(e Node, names []string) (*Program, error) {
+	if len(names) > MaxCompiledStreams {
+		return nil, fmt.Errorf("expr: cannot compile over %d streams (max %d)", len(names), MaxCompiledStreams)
+	}
+	bits := make(map[string]int, len(names))
+	for k, name := range names {
+		if _, dup := bits[name]; dup {
+			return nil, fmt.Errorf("expr: duplicate stream %q in compile name list", name)
+		}
+		bits[name] = k
+	}
+	p := &Program{names: append([]string(nil), names...)}
+	if err := p.emit(e, bits); err != nil {
+		return nil, err
+	}
+	// For narrow expressions, precompute the full truth table once so
+	// Eval is a single shift-and-mask. The table is built by running
+	// the just-emitted postfix code over every assignment, so the two
+	// strategies cannot diverge.
+	if len(names) <= tableStreams {
+		for w := uint64(0); w < 1<<len(names); w++ {
+			if p.run(w) {
+				p.table |= 1 << w
+			}
+		}
+		p.useTable = true
+	}
+	return p, nil
+}
+
+// emit appends postfix code for e. The deeper subtree of every binary
+// node is emitted first, which bounds the operand-stack depth by the
+// tree's Strahler number — at most log2 of the node count, and never
+// more than MaxCompiledStreams for any expression over ≤ 64 distinct
+// leaves — so Eval can use a fixed-size stack.
+func (p *Program) emit(e Node, bits map[string]int) error {
+	switch n := e.(type) {
+	case *Stream:
+		bit, ok := bits[n.Name]
+		if !ok {
+			return fmt.Errorf("expr: stream %q missing from compile name list", n.Name)
+		}
+		p.code = append(p.code, opLoad|progIns(bit))
+		p.push(1)
+		return nil
+	case *Binary:
+		first, second := n.L, n.R
+		op := opUnion
+		switch n.Op {
+		case Union:
+		case Intersect:
+			op = opIntersect
+		case Xor:
+			op = opXor
+		case Diff:
+			op = opDiff
+		default:
+			return fmt.Errorf("expr: unknown operator %d", int(n.Op))
+		}
+		if nodeDepth(n.R) > nodeDepth(n.L) {
+			first, second = n.R, n.L
+			if n.Op == Diff {
+				op = opDiffRev // difference is the one non-commutative operator
+			}
+		}
+		if err := p.emit(first, bits); err != nil {
+			return err
+		}
+		if err := p.emit(second, bits); err != nil {
+			return err
+		}
+		p.code = append(p.code, op)
+		p.push(-1) // two operands popped, one result pushed
+		return nil
+	default:
+		return fmt.Errorf("expr: unknown node type %T", e)
+	}
+}
+
+// push tracks the operand-stack effect of the last instruction and
+// records the high-water mark in p.depth.
+func (p *Program) push(delta int) {
+	p.cur += delta
+	if p.cur > p.depth {
+		p.depth = p.cur
+	}
+}
+
+// nodeDepth returns the operand-stack depth needed to evaluate e with
+// deeper-subtree-first ordering (the Strahler number of the tree).
+func nodeDepth(e Node) int {
+	b, ok := e.(*Binary)
+	if !ok {
+		return 1
+	}
+	l, r := nodeDepth(b.L), nodeDepth(b.R)
+	if l == r {
+		return l + 1
+	}
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// Eval evaluates the compiled Boolean mapping over a packed occupancy
+// word: bit k of occ is the flag for stream Names()[k]. It allocates
+// nothing and is safe for concurrent use.
+func (p *Program) Eval(occ uint64) bool {
+	if p.useTable {
+		return p.table>>(occ&(1<<len(p.names)-1))&1 == 1
+	}
+	return p.run(occ)
+}
+
+// run interprets the postfix code. Stack depth is bounded by
+// MaxCompiledStreams (see emit), so the stack lives in the frame.
+func (p *Program) run(occ uint64) bool {
+	var stack [MaxCompiledStreams]uint64
+	sp := 0
+	for _, ins := range p.code {
+		switch ins & 0xff00 {
+		case opLoad:
+			stack[sp] = occ >> (ins & 0xff) & 1
+			sp++
+		case opUnion:
+			sp--
+			stack[sp-1] |= stack[sp]
+		case opIntersect:
+			sp--
+			stack[sp-1] &= stack[sp]
+		case opDiff:
+			sp--
+			stack[sp-1] &^= stack[sp]
+		case opDiffRev:
+			sp--
+			stack[sp-1] = stack[sp] &^ stack[sp-1]
+		case opXor:
+			sp--
+			stack[sp-1] ^= stack[sp]
+		}
+	}
+	return stack[0] == 1
+}
+
+// Names returns the bit assignment: bit k of the occupancy word is the
+// flag for Names()[k].
+func (p *Program) Names() []string { return append([]string(nil), p.names...) }
+
+// Bit returns the occupancy-word bit position of a stream name.
+func (p *Program) Bit(name string) (int, bool) {
+	for k, n := range p.names {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// NumStreams returns the number of addressable streams (bit width of
+// the occupancy word).
+func (p *Program) NumStreams() int { return len(p.names) }
+
+// Word packs a flag map into an occupancy word under the program's bit
+// assignment — the bridge between the interpreted EvalBool representation
+// and the compiled one, used by tests and differential checks.
+func (p *Program) Word(flags map[string]bool) uint64 {
+	var occ uint64
+	for k, name := range p.names {
+		if flags[name] {
+			occ |= 1 << k
+		}
+	}
+	return occ
+}

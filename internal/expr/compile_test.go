@@ -1,0 +1,246 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// exhaustiveCheck verifies Eval against EvalBool for every assignment
+// of the program's streams (so it only suits narrow expressions).
+func exhaustiveCheck(t *testing.T, src string) {
+	t.Helper()
+	node := MustParse(src)
+	names := Streams(node)
+	prog, err := Compile(node, names)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	flags := make(map[string]bool, len(names))
+	for w := uint64(0); w < 1<<len(names); w++ {
+		for k, name := range names {
+			flags[name] = w>>k&1 == 1
+		}
+		if got, want := prog.Eval(w), node.EvalBool(flags); got != want {
+			t.Fatalf("%q: Eval(%#b) = %v, EvalBool = %v", src, w, got, want)
+		}
+	}
+}
+
+func TestCompileMatchesEvalBool(t *testing.T) {
+	for _, src := range []string{
+		"A",
+		"A | B",
+		"A & B",
+		"A - B",
+		"B - A",
+		"A ^ B",
+		"(A - B) | (B - A)",
+		"(A & B) - C",
+		"A - (B | C)",
+		"(A - B) & (A - C)",
+		"((A | B) & (C | D)) - (E ^ F)",
+		"A & A",
+		"A - A",
+	} {
+		exhaustiveCheck(t, src)
+	}
+}
+
+// TestCompileWideExpression forces the postfix-program path (> 6
+// streams disables the truth table) and checks it against EvalBool on
+// every assignment of its 8 streams.
+func TestCompileWideExpression(t *testing.T) {
+	src := "((S0 - S1) | (S2 & S3)) ^ ((S4 | S5) - (S6 & S7))"
+	node := MustParse(src)
+	names := Streams(node)
+	prog, err := Compile(node, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.useTable {
+		t.Fatalf("expected postfix path for %d streams", len(names))
+	}
+	flags := make(map[string]bool)
+	for w := uint64(0); w < 1<<len(names); w++ {
+		for k, name := range names {
+			flags[name] = w>>k&1 == 1
+		}
+		if got, want := prog.Eval(w), node.EvalBool(flags); got != want {
+			t.Fatalf("Eval(%#b) = %v, EvalBool = %v", w, got, want)
+		}
+	}
+}
+
+// TestCompileSupersetNames compiles against a name list wider than the
+// expression (a processor's full stream set): unreferenced bits must
+// not affect the result.
+func TestCompileSupersetNames(t *testing.T) {
+	node := MustParse("B - D")
+	names := []string{"A", "B", "C", "D", "E"}
+	prog, err := Compile(node, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := uint64(0); w < 1<<len(names); w++ {
+		want := w>>1&1 == 1 && w>>3&1 == 0 // B and not D
+		if got := prog.Eval(w); got != want {
+			t.Fatalf("Eval(%#b) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	node := MustParse("A & B")
+	if _, err := Compile(node, []string{"A", "A", "B"}); err == nil {
+		t.Error("duplicate name in list: want error")
+	}
+	if _, err := Compile(node, []string{"A"}); err == nil {
+		t.Error("missing referenced stream: want error")
+	}
+	wide := make([]string, MaxCompiledStreams+1)
+	for i := range wide {
+		wide[i] = fmt.Sprintf("S%d", i)
+	}
+	if _, err := Compile(node, wide); err == nil {
+		t.Errorf("%d names: want error", len(wide))
+	}
+	if _, err := Compile(MustParse("S0 & S63"), wide[:MaxCompiledStreams]); err != nil {
+		t.Errorf("%d names: %v", MaxCompiledStreams, err)
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	node := MustParse("A - C")
+	prog, err := Compile(node, []string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := prog.NumStreams(); n != 3 {
+		t.Errorf("NumStreams = %d, want 3", n)
+	}
+	if got := prog.Names(); len(got) != 3 || got[0] != "A" || got[2] != "C" {
+		t.Errorf("Names = %v", got)
+	}
+	if bit, ok := prog.Bit("C"); !ok || bit != 2 {
+		t.Errorf("Bit(C) = %d, %v", bit, ok)
+	}
+	if _, ok := prog.Bit("Z"); ok {
+		t.Error("Bit(Z) should not resolve")
+	}
+	w := prog.Word(map[string]bool{"A": true, "C": true})
+	if w != 0b101 {
+		t.Errorf("Word = %#b, want 0b101", w)
+	}
+}
+
+// TestCompileDeepChains stresses the fixed-size evaluation stack: long
+// left- and right-leaning chains have Strahler number 2, and a fully
+// balanced tree over 64 distinct leaves reaches the maximum depth the
+// emitter must bound.
+func TestCompileDeepChains(t *testing.T) {
+	leaf := func(i int) Node { return &Stream{Name: fmt.Sprintf("S%d", i%4)} }
+	left, right := leaf(0), leaf(0)
+	for i := 1; i < 300; i++ {
+		left = &Binary{Op: Op(i % 4), L: left, R: leaf(i)}
+		right = &Binary{Op: Op(i % 4), L: leaf(i), R: right}
+	}
+	var balanced func(lo, hi int) Node
+	balanced = func(lo, hi int) Node {
+		if hi-lo == 1 {
+			return &Stream{Name: fmt.Sprintf("T%02d", lo)}
+		}
+		mid := (lo + hi) / 2
+		return &Binary{Op: Op((lo + hi) % 4), L: balanced(lo, mid), R: balanced(mid, hi)}
+	}
+	for _, node := range []Node{left, right, balanced(0, 64)} {
+		names := Streams(node)
+		prog, err := Compile(node, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		flags := make(map[string]bool)
+		for trial := 0; trial < 200; trial++ {
+			w := rng.Uint64() & (1<<len(names) - 1)
+			for k, name := range names {
+				flags[name] = w>>k&1 == 1
+			}
+			if got, want := prog.Eval(w), node.EvalBool(flags); got != want {
+				t.Fatalf("chain: Eval(%#x) = %v, EvalBool = %v", w, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileRandomTrees compares compiled and interpreted evaluation
+// over randomly generated expression trees and assignments, with a
+// pinned seed for reproducibility.
+func TestCompileRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	streams := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J"}
+	var gen func(depth int) Node
+	gen = func(depth int) Node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return &Stream{Name: streams[rng.Intn(len(streams))]}
+		}
+		return &Binary{Op: Op(rng.Intn(4)), L: gen(depth - 1), R: gen(depth - 1)}
+	}
+	flags := make(map[string]bool)
+	for trial := 0; trial < 500; trial++ {
+		node := gen(4)
+		names := Streams(node)
+		prog, err := Compile(node, names)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", node, err)
+		}
+		for a := 0; a < 32; a++ {
+			w := rng.Uint64() & (1<<len(names) - 1)
+			for k, name := range names {
+				flags[name] = w>>k&1 == 1
+			}
+			for _, name := range streams {
+				if _, ok := prog.Bit(name); !ok {
+					flags[name] = rng.Intn(2) == 1 // noise on unreferenced streams
+				}
+			}
+			if got, want := prog.Eval(w), node.EvalBool(flags); got != want {
+				t.Fatalf("%q: Eval(%#b) = %v, EvalBool = %v", node, w, got, want)
+			}
+		}
+	}
+}
+
+// FuzzCompileEquivalence drives arbitrary expression sources and
+// assignments through both evaluators: whenever the source parses and
+// compiles, the compiled program must agree with EvalBool.
+func FuzzCompileEquivalence(f *testing.F) {
+	for _, seed := range []string{
+		"A", "A & B", "(A - B) | C", "A ^ B ⊕ C", "A ∪ B ∩ C − D",
+		"a UNION b INTERSECT c EXCEPT d XOR e", "A|B&C-D^E",
+	} {
+		f.Add(seed, uint64(0b1011))
+	}
+	f.Fuzz(func(t *testing.T, input string, assign uint64) {
+		node, err := Parse(input)
+		if err != nil {
+			return
+		}
+		names := Streams(node)
+		prog, err := Compile(node, names)
+		if err != nil {
+			return // > MaxCompiledStreams distinct streams
+		}
+		w := assign & (1<<len(names) - 1)
+		flags := make(map[string]bool, len(names))
+		for k, name := range names {
+			flags[name] = w>>k&1 == 1
+		}
+		if got, want := prog.Eval(w), node.EvalBool(flags); got != want {
+			t.Fatalf("%q: Eval(%#b) = %v, EvalBool = %v", input, w, got, want)
+		}
+		if prog.Word(flags) != w {
+			t.Fatalf("%q: Word round-trip %#b → %#b", input, w, prog.Word(flags))
+		}
+	})
+}

@@ -26,9 +26,20 @@ go test -race ./...
 # the ingest engine's mutex, and the distributed layer drives the same
 # engine from network goroutines; run those two packages under the race
 # detector twice more with fresh schedules so the cache/coalescing
-# paths get extra interleavings in tier-1.
+# paths get extra interleavings in tier-1. The query kernel's parallel
+# witness scan and shared family views get the same treatment (scoped
+# to the kernel tests — the whole core package under -race -count=2 is
+# minutes of statistical tests).
 echo "== go test -race -count=2 ./internal/ingest ./internal/distributed"
 go test -race -count=2 ./internal/ingest ./internal/distributed
+echo "== go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core"
+go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core
+
+# Estimator bench smoke: the three query-kernel benchmarks must at
+# least compile and complete one iteration (full numbers come from
+# scripts/bench.sh).
+echo "== go test -run=NONE -bench 'Estimate(Expression|Compiled|Parallel)$' -benchtime=1x ."
+go test -run=NONE -bench 'Estimate(Expression|Compiled|Parallel)$' -benchtime=1x .
 
 # The metrics/logging layer is what operators debug everything else
 # with; keep it thoroughly tested.
