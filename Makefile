@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-ingest bench bench-ingest bench-update
+.PHONY: check vet build test race race-ingest bench bench-ingest bench-update bench-wal
 
 check:
 	./scripts/check.sh
@@ -28,7 +28,12 @@ bench-ingest:
 bench-update:
 	$(GO) test -run xxx -bench '^(BenchmarkUpdate|BenchmarkUpdateDigest|BenchmarkUpdateDigestCompute|BenchmarkMergeFlat)$$' -benchtime 1s .
 
-# bench regenerates BENCH_ingest.json and BENCH_update.json from fresh
-# benchmark runs on this host (see scripts/bench.sh).
+# WAL append throughput per fsync policy and recovery time vs WAL
+# length (full numbers land in BENCH_wal.json via `make bench`).
+bench-wal:
+	$(GO) test -run xxx -bench '^(BenchmarkWALAppend|BenchmarkRecovery)$$' -benchtime 1s .
+
+# bench regenerates the BENCH_*.json files from fresh benchmark runs on
+# this host (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh

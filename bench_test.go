@@ -12,13 +12,16 @@ package setsketch
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"setsketch/internal/baselines"
 	"setsketch/internal/core"
 	"setsketch/internal/datagen"
+	"setsketch/internal/distributed"
 	"setsketch/internal/expr"
 	"setsketch/internal/hashing"
 	"setsketch/internal/ingest"
+	"setsketch/internal/wal"
 )
 
 // benchCfg is the paper's experimental configuration (s = 32, 8-wise).
@@ -557,6 +560,101 @@ func BenchmarkEstimateParallel(b *testing.B) {
 		if _, err := q.Estimate(fams, 0.1, true, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Durability benchmarks --------------------------------------------
+//
+// BenchmarkWALAppend measures the write-ahead cost every accepted
+// mutation pays before it is applied, per fsync policy: always is the
+// durability ceiling (one fsync per acked batch), interval amortizes
+// the sync over a window, never is the framing+write floor. Appends
+// are serialized under the log mutex by design (log order == apply
+// order), so these numbers do not scale with cores. BenchmarkRecovery
+// measures restart cost — wal.Open's tail scan plus a full replay into
+// a fresh coordinator — as the WAL grows. Recorded results:
+// BENCH_wal.json (regenerate with scripts/bench.sh).
+
+const walBenchBatch = 64
+
+// benchWALOptions is the bench WAL shape: the paper configuration
+// (s = 32 is digest-packable), r = 128 copies, default segment size.
+func benchWALOptions(sync wal.SyncPolicy, ival time.Duration) wal.Options {
+	return wal.Options{Config: benchCfg, Seed: 1, Copies: 128, Sync: sync, SyncInterval: ival}
+}
+
+// BenchmarkWALAppend: one digest-packed 64-update record per op.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		sync wal.SyncPolicy
+		ival time.Duration
+	}{
+		{"always", wal.SyncAlways, 0},
+		{"interval=100ms", wal.SyncInterval, 100 * time.Millisecond},
+		{"never", wal.SyncNever, 0},
+	} {
+		b.Run("fsync="+pol.name, func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), benchWALOptions(pol.sync, pol.ival))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			rec := l.BuildUpdates("bench", benchIngestUpdates(walBenchBatch))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*walBenchBatch)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkRecovery: coordinator restart (open + truncate-scan +
+// replay) against WALs of increasing length, no snapshot — the
+// worst-case suffix.
+func BenchmarkRecovery(b *testing.B) {
+	coins := distributed.Coins{Config: benchCfg, Seed: 1, Copies: 128}
+	for _, records := range []int{128, 512} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			c, err := distributed.NewCoordinator(coins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := wal.Open(dir, benchWALOptions(wal.SyncNever, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.AttachWAL(l)
+			ups := benchIngestUpdates(walBenchBatch)
+			for i := 0; i < records; i++ {
+				if err := c.ApplyUpdates("bench", ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c2, err := distributed.NewCoordinator(coins)
+				if err != nil {
+					b.Fatal(err)
+				}
+				l2, err := wal.Open(dir, benchWALOptions(wal.SyncNever, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c2.Recover(l2); err != nil {
+					b.Fatal(err)
+				}
+				l2.Close()
+			}
+			b.ReportMetric(float64(b.N*records*walBenchBatch)/b.Elapsed().Seconds(), "updates/s")
+		})
 	}
 }
 

@@ -53,7 +53,7 @@ func httpGet(t *testing.T, url string) (int, string, string) {
 // nonzero through the exporter.
 func TestAdminEndpointIntegration(t *testing.T) {
 	coins := testCoins()
-	d, err := startDaemon("127.0.0.1:0", "127.0.0.1:0", coins, 0, 0, nil)
+	d, err := startDaemon(daemonConfig{Listen: "127.0.0.1:0", AdminAddr: "127.0.0.1:0", Coins: coins})
 	if err != nil {
 		t.Fatal(err)
 	}

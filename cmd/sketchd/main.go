@@ -5,15 +5,19 @@
 // (point-in-time or standing).
 //
 //	sketchd serve  -listen :7070 [-admin :7071] [-log-level info] \
-//	               [-idle-timeout 0] [-copies 512] [-s 32] [-seed 1]
+//	               [-idle-timeout 0] [-copies 512] [-s 32] [-seed 1] \
+//	               [-wal-dir /var/lib/sketchd/wal] [-fsync always] \
+//	               [-segment-size 16777216] [-snapshot-interval 1m]
 //	sketchd push   -addr host:7070 -site edge1 -in updates.txt [...coins]
 //	sketchd stream -addr host:7070 -site edge1 -in updates.txt \
 //	               [-mode sketch|forward] [-workers N] [-flush-updates 10000] \
+//	               [-wal-dir dir] [-fsync always] [-segment-size N] \
 //	               [-admin :0] [-log-level info] [...coins]
 //	sketchd query  -addr host:7070 -expr '(A & B) - C' [-eps 0.1]
 //	sketchd watch  -addr host:7070 -expr 'A & B' [-expr 'A | B'] \
 //	               [-eps 0.1] [-every 10000] [-interval 2s]
 //	sketchd streams -addr host:7070
+//	sketchd inspect wal -dir /var/lib/sketchd/wal
 //
 // push summarizes a whole file and ships the synopses once. stream
 // keeps a session open and ships continuously: in sketch mode it runs
@@ -29,6 +33,15 @@
 // With -admin, serve (and stream) additionally expose an operations
 // endpoint — /metrics (Prometheus text or JSON), /healthz, and
 // /debug/pprof/* — documented in OPERATIONS.md.
+//
+// With -wal-dir, serve write-ahead-logs every accepted mutation before
+// applying it, snapshots merged state periodically, and on restart
+// recovers bit-identical state (last snapshot + WAL suffix replay; see
+// DESIGN.md "Durability"). The same flag on stream journals raw
+// batches site-locally so a crashed site resends work the coordinator
+// never acked. inspect wal dumps a WAL directory read-only: segments,
+// record counts, snapshots, and the exact truncation point if a
+// segment is corrupt.
 package main
 
 import (
@@ -38,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -47,6 +61,7 @@ import (
 	"setsketch/internal/ingest"
 	"setsketch/internal/obs"
 	"setsketch/internal/streamio"
+	"setsketch/internal/wal"
 )
 
 func main() {
@@ -67,6 +82,8 @@ func main() {
 		err = runWatch(os.Args[2:])
 	case "streams":
 		err = runStreams(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
 	default:
 		usage()
 	}
@@ -77,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sketchd {serve|push|stream|query|watch|streams} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sketchd {serve|push|stream|query|watch|streams|inspect} [flags]")
 	os.Exit(2)
 }
 
@@ -109,8 +126,8 @@ func logFlags(fs *flag.FlagSet) func() (*obs.Logger, error) {
 }
 
 // daemon is a running coordinator server plus its optional admin
-// endpoint, factored out of runServe so tests can start one in-process
-// and read its metrics over HTTP.
+// endpoint and durability layer, factored out of runServe so tests can
+// start one in-process and read its metrics over HTTP.
 type daemon struct {
 	Coord *distributed.Coordinator
 	Reg   *obs.Registry
@@ -120,38 +137,97 @@ type daemon struct {
 	admin  *http.Server
 	adminL net.Listener
 	done   chan error
+
+	wlog *wal.Log
+	snap *distributed.Snapshotter
+	log  *obs.Logger
+}
+
+// daemonConfig configures startDaemon. The zero value (plus Listen and
+// Coins) serves without admin endpoint, durability, or logging.
+type daemonConfig struct {
+	Listen      string
+	AdminAddr   string // "" disables the admin endpoint
+	Coins       distributed.Coins
+	IdleTimeout time.Duration
+	EstWorkers  int // witness-scan workers (0 = one per CPU, negative = serial)
+	Log         *obs.Logger
+
+	// WALDir enables durability: recovery on start (snapshot + WAL
+	// suffix replay), write-ahead logging of every accepted mutation,
+	// and periodic snapshots every SnapshotInterval (0 disables the
+	// loop; a final snapshot is still written at clean shutdown).
+	WALDir           string
+	Fsync            string // "always", "never", or an interval duration
+	SegmentSize      int64  // 0 = WAL default (16 MiB)
+	SnapshotInterval time.Duration
 }
 
 // startDaemon listens, wires observability into the coordinator and
-// server, and begins serving. adminAddr "" disables the admin
-// endpoint; logw nil discards logs. estWorkers sizes the witness-scan
-// worker pool (0 = one per CPU, negative = serial).
-func startDaemon(listen, adminAddr string, coins distributed.Coins,
-	idleTimeout time.Duration, estWorkers int, log *obs.Logger) (*daemon, error) {
-	coord, err := distributed.NewCoordinator(coins)
+// server, recovers durable state when a WAL directory is configured,
+// and begins serving.
+func startDaemon(cfg daemonConfig) (*daemon, error) {
+	coord, err := distributed.NewCoordinator(cfg.Coins)
 	if err != nil {
 		return nil, err
 	}
-	l, err := net.Listen("tcp", listen)
+	l, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, err
 	}
 	reg := obs.NewRegistry()
-	coord.SetObservability(reg, log)
-	if estWorkers != 0 {
-		n := estWorkers
+	coord.SetObservability(reg, cfg.Log)
+	if cfg.EstWorkers != 0 {
+		n := cfg.EstWorkers
 		if n < 0 {
 			n = 0 // serial
 		}
 		coord.SetEstimateOptions(core.EstimateOptions{Workers: n})
 	}
-	srv := distributed.NewServer(coord)
-	srv.IdleTimeout = idleTimeout
-	srv.SetObservability(reg, log)
-	d := &daemon{Coord: coord, Reg: reg, srv: srv, l: l, done: make(chan error, 1)}
-	if adminAddr != "" {
-		al, err := net.Listen("tcp", adminAddr)
+	d := &daemon{Coord: coord, Reg: reg, l: l, done: make(chan error, 1), log: cfg.Log}
+	if cfg.WALDir != "" {
+		policy, ival, err := wal.ParseSyncPolicy(cfg.Fsync)
 		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		wlog, err := wal.Open(cfg.WALDir, wal.Options{
+			Config:       cfg.Coins.Config,
+			Seed:         cfg.Coins.Seed,
+			Copies:       cfg.Coins.Copies,
+			SegmentSize:  cfg.SegmentSize,
+			Sync:         policy,
+			SyncInterval: ival,
+			Obs:          reg,
+			Log:          cfg.Log,
+		})
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		rs, err := coord.Recover(wlog)
+		if err != nil {
+			wlog.Close()
+			l.Close()
+			return nil, fmt.Errorf("wal recovery: %w", err)
+		}
+		coord.AttachWAL(wlog)
+		d.wlog = wlog
+		d.snap = distributed.StartSnapshotter(coord, cfg.SnapshotInterval, cfg.Log)
+		cfg.Log.Info("durability enabled", "wal_dir", cfg.WALDir, "fsync", policy.String(),
+			"snapshot_seq", rs.SnapshotSeq, "replayed_records", rs.Replayed.Records,
+			"replayed_updates", rs.Replayed.Updates, "last_seq", wlog.LastSeq())
+	}
+	srv := distributed.NewServer(coord)
+	srv.IdleTimeout = cfg.IdleTimeout
+	srv.SetObservability(reg, cfg.Log)
+	d.srv = srv
+	if cfg.AdminAddr != "" {
+		al, err := net.Listen("tcp", cfg.AdminAddr)
+		if err != nil {
+			if d.wlog != nil {
+				d.wlog.Close()
+			}
 			l.Close()
 			return nil, fmt.Errorf("admin endpoint: %w", err)
 		}
@@ -176,11 +252,24 @@ func (d *daemon) AdminAddr() string {
 
 // Close stops both listeners and tears down connections; watch
 // clients receive a terminal shutdown reason first (see Server.Close).
+// With durability enabled the server drain completes before the final
+// snapshot is written and the WAL is synced and closed, so a clean
+// shutdown loses nothing and the next start replays (almost) no
+// records.
 func (d *daemon) Close() {
 	if d.admin != nil {
 		d.admin.Close()
 	}
-	d.srv.Close()
+	d.srv.Close() // drains in-flight dispatches; all mutations logged
+	if d.wlog != nil {
+		d.snap.Stop() // nil-safe
+		if err := d.Coord.WriteSnapshot(); err != nil {
+			d.log.Warn("final snapshot failed", "err", err.Error())
+		}
+		if err := d.wlog.Close(); err != nil {
+			d.log.Warn("wal close failed", "err", err.Error())
+		}
+	}
 }
 
 // Wait blocks until Serve returns.
@@ -192,6 +281,10 @@ func runServe(args []string) error {
 	admin := fs.String("admin", "", "admin endpoint address for /metrics, /healthz, /debug/pprof (disabled if empty)")
 	idle := fs.Duration("idle-timeout", 0, "tear down sessions idle longer than this (0 disables)")
 	estWorkers := fs.Int("estimate-workers", 0, "witness-scan workers per estimate (0 = one per CPU, negative = serial)")
+	walDir := fs.String("wal-dir", "", "write-ahead-log directory; enables durability and crash recovery (disabled if empty)")
+	fsync := fs.String("fsync", "always", "WAL fsync policy: always, never, or an interval like 100ms")
+	segSize := fs.Int64("segment-size", 16<<20, "rotate WAL segments at this many bytes")
+	snapInterval := fs.Duration("snapshot-interval", time.Minute, "write a state snapshot this often so recovery replays only a short WAL suffix (0 disables periodic snapshots)")
 	mkLog := logFlags(fs)
 	coins := coinFlags(fs)
 	fs.Parse(args)
@@ -200,7 +293,18 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := startDaemon(*listen, *admin, coins(), *idle, *estWorkers, log)
+	d, err := startDaemon(daemonConfig{
+		Listen:           *listen,
+		AdminAddr:        *admin,
+		Coins:            coins(),
+		IdleTimeout:      *idle,
+		EstWorkers:       *estWorkers,
+		Log:              log,
+		WALDir:           *walDir,
+		Fsync:            *fsync,
+		SegmentSize:      *segSize,
+		SnapshotInterval: *snapInterval,
+	})
 	if err != nil {
 		return err
 	}
@@ -286,6 +390,9 @@ func runStream(args []string) error {
 	digestCache := fs.Int("digest-cache", 0, "element-digest cache entries, rounded up to a power of two (0 = default 8192, negative = disable digest path)")
 	flushUpdates := fs.Int("flush-updates", 10000, "flush a synopsis delta every N updates (sketch mode)")
 	flushInterval := fs.Duration("flush-interval", 2*time.Second, "also flush after this long without one (sketch mode)")
+	walDir := fs.String("wal-dir", "", "site journal directory; batches are journaled before processing and replayed after a crash (disabled if empty)")
+	fsync := fs.String("fsync", "always", "journal fsync policy: always, never, or an interval like 100ms")
+	segSize := fs.Int64("segment-size", 16<<20, "rotate journal segments at this many bytes")
 	admin := fs.String("admin", "", "admin endpoint address for the site's own /metrics, /healthz, /debug/pprof (disabled if empty)")
 	mkLog := logFlags(fs)
 	coins := coinFlags(fs)
@@ -321,31 +428,63 @@ func runStream(args []string) error {
 	}
 	log.Info("session open", "site", *siteName, "addr", *addr, "mode", *mode)
 
+	// Site-local journal: crashed runs leave an unmarked tail that the
+	// next run ships before reading new input (at-least-once).
+	var journal *siteJournal
+	var pending []datagen.Update
+	if *walDir != "" {
+		journal, pending, err = openSiteJournal(*walDir, *siteName, coins(), *fsync, *segSize, reg, log)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if len(pending) > 0 {
+			log.Info("replaying journaled tail from a previous run", "updates", len(pending))
+		}
+	}
+
 	switch *mode {
 	case "forward":
-		return streamForward(sess, *in, *batch)
+		return streamForward(sess, *in, *batch, journal, pending)
 	case "sketch":
 		return streamSketch(sess, *in, coins(),
 			ingest.Options{Workers: *workers, BatchSize: *batch, DigestCache: *digestCache, Obs: reg, Log: log},
-			*flushUpdates, *flushInterval)
+			*flushUpdates, *flushInterval, *batch, journal, pending)
 	default:
 		return fmt.Errorf("stream: unknown -mode %q", *mode)
 	}
 }
 
 // streamForward relays raw update batches over the session; the
-// coordinator sketches them centrally.
-func streamForward(sess *distributed.StreamSession, in string, batch int) error {
+// coordinator sketches them centrally. With a journal, each batch is
+// journaled before it is sent and marked once the coordinator acks it.
+func streamForward(sess *distributed.StreamSession, in string, batch int,
+	journal *siteJournal, pending []datagen.Update) error {
 	buf := make([]datagen.Update, 0, batch)
 	flush := func() error {
 		if len(buf) == 0 {
 			return nil
 		}
+		if err := journal.LogBatch(buf); err != nil {
+			return err
+		}
 		if _, err := sess.SendUpdates(buf); err != nil {
+			return err
+		}
+		if err := journal.MarkAcked(); err != nil {
 			return err
 		}
 		buf = buf[:0]
 		return nil
+	}
+	// A previous run's unacked tail goes first (already journaled).
+	if len(pending) > 0 {
+		if _, err := sess.SendUpdates(pending); err != nil {
+			return err
+		}
+		if err := journal.MarkAcked(); err != nil {
+			return err
+		}
 	}
 	n, err := scanUpdateFile(in, func(u datagen.Update) error {
 		buf = append(buf, u)
@@ -371,8 +510,12 @@ func streamForward(sess *distributed.StreamSession, in string, batch int) error 
 
 // streamSketch runs the sharded ingest engine locally and periodically
 // flushes synopsis deltas, which the coordinator merges by linearity.
+// With a journal, raw batches are journaled before they enter the
+// engine and marked acked once the flush covering them lands, so a
+// crash never loses updates the coordinator has not seen.
 func streamSketch(sess *distributed.StreamSession, in string, coins distributed.Coins,
-	opts ingest.Options, flushUpdates int, flushInterval time.Duration) error {
+	opts ingest.Options, flushUpdates int, flushInterval time.Duration,
+	batch int, journal *siteJournal, pending []datagen.Update) error {
 	eng, err := ingest.New(coins.Config, coins.Seed, coins.Copies, opts)
 	if err != nil {
 		return err
@@ -392,20 +535,54 @@ func streamSketch(sess *distributed.StreamSession, in string, coins distributed.
 		deltas++
 		sinceFlush = 0
 		lastFlush = time.Now()
-		return nil
+		return journal.MarkAcked() // nil-safe no-op without a journal
 	}
-	n, err := scanUpdateFile(in, func(u datagen.Update) error {
-		if err := eng.Update(u.Stream, u.Elem, u.Delta); err != nil {
-			return err
+	apply := func(ups []datagen.Update) error {
+		for _, u := range ups {
+			if err := eng.Update(u.Stream, u.Elem, u.Delta); err != nil {
+				return err
+			}
 		}
-		sinceFlush++
+		sinceFlush += uint64(len(ups))
 		if int(sinceFlush) >= flushUpdates ||
 			(flushInterval > 0 && time.Since(lastFlush) >= flushInterval) {
 			return flush()
 		}
 		return nil
+	}
+	// A previous run's unacked tail is already journaled: sketch and
+	// flush it before reading new input.
+	if len(pending) > 0 {
+		if err := apply(pending); err != nil {
+			return err
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	buf := make([]datagen.Update, 0, batch)
+	drain := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := journal.LogBatch(buf); err != nil {
+			return err
+		}
+		err := apply(buf)
+		buf = buf[:0]
+		return err
+	}
+	n, err := scanUpdateFile(in, func(u datagen.Update) error {
+		buf = append(buf, u)
+		if len(buf) >= batch {
+			return drain()
+		}
+		return nil
 	})
 	if err != nil {
+		return err
+	}
+	if err := drain(); err != nil {
 		return err
 	}
 	if err := flush(); err != nil {
@@ -498,6 +675,61 @@ func runQuery(args []string) error {
 	}
 	fmt.Printf("|%s| ≈ %.0f ± %.0f  (û = %.0f, level %d, %d/%d valid copies, %d witnesses)\n",
 		*exprStr, est.Value, est.StdError, est.Union, est.Level, est.Valid, est.Copies, est.Witnesses)
+	return nil
+}
+
+// runInspect dumps durability state read-only; the one target so far
+// is `sketchd inspect wal -dir <dir>`, which reports every segment
+// (record counts by type, sequence range) and snapshot, plus the exact
+// byte offset recovery would truncate to when a segment is corrupt.
+func runInspect(args []string) error {
+	if len(args) < 1 || args[0] != "wal" {
+		return fmt.Errorf("inspect: usage: sketchd inspect wal -dir <wal-dir>")
+	}
+	fs := flag.NewFlagSet("inspect wal", flag.ExitOnError)
+	dir := fs.String("dir", "", "WAL directory to inspect (required)")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		return fmt.Errorf("inspect wal: -dir is required")
+	}
+	rep, err := wal.InspectDir(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wal directory: %s\n", rep.Dir)
+	var totalRecords uint64
+	corrupt := 0
+	for _, s := range rep.Segments {
+		fmt.Printf("segment %s: %d bytes, seq %d..%d, %d records",
+			filepath.Base(s.Path), s.Size, s.FirstSeq, s.LastSeq, s.Records)
+		for _, t := range []byte{wal.RecUpdates, wal.RecDigests, wal.RecDelta, wal.RecMark} {
+			if n := s.ByType[t]; n > 0 {
+				fmt.Printf(" %s=%d", wal.RecordTypeName(t), n)
+			}
+		}
+		fmt.Println()
+		if s.Corrupt != "" {
+			corrupt++
+			fmt.Printf("  CORRUPT: %s\n", s.Corrupt)
+			fmt.Printf("  intact through seq %d; recovery truncates at offset %d\n",
+				s.LastSeq, s.TruncateAt)
+		}
+		totalRecords += s.Records
+	}
+	for _, s := range rep.Snapshots {
+		if s.Err != "" {
+			fmt.Printf("snapshot seq %d: UNUSABLE: %s\n", s.Seq, s.Err)
+			continue
+		}
+		fmt.Printf("snapshot seq %d: %d streams, %d updates, %d bytes (%s)\n",
+			s.Seq, s.Streams, s.Updates, s.DataSize, filepath.Base(s.DataPath))
+	}
+	fmt.Printf("total: %d segments, %d intact records, %d snapshots",
+		len(rep.Segments), totalRecords, len(rep.Snapshots))
+	if corrupt > 0 {
+		fmt.Printf(", %d corrupt segment(s)", corrupt)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
 	"setsketch/internal/obs"
+	"setsketch/internal/wal"
 )
 
 // Coordinator is the central site of Fig. 1: it accumulates synopses
@@ -28,6 +29,11 @@ type Coordinator struct {
 	// via SetEstimateOptions before the coordinator serves traffic,
 	// like SetObservability.
 	estOpts core.EstimateOptions
+
+	// wlog, when set via AttachWAL, makes every accepted mutation
+	// durable before it is applied (durability.go). Set before the
+	// coordinator serves traffic; nil means durability is off.
+	wlog *wal.Log
 
 	mu      sync.RWMutex
 	fams    map[string]*core.Family
@@ -210,13 +216,16 @@ func (c *Coordinator) ApplyDelta(site, stream string, fam *core.Family, count ui
 	if fam.Config() != c.coins.Config || fam.Seed() != c.coins.Seed || fam.Copies() != c.coins.Copies {
 		return core.ErrNotAligned
 	}
-	c.mu.Lock()
-	cur, ok := c.fams[stream]
-	if !ok {
-		cur, _ = c.coins.NewFamily() // coins validated at construction
-		c.fams[stream] = cur
+	rec, err := c.deltaRecord(site, stream, fam, count) // nil when durability is off
+	if err != nil {
+		return err
 	}
-	if err := cur.Merge(fam); err != nil {
+	c.mu.Lock()
+	if err := c.logRecordLocked(rec); err != nil {
+		c.mu.Unlock()
+		return err // not logged: not applied, not acked
+	}
+	if err := c.famLocked(stream).Merge(fam); err != nil {
 		c.mu.Unlock()
 		return err
 	}
@@ -237,14 +246,28 @@ func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
 	if len(ups) == 0 {
 		return nil
 	}
+	var rec *wal.Record
+	if c.wlog != nil {
+		// Build (and digest-pack) the record outside the lock; the
+		// append itself happens under c.mu so log order is apply order.
+		rec = c.wlog.BuildUpdates(site, ups)
+	}
 	c.mu.Lock()
-	for _, u := range ups {
-		f, ok := c.fams[u.Stream]
-		if !ok {
-			f, _ = c.coins.NewFamily() // coins validated at construction
-			c.fams[u.Stream] = f
+	if err := c.logRecordLocked(rec); err != nil {
+		c.mu.Unlock()
+		return err // not logged: not applied, not acked
+	}
+	if rec != nil && rec.Type == wal.RecDigests {
+		// Reuse the digests just logged: the hash bill was paid once in
+		// BuildUpdates, application is pure counter adds.
+		if err := c.applyUpdateRecordLocked(rec); err != nil {
+			c.mu.Unlock()
+			return err
 		}
-		f.Update(u.Elem, u.Delta)
+	} else {
+		for _, u := range ups {
+			c.famLocked(u.Stream).Update(u.Elem, u.Delta)
+		}
 	}
 	c.sites[site]++
 	c.updates += uint64(len(ups))
@@ -254,6 +277,17 @@ func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
 	c.met.rawUpdates.Add(uint64(len(ups)))
 	c.evalDue(total)
 	return nil
+}
+
+// famLocked returns the merged synopsis for a stream, creating an
+// empty one on first reference. Callers hold c.mu.
+func (c *Coordinator) famLocked(stream string) *core.Family {
+	f, ok := c.fams[stream]
+	if !ok {
+		f, _ = c.coins.NewFamily() // coins validated at construction
+		c.fams[stream] = f
+	}
+	return f
 }
 
 // Updates returns how many stream updates have been credited so far

@@ -1,0 +1,269 @@
+package distributed
+
+// Durability wiring: write-ahead logging, snapshots, and crash
+// recovery for the coordinator.
+//
+// The invariant everything here rests on is linearity: every synopsis
+// counter is a sum of per-update contributions, so coordinator state
+// is a pure function of the multiset of accepted mutations. The WAL
+// records exactly that multiset (raw updates, packed digests, or
+// serialized deltas), appended under the coordinator's write lock
+// *before* the state mutation — so the log order is the application
+// order, an acknowledged frame is always in the log, and replaying a
+// suffix of the log over a snapshot of the prefix reconstructs the
+// exact (bit-identical) counters, not an approximation of them.
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"setsketch/internal/core"
+	"setsketch/internal/obs"
+	"setsketch/internal/wal"
+)
+
+// AttachWAL arms write-ahead logging: every accepted mutation (raw
+// update batch, synopsis delta, one-shot push) is appended to l —
+// under wal.SyncAlways, fsynced — before it is applied, so a frame is
+// only acked once it is recoverable. Call it after Recover and before
+// the coordinator serves traffic, like SetObservability.
+func (c *Coordinator) AttachWAL(l *wal.Log) { c.wlog = l }
+
+// WAL returns the attached write-ahead log, or nil when durability is
+// off.
+func (c *Coordinator) WAL() *wal.Log { return c.wlog }
+
+// logRecordLocked appends one record (built by the caller outside the
+// lock) to the attached WAL. Called under c.mu before the matching
+// state mutation; a nil record (no WAL attached) is a no-op. On error
+// the caller must not apply: the batch is not acked and the
+// write-ahead guarantee holds.
+func (c *Coordinator) logRecordLocked(rec *wal.Record) error {
+	if rec == nil {
+		return nil
+	}
+	if _, err := c.wlog.Append(rec); err != nil {
+		return fmt.Errorf("distributed: wal append: %w", err)
+	}
+	return nil
+}
+
+// deltaRecord renders a synopsis delta as a WAL record, or nil when no
+// WAL is attached. Serialization happens outside c.mu.
+func (c *Coordinator) deltaRecord(site, stream string, fam *core.Family, count uint64) (*wal.Record, error) {
+	if c.wlog == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if _, err := fam.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("distributed: serialize delta for wal: %w", err)
+	}
+	return &wal.Record{Type: wal.RecDelta, Site: site, Stream: stream, Count: count, Synopsis: buf.Bytes()}, nil
+}
+
+// applyUpdateRecordLocked applies a RecUpdates/RecDigests record to
+// the family map. Digest entries skip hashing entirely — the record
+// carries each element's per-copy contribution words, and by linearity
+// adding them rebuilds exactly the state direct updates would have
+// built. Shared by the live path (reusing the digests just logged) and
+// recovery replay.
+func (c *Coordinator) applyUpdateRecordLocked(rec *wal.Record) error {
+	switch rec.Type {
+	case wal.RecUpdates:
+		for _, u := range rec.Updates {
+			c.famLocked(u.Stream).Update(u.Elem, u.Delta)
+		}
+	case wal.RecDigests:
+		for _, d := range rec.Digests {
+			if len(d.Digest) != c.coins.Copies {
+				return fmt.Errorf("distributed: record %d: digest has %d words for %d copies",
+					rec.Seq, len(d.Digest), c.coins.Copies)
+			}
+			c.famLocked(d.Stream).UpdateDigest(d.Digest, d.Delta)
+		}
+	}
+	return nil
+}
+
+// applyWALRecord applies one replayed record — the recovery-side twin
+// of the Apply* entry points, minus re-logging and watch triggers.
+func (c *Coordinator) applyWALRecord(rec *wal.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch rec.Type {
+	case wal.RecUpdates, wal.RecDigests:
+		if err := c.applyUpdateRecordLocked(rec); err != nil {
+			return err
+		}
+	case wal.RecDelta:
+		fam, err := core.ReadFamily(bytes.NewReader(rec.Synopsis))
+		if err != nil {
+			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+		}
+		if fam.Config() != c.coins.Config || fam.Seed() != c.coins.Seed || fam.Copies() != c.coins.Copies {
+			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, core.ErrNotAligned)
+		}
+		if err := c.famLocked(rec.Stream).Merge(fam); err != nil {
+			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+		}
+	case wal.RecMark:
+		return nil // site-local flush marks carry no coordinator state
+	default:
+		return fmt.Errorf("distributed: replay seq %d: unknown record type %d", rec.Seq, rec.Type)
+	}
+	c.sites[rec.Site]++
+	c.updates += rec.Count
+	return nil
+}
+
+// RecoveryStats summarizes one crash recovery.
+type RecoveryStats struct {
+	SnapshotSeq     uint64 // covering seq of the snapshot loaded (0 if none)
+	SnapshotStreams int    // streams restored from the snapshot
+	Replayed        wal.ReplayStats
+}
+
+// Recover rebuilds coordinator state from the newest loadable snapshot
+// in l's directory plus the WAL suffix past it. The coordinator must
+// be fresh (no traffic applied); call Recover before AttachWAL so
+// replayed records are not re-logged. A missing or corrupt snapshot
+// only lengthens the replay — recovery falls back to older snapshots
+// and ultimately to replaying the whole log.
+func (c *Coordinator) Recover(l *wal.Log) (RecoveryStats, error) {
+	var rs RecoveryStats
+	snap, err := wal.LoadLatestSnapshot(l.Dir(), c.log)
+	if err != nil {
+		return rs, err
+	}
+	from := uint64(1)
+	if snap != nil {
+		if err := c.InstallSnapshot(snap); err != nil {
+			return rs, err
+		}
+		from = snap.Seq + 1
+		rs.SnapshotSeq = snap.Seq
+		rs.SnapshotStreams = len(snap.Streams)
+	}
+	rs.Replayed, err = l.Replay(from, c.applyWALRecord)
+	if err != nil {
+		return rs, err
+	}
+	c.log.Info("recovered",
+		"snapshot_seq", rs.SnapshotSeq,
+		"replayed_records", rs.Replayed.Records,
+		"replayed_updates", rs.Replayed.Updates,
+		"last_seq", rs.Replayed.LastSeq,
+		"elapsed", rs.Replayed.Elapsed.String())
+	return rs, nil
+}
+
+// InstallSnapshot replaces the coordinator's state with a snapshot's.
+// The snapshot's families are adopted directly (LoadLatestSnapshot
+// already deep-read them from disk); they must match the coordinator's
+// stored coins.
+func (c *Coordinator) InstallSnapshot(snap *wal.Snapshot) error {
+	for name, fam := range snap.Streams {
+		if fam.Config() != c.coins.Config || fam.Seed() != c.coins.Seed || fam.Copies() != c.coins.Copies {
+			return fmt.Errorf("distributed: snapshot stream %q: %w", name, core.ErrNotAligned)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fams = make(map[string]*core.Family, len(snap.Streams))
+	for name, fam := range snap.Streams {
+		c.fams[name] = fam
+	}
+	c.sites = make(map[string]int, len(snap.Sites))
+	for site, n := range snap.Sites {
+		c.sites[site] = n
+	}
+	c.updates = snap.Updates
+	return nil
+}
+
+// WriteSnapshot writes one snapshot of the current state through the
+// attached WAL and prunes segments the snapshot covers. The state is
+// cloned under the read lock — appends are excluded while it is held,
+// so the captured families correspond exactly to the captured covering
+// sequence — and the (slow) disk write proceeds without any
+// coordinator lock. A no-op when nothing was logged since the last
+// snapshot.
+func (c *Coordinator) WriteSnapshot() error {
+	l := c.wlog
+	if l == nil {
+		return fmt.Errorf("distributed: no WAL attached")
+	}
+	c.mu.RLock()
+	seq := l.LastSeq()
+	updates := c.updates
+	sites := make(map[string]int, len(c.sites))
+	for site, n := range c.sites {
+		sites[site] = n
+	}
+	fams := make(map[string]*core.Family, len(c.fams))
+	for name, f := range c.fams {
+		fams[name] = f.Clone()
+	}
+	c.mu.RUnlock()
+	if seq == 0 || seq == l.LastSnapshotSeq() {
+		return nil
+	}
+	return l.WriteSnapshot(seq, updates, sites, fams)
+}
+
+// Snapshotter periodically snapshots coordinator state so recovery
+// replay stays short and covered WAL segments can be pruned.
+type Snapshotter struct {
+	c        *Coordinator
+	interval time.Duration
+	log      *obs.Logger
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartSnapshotter runs a snapshot loop at the given interval. A
+// non-positive interval disables periodic snapshots and returns nil
+// (Stop on a nil Snapshotter is a no-op); callers can still snapshot
+// explicitly via Coordinator.WriteSnapshot.
+func StartSnapshotter(c *Coordinator, interval time.Duration, log *obs.Logger) *Snapshotter {
+	if interval <= 0 {
+		return nil
+	}
+	s := &Snapshotter{
+		c:        c,
+		interval: interval,
+		log:      log.Named("snapshot"),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Snapshotter) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.c.WriteSnapshot(); err != nil {
+				s.log.Warn("periodic snapshot failed", "err", err.Error())
+			}
+		}
+	}
+}
+
+// Stop halts the loop and waits for an in-flight snapshot to finish.
+// It does not write a final snapshot — shutdown does that explicitly
+// once the server has drained.
+func (s *Snapshotter) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}

@@ -47,6 +47,13 @@ const (
 // from forcing huge allocations.
 const maxFrame = 64 << 20
 
+// drainTimeout bounds how long a shutdown waits for an in-flight
+// reply write to a stalled peer before the write fails and the
+// handler returns. The coordinator-side work of a dispatch (WAL
+// append, state mutation) is local and always runs to completion;
+// only the ack write to the network is subject to this bound.
+const drainTimeout = 5 * time.Second
+
 type pushMsg struct {
 	Site     string
 	Stream   string
@@ -136,6 +143,7 @@ type Server struct {
 	log *obs.Logger
 
 	watchWG sync.WaitGroup // live watch pusher goroutines
+	connWG  sync.WaitGroup // live connection handler goroutines
 
 	mu        sync.Mutex
 	listener  net.Listener
@@ -268,11 +276,10 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listener = l
 	s.mu.Unlock()
-	var wg sync.WaitGroup
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			wg.Wait()
+			s.connWG.Wait()
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
@@ -285,14 +292,14 @@ func (s *Server) Serve(l net.Listener) error {
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
-			wg.Wait()
+			s.connWG.Wait()
 			return nil
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		wg.Add(1)
+		s.connWG.Add(1)
 		go func() {
-			defer wg.Done()
+			defer s.connWG.Done()
 			s.handle(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
@@ -301,11 +308,17 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops accepting and tears down live connections. Watchers are
+// Close stops accepting and shuts down in phases. Watchers are
 // dropped first — registered directly on the coordinator or through
 // the protocol — so watch clients receive a terminal "coordinator
 // shutting down" frame (bounded by WatchWriteTimeout per stalled
-// client) instead of a silent connection reset.
+// client) instead of a silent connection reset. Then in-flight
+// sessions are drained: pending reads are expired immediately, but a
+// handler mid-dispatch finishes applying — and, with a WAL attached,
+// logging — and acking its frame (ack writes bounded by drainTimeout)
+// before its connection goes away. Only after every handler has
+// returned are remaining connections torn down, so no accepted frame
+// is ever half-processed by a clean shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -321,6 +334,14 @@ func (s *Server) Close() error {
 	s.coord.CloseWatchers("coordinator shutting down")
 	s.watchWG.Wait()
 	s.mu.Lock()
+	now := time.Now()
+	for conn := range s.conns {
+		conn.SetReadDeadline(now)
+		conn.SetWriteDeadline(now.Add(drainTimeout))
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
@@ -334,17 +355,26 @@ func (s *Server) handle(conn net.Conn) {
 	s.met.connsTotal.Inc()
 	s.log.Debug("connection opened", "remote", conn.RemoteAddr().String())
 	for {
-		if s.IdleTimeout > 0 && st.open && st.watcher == nil {
+		// Arm the idle deadline under s.mu so it cannot race Close's
+		// drain deadline: once closed is set, nothing re-arms, and the
+		// next read fails immediately instead of idling out the drain.
+		s.mu.Lock()
+		closed := s.closed
+		if !closed && s.IdleTimeout > 0 && st.open && st.watcher == nil {
 			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		s.mu.Unlock()
+		if closed {
+			return
 		}
 		typ, payload, err := readFrame(conn)
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !s.closing() {
 				s.met.heartbeatMisses.Inc()
 				s.log.Warn("session idle timeout: no frame (not even a heartbeat) within deadline",
 					"site", st.site, "timeout", s.IdleTimeout.String())
 			}
-			return // EOF or broken peer; nothing to answer
+			return // EOF, broken peer, or shutdown drain; nothing to answer
 		}
 		s.met.in(typ).Inc()
 		start := time.Now()
@@ -358,6 +388,14 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// closing reports whether Close has begun, so the drain's expired
+// read deadlines are not miscounted as heartbeat misses.
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // dispatch executes one request and produces the reply frame. st

@@ -1,0 +1,402 @@
+// Package wal implements the durability subsystem: an append-only
+// write-ahead log of update batches plus periodic snapshots of merged
+// family state, together supporting exact crash recovery.
+//
+// Sketch families are linear synopses — every counter is a sum of
+// per-update contributions — so replaying any suffix of the logged
+// update batches over an earlier family state reconstructs the exact
+// sketch, bit for bit. Recovery is therefore: load the newest valid
+// snapshot, replay every WAL record after the snapshot's covering
+// sequence number, and the coordinator is exactly where it crashed.
+//
+// The log is a directory of segment files, each a fixed header followed
+// by CRC32C-framed records with monotonically increasing sequence
+// numbers:
+//
+//	segment header (35 bytes)
+//	  magic   "SWAL"      4 bytes
+//	  version u8          currently 1
+//	  buckets u16, secondLevel u16, firstWise u16   (stored coins)
+//	  seed    u64
+//	  copies  u32
+//	  first   u64         sequence number of the first record
+//	  crc     u32         CRC32C over version..first
+//
+//	record frame
+//	  length  u32         body bytes
+//	  crc     u32         CRC32C over the body
+//	  body:
+//	    type  u8
+//	    seq   u64
+//	    payload             type-specific, see below
+//
+// All integers are little-endian; strings are uvarint length + bytes.
+// Segments rotate at a size threshold and are named by the sequence
+// number of their first record (%020d.wal), so the set of segments
+// covering a replay suffix is computable from file names alone.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"setsketch/internal/core"
+	"setsketch/internal/datagen"
+)
+
+// Record types. An update batch is logged as packed digests when the
+// stored coins are digest-packable (replay then costs s+1 plain
+// additions per copy with zero hashing) and as raw ⟨stream, elem, ±v⟩
+// triples otherwise. A synopsis delta is logged as the core
+// serialization bytes it arrived in.
+const (
+	// RecUpdates is a raw update batch: the coins are not
+	// digest-packable, so replay re-hashes each element.
+	//
+	//	site    string
+	//	count   uvarint      updates credited toward watch triggers
+	//	streams uvarint n, then n strings (referenced by index)
+	//	entries uvarint m, then m × { stream uvarint, elem u64, delta zigzag }
+	RecUpdates = byte(1)
+
+	// RecDigests is a digest-packed update batch, coalesced to one net
+	// entry per (stream, element):
+	//
+	//	site    string
+	//	count   uvarint      updates credited (pre-coalescing batch size)
+	//	words   uvarint      digest words per entry (= family copies)
+	//	streams uvarint n, then n strings
+	//	entries uvarint m, then m × { stream uvarint, elem u64,
+	//	                              delta zigzag, words × u64 }
+	RecDigests = byte(2)
+
+	// RecDelta is one locally sketched synopsis delta:
+	//
+	//	site     string
+	//	stream   string
+	//	count    uvarint     local updates the delta summarizes
+	//	synopsis uvarint len, then the core serialization bytes
+	RecDelta = byte(3)
+
+	// RecMark is a flush mark (site-local logs): every record at or
+	// before it has been acknowledged downstream and is redundant.
+	//
+	//	site string
+	RecMark = byte(4)
+)
+
+// maxRecord bounds a decoded record body so corrupt length fields
+// cannot force huge allocations. It comfortably exceeds the wire
+// protocol's 64 MiB frame cap plus digest expansion.
+const maxRecord = 256 << 20
+
+// maxDigestWords bounds the per-entry digest width (= family copies,
+// mirroring the serialization layer's copy-count cap).
+const maxDigestWords = 1 << 20
+
+// castagnoli is the CRC32C polynomial table used for all WAL framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a record frame that failed its checksum or decoded
+// inconsistently; ErrTorn reports an incomplete frame at the end of a
+// segment (the signature of a crash mid-append).
+var (
+	ErrCorrupt = errors.New("wal: corrupt record")
+	ErrTorn    = errors.New("wal: torn record at end of segment")
+)
+
+// DigestUpdate is one coalesced, digest-resolved entry of a RecDigests
+// record: applying Digest with UpdateDigest is exactly equivalent to
+// Delta copies of Update(Elem, ±1) by linearity.
+type DigestUpdate struct {
+	Stream string
+	Elem   uint64
+	Delta  int64
+	Digest core.Digest
+}
+
+// Record is one WAL entry. Exactly one of the payload groups is
+// populated, according to Type.
+type Record struct {
+	Seq  uint64
+	Type byte
+	Site string
+
+	// Count is the number of stream updates this record credits toward
+	// the coordinator's watch triggers (RecUpdates/RecDigests: the
+	// batch size before coalescing; RecDelta: the reported local count).
+	Count uint64
+
+	Updates []datagen.Update // RecUpdates
+	Digests []DigestUpdate   // RecDigests
+
+	Stream   string // RecDelta
+	Synopsis []byte // RecDelta
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// streamTable builds the deduplicated stream-name table for a batch and
+// the index of every name.
+func streamTable(names func(yield func(string))) ([]string, map[string]int) {
+	var tab []string
+	idx := make(map[string]int)
+	names(func(n string) {
+		if _, ok := idx[n]; !ok {
+			idx[n] = len(tab)
+			tab = append(tab, n)
+		}
+	})
+	return tab, idx
+}
+
+// encodeBody renders the record body (type, seq, payload). The frame
+// header (length, crc) is written by the segment appender.
+func encodeBody(rec *Record) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = append(b, rec.Type)
+	b = binary.LittleEndian.AppendUint64(b, rec.Seq)
+	switch rec.Type {
+	case RecUpdates:
+		b = appendString(b, rec.Site)
+		b = binary.AppendUvarint(b, rec.Count)
+		tab, idx := streamTable(func(yield func(string)) {
+			for _, u := range rec.Updates {
+				yield(u.Stream)
+			}
+		})
+		b = binary.AppendUvarint(b, uint64(len(tab)))
+		for _, n := range tab {
+			b = appendString(b, n)
+		}
+		b = binary.AppendUvarint(b, uint64(len(rec.Updates)))
+		for _, u := range rec.Updates {
+			b = binary.AppendUvarint(b, uint64(idx[u.Stream]))
+			b = binary.LittleEndian.AppendUint64(b, u.Elem)
+			b = binary.AppendVarint(b, u.Delta)
+		}
+	case RecDigests:
+		b = appendString(b, rec.Site)
+		b = binary.AppendUvarint(b, rec.Count)
+		words := 0
+		if len(rec.Digests) > 0 {
+			words = len(rec.Digests[0].Digest)
+		}
+		b = binary.AppendUvarint(b, uint64(words))
+		tab, idx := streamTable(func(yield func(string)) {
+			for _, d := range rec.Digests {
+				yield(d.Stream)
+			}
+		})
+		b = binary.AppendUvarint(b, uint64(len(tab)))
+		for _, n := range tab {
+			b = appendString(b, n)
+		}
+		b = binary.AppendUvarint(b, uint64(len(rec.Digests)))
+		for _, d := range rec.Digests {
+			if len(d.Digest) != words {
+				return nil, fmt.Errorf("wal: ragged digest lengths (%d vs %d words)", len(d.Digest), words)
+			}
+			b = binary.AppendUvarint(b, uint64(idx[d.Stream]))
+			b = binary.LittleEndian.AppendUint64(b, d.Elem)
+			b = binary.AppendVarint(b, d.Delta)
+			for _, w := range d.Digest {
+				b = binary.LittleEndian.AppendUint64(b, w)
+			}
+		}
+	case RecDelta:
+		b = appendString(b, rec.Site)
+		b = appendString(b, rec.Stream)
+		b = binary.AppendUvarint(b, rec.Count)
+		b = binary.AppendUvarint(b, uint64(len(rec.Synopsis)))
+		b = append(b, rec.Synopsis...)
+	case RecMark:
+		b = appendString(b, rec.Site)
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %#x", rec.Type)
+	}
+	if len(b) > maxRecord {
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds limit", len(b))
+	}
+	return b, nil
+}
+
+// byteCursor is a bounds-checked reader over a record body.
+type byteCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *byteCursor) fail() {
+	if c.err == nil {
+		c.err = ErrCorrupt
+	}
+}
+
+func (c *byteCursor) u8() byte {
+	if c.err != nil || c.off >= len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *byteCursor) u32() uint32 {
+	if c.err != nil || c.off+4 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *byteCursor) u64() uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *byteCursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *byteCursor) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *byteCursor) str() string {
+	n := c.uvarint()
+	if c.err != nil || n > uint64(len(c.b)-c.off) {
+		c.fail()
+		return ""
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+func (c *byteCursor) bytes() []byte {
+	n := c.uvarint()
+	if c.err != nil || n > uint64(len(c.b)-c.off) {
+		c.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, c.b[c.off:])
+	c.off += int(n)
+	return v
+}
+
+// count reads a uvarint element count and sanity-bounds it by the
+// remaining bytes (each element costs at least min bytes), so a corrupt
+// count cannot drive a huge allocation before decoding fails.
+func (c *byteCursor) count(min int) int {
+	n := c.uvarint()
+	if c.err != nil || n > uint64((len(c.b)-c.off)/min+1) {
+		c.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// decodeBody parses a record body previously written by encodeBody.
+// It never panics on corrupt input; malformed bodies return ErrCorrupt.
+func decodeBody(b []byte) (*Record, error) {
+	c := &byteCursor{b: b}
+	rec := &Record{Type: c.u8(), Seq: c.u64()}
+	switch rec.Type {
+	case RecUpdates:
+		rec.Site = c.str()
+		rec.Count = c.uvarint()
+		tab := make([]string, c.count(1))
+		for i := range tab {
+			tab[i] = c.str()
+		}
+		m := c.count(10)
+		rec.Updates = make([]datagen.Update, 0, m)
+		for i := 0; i < m && c.err == nil; i++ {
+			si := c.uvarint()
+			if si >= uint64(len(tab)) {
+				c.fail()
+				break
+			}
+			rec.Updates = append(rec.Updates, datagen.Update{
+				Stream: tab[si], Elem: c.u64(), Delta: c.varint(),
+			})
+		}
+	case RecDigests:
+		rec.Site = c.str()
+		rec.Count = c.uvarint()
+		words := c.uvarint()
+		if words > maxDigestWords {
+			c.fail()
+		}
+		tab := make([]string, c.count(1))
+		for i := range tab {
+			tab[i] = c.str()
+		}
+		m := c.count(10 + 8*int(words))
+		rec.Digests = make([]DigestUpdate, 0, m)
+		for i := 0; i < m && c.err == nil; i++ {
+			si := c.uvarint()
+			if si >= uint64(len(tab)) {
+				c.fail()
+				break
+			}
+			d := DigestUpdate{Stream: tab[si], Elem: c.u64(), Delta: c.varint()}
+			d.Digest = make(core.Digest, words)
+			for w := range d.Digest {
+				d.Digest[w] = c.u64()
+			}
+			rec.Digests = append(rec.Digests, d)
+		}
+	case RecDelta:
+		rec.Site = c.str()
+		rec.Stream = c.str()
+		rec.Count = c.uvarint()
+		rec.Synopsis = c.bytes()
+	case RecMark:
+		rec.Site = c.str()
+	default:
+		return nil, fmt.Errorf("%w: unknown record type %#x", ErrCorrupt, rec.Type)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-c.off)
+	}
+	return rec, nil
+}

@@ -1,0 +1,494 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"setsketch/internal/core"
+	"setsketch/internal/datagen"
+)
+
+// testCoins is a small digest-packable shape for fast tests.
+func testOptions() Options {
+	cfg := core.Config{Buckets: 16, SecondLevel: 8, FirstWise: 3}
+	return Options{Config: cfg, Seed: 0x5eed, Copies: 4}
+}
+
+// rawOptions is a non-packable shape (s > 58), forcing RecUpdates.
+func rawOptions() Options {
+	cfg := core.Config{Buckets: 16, SecondLevel: 60, FirstWise: 3}
+	return Options{Config: cfg, Seed: 0x5eed, Copies: 4}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func testUpdates(n int, base uint64) []datagen.Update {
+	ups := make([]datagen.Update, n)
+	for i := range ups {
+		stream := "A"
+		if i%3 == 1 {
+			stream = "B"
+		}
+		ups[i] = datagen.Update{Stream: stream, Elem: base + uint64(i%7), Delta: 1}
+	}
+	return ups
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	var appended []uint64
+	for i := 0; i < 10; i++ {
+		rec := l.BuildUpdates("site1", testUpdates(5, uint64(i*100)))
+		seq, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appended = append(appended, seq)
+	}
+	if got := l.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq = %d, want 10", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	var seqs []uint64
+	stats, err := l2.Replay(1, func(rec *Record) error {
+		if rec.Type != RecDigests {
+			t.Fatalf("record %d type %d, want RecDigests (packable coins)", rec.Seq, rec.Type)
+		}
+		if rec.Count != 5 {
+			t.Fatalf("record %d count %d, want 5", rec.Seq, rec.Count)
+		}
+		seqs = append(seqs, rec.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 10 || stats.Updates != 50 || stats.FirstSeq != 1 || stats.LastSeq != 10 {
+		t.Fatalf("bad stats %+v", stats)
+	}
+	for i, s := range seqs {
+		if s != appended[i] {
+			t.Fatalf("replayed seq %d at position %d, want %d", s, i, appended[i])
+		}
+	}
+	// Replay from the middle.
+	stats, err = l2.Replay(7, func(*Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FirstSeq != 7 || stats.LastSeq != 10 || stats.Records != 4 {
+		t.Fatalf("suffix replay stats %+v", stats)
+	}
+}
+
+// TestDigestReplayEquivalence: applying the digest entries of a logged
+// batch reproduces exactly the family a direct application builds —
+// the linearity invariant recovery rests on.
+func TestDigestReplayEquivalence(t *testing.T) {
+	opts := testOptions()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, opts)
+	defer l.Close()
+
+	direct, err := core.NewFamily(opts.Config, opts.Seed, opts.Copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []datagen.Update{
+		{Stream: "A", Elem: 1, Delta: 2},
+		{Stream: "A", Elem: 2, Delta: 1},
+		{Stream: "A", Elem: 1, Delta: -1},
+		{Stream: "A", Elem: 3, Delta: 4},
+		{Stream: "A", Elem: 3, Delta: -4}, // cancels: coalescing drops it
+	}
+	for _, u := range ups {
+		direct.Update(u.Elem, u.Delta)
+	}
+	rec := l.BuildUpdates("s", ups)
+	if _, err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, err := core.NewFamily(opts.Config, opts.Seed, opts.Copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(1, func(r *Record) error {
+		for _, d := range r.Digests {
+			replayed.UpdateDigest(d.Digest, d.Delta)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Equal(replayed) {
+		t.Fatal("digest replay does not reproduce direct application")
+	}
+}
+
+func TestRawRecordsWhenNotPackable(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, rawOptions())
+	defer l.Close()
+	rec := l.BuildUpdates("site1", testUpdates(4, 0))
+	if rec.Type != RecUpdates || len(rec.Updates) != 4 {
+		t.Fatalf("non-packable coins should log raw updates, got type %d with %d updates",
+			rec.Type, len(rec.Updates))
+	}
+	if _, err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(1, func(r *Record) error {
+		if r.Type != RecUpdates || len(r.Updates) != 4 {
+			t.Fatalf("replayed type %d with %d updates", r.Type, len(r.Updates))
+		}
+		if r.Updates[1].Stream != "B" {
+			t.Fatalf("stream table mixup: %+v", r.Updates[1])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaRecordRoundTrip(t *testing.T) {
+	opts := testOptions()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, opts)
+	defer l.Close()
+	fam, _ := core.NewFamily(opts.Config, opts.Seed, opts.Copies)
+	fam.Insert(42)
+	var buf writerBuffer
+	if _, err := fam.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Type: RecDelta, Site: "s1", Stream: "A", Count: 7, Synopsis: buf.b}
+	if _, err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(1, func(r *Record) error {
+		if r.Type != RecDelta || r.Stream != "A" || r.Count != 7 || r.Site != "s1" {
+			t.Fatalf("bad delta record %+v", r)
+		}
+		got, err := core.ReadFamily(bytesReader(r.Synopsis))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(fam) {
+			t.Fatal("synopsis bytes corrupted through the WAL")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentRotationAndPrune(t *testing.T) {
+	opts := testOptions()
+	opts.SegmentSize = 2048 // tiny: rotate often
+	dir := t.TempDir()
+	l := mustOpen(t, dir, opts)
+	fams := make(map[string]*core.Family)
+	f, _ := core.NewFamily(opts.Config, opts.Seed, opts.Copies)
+	for i := 0; i < 60; i++ {
+		rec := l.BuildUpdates("s", testUpdates(8, uint64(i*1000)))
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range rec.Digests {
+			f.UpdateDigest(d.Digest, d.Delta)
+		}
+	}
+	fams["A"] = f
+	if l.SegmentCount() < 3 {
+		t.Fatalf("expected several segments, got %d", l.SegmentCount())
+	}
+	before := l.SegmentCount()
+
+	// Snapshot at the current tip prunes all sealed segments.
+	seq := l.LastSeq()
+	if err := l.WriteSnapshot(seq, 60*8, map[string]int{"s": 60}, fams); err != nil {
+		t.Fatal(err)
+	}
+	if l.SegmentCount() >= before {
+		t.Fatalf("snapshot did not prune segments: %d before, %d after", before, l.SegmentCount())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: snapshot + suffix replay reproduces the tip exactly.
+	snap, err := LoadLatestSnapshot(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Seq != seq || snap.Updates != 60*8 {
+		t.Fatalf("bad snapshot %+v", snap)
+	}
+	if !snap.Streams["A"].Equal(f) {
+		t.Fatal("snapshot family differs")
+	}
+	l2 := mustOpen(t, dir, opts)
+	defer l2.Close()
+	stats, err := l2.Replay(snap.Seq+1, func(*Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 {
+		t.Fatalf("replay past a tip snapshot should be empty, got %+v", stats)
+	}
+	// Appends continue from the recovered sequence.
+	if s, err := l2.Append(l2.BuildUpdates("s", testUpdates(1, 0))); err != nil || s != seq+1 {
+		t.Fatalf("append after recovery: seq %d err %v, want %d", s, err, seq+1)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	opts := testOptions()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, opts)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(l.BuildUpdates("s", testUpdates(3, uint64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d (%v)", len(segs), err)
+	}
+	path := segs[0].path
+
+	// Simulate a crash mid-append: chop bytes off the final record.
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, opts) // must truncate, not fail
+	got := uint64(0)
+	if _, err := l2.Replay(1, func(r *Record) error { got = r.Seq; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("after torn-tail truncation last seq = %d, want 4", got)
+	}
+	// The torn seq is reused by the next append.
+	if s, err := l2.Append(l2.BuildUpdates("s", testUpdates(1, 9))); err != nil || s != 5 {
+		t.Fatalf("append after truncation: seq %d err %v, want 5", s, err)
+	}
+	l2.Close()
+}
+
+func TestCorruptMidRecordTruncatesSuffix(t *testing.T) {
+	opts := testOptions()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, opts)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(l.BuildUpdates("s", testUpdates(3, uint64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	path := segs[0].path
+
+	// Flip one byte in the middle of record 3's frame: records 3..5 are
+	// unrecoverable, 1..2 survive.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate record 3's frame by walking the length prefixes.
+	off := int64(segHeaderSize)
+	cnt := 0
+	for off < int64(len(b)) && cnt < 2 {
+		n := int64(uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24)
+		off += frameHeaderSize + n
+		cnt++
+	}
+	b[off+frameHeaderSize+4] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inspect (read-only) reports the corruption point.
+	rep, err := InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments[0].Corrupt == "" || rep.Segments[0].TruncateAt != off {
+		t.Fatalf("inspect: corrupt=%q truncateAt=%d, want truncation at %d",
+			rep.Segments[0].Corrupt, rep.Segments[0].TruncateAt, off)
+	}
+	if rep.Segments[0].Records != 2 {
+		t.Fatalf("inspect: %d intact records, want 2", rep.Segments[0].Records)
+	}
+
+	// Open truncates to the intact prefix.
+	l2 := mustOpen(t, dir, opts)
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 2 {
+		t.Fatalf("after corruption LastSeq = %d, want 2", got)
+	}
+}
+
+func TestOpenRejectsMismatchedCoins(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	if _, err := l.Append(l.BuildUpdates("s", testUpdates(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	other := testOptions()
+	other.Seed++
+	if _, err := Open(dir, other); err == nil {
+		t.Fatal("Open accepted segments written with different coins")
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"always", func(o *Options) { o.Sync = SyncAlways }},
+		{"interval", func(o *Options) { o.Sync = SyncInterval; o.SyncInterval = time.Millisecond }},
+		{"never", func(o *Options) { o.Sync = SyncNever }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := testOptions()
+			tc.mod(&opts)
+			dir := t.TempDir()
+			l := mustOpen(t, dir, opts)
+			for i := 0; i < 3; i++ {
+				if _, err := l.Append(l.BuildUpdates("s", testUpdates(2, uint64(i)))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2 := mustOpen(t, dir, opts)
+			defer l2.Close()
+			stats, err := l2.Replay(1, func(*Record) error { return nil })
+			if err != nil || stats.Records != 3 {
+				t.Fatalf("replay after %s sync: %+v err %v", tc.name, stats, err)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	if p, _, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, _, err := ParseSyncPolicy("never"); err != nil || p != SyncNever {
+		t.Fatalf("never: %v %v", p, err)
+	}
+	if p, d, err := ParseSyncPolicy("250ms"); err != nil || p != SyncInterval || d != 250*time.Millisecond {
+		t.Fatalf("250ms: %v %v %v", p, d, err)
+	}
+	if _, _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("accepted garbage policy")
+	}
+	if _, _, err := ParseSyncPolicy("-1s"); err == nil {
+		t.Fatal("accepted negative interval")
+	}
+}
+
+func TestSnapshotFallsBackPastCorruptOne(t *testing.T) {
+	opts := testOptions()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, opts)
+	defer l.Close()
+	f, _ := core.NewFamily(opts.Config, opts.Seed, opts.Copies)
+	f.Insert(1)
+	fams := map[string]*core.Family{"A": f}
+	if _, err := l.Append(l.BuildUpdates("s", testUpdates(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(1, 1, nil, fams); err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(2)
+	if _, err := l.Append(l.BuildUpdates("s", testUpdates(1, 5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(2, 2, nil, fams); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot's data file.
+	db, err := os.ReadFile(snapDataPath(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db[len(db)/2] ^= 0xff
+	if err := os.WriteFile(snapDataPath(dir, 2), db, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadLatestSnapshot(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Seq != 1 {
+		t.Fatalf("expected fallback to snapshot 1, got %+v", snap)
+	}
+}
+
+func TestLoadLatestSnapshotEmpty(t *testing.T) {
+	snap, err := LoadLatestSnapshot(t.TempDir(), nil)
+	if err != nil || snap != nil {
+		t.Fatalf("empty dir: snap %+v err %v", snap, err)
+	}
+	snap, err = LoadLatestSnapshot(filepath.Join(t.TempDir(), "missing"), nil)
+	if err != nil || snap != nil {
+		t.Fatalf("missing dir: snap %+v err %v", snap, err)
+	}
+}
+
+func TestReplayCallbackErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	defer l.Close()
+	if _, err := l.Append(l.BuildUpdates("s", testUpdates(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	if _, err := l.Replay(1, func(*Record) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error lost: %v", err)
+	}
+}
+
+// --- small local helpers ---
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func bytesReader(b []byte) *bytes.Reader { return bytes.NewReader(b) }

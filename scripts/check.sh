@@ -35,6 +35,16 @@ go test -race -count=2 ./internal/ingest ./internal/distributed
 echo "== go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core"
 go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core
 
+# The WAL is the layer that must never lie about what is on disk; run
+# it under the race detector twice (appenders, the snapshotter, and
+# replay share the log), and run the kill -9 crash-recovery
+# integration test explicitly so a test-filter change can never
+# silently drop it from the gate.
+echo "== go test -race -count=2 ./internal/wal"
+go test -race -count=2 ./internal/wal
+echo "== go test -run 'TestCrashRecoveryBitIdentical|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd"
+go test -run 'TestCrashRecoveryBitIdentical|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd
+
 # Estimator bench smoke: the three query-kernel benchmarks must at
 # least compile and complete one iteration (full numbers come from
 # scripts/bench.sh).
@@ -55,5 +65,20 @@ if awk -v c="$COVER" -v f="$OBS_FLOOR" 'BEGIN{exit !(c < f)}'; then
     exit 1
 fi
 echo "internal/obs coverage: ${COVER}%"
+
+# Same bar for the durability layer: recovery correctness is only as
+# good as the tests that pin the on-disk formats and failure paths.
+WAL_FLOOR=80
+echo "== go test -cover ./internal/wal (floor ${WAL_FLOOR}%)"
+WCOVER=$(go test -cover ./internal/wal | awk '{for (i=1; i<=NF; i++) if ($i == "coverage:") {sub(/%.*/, "", $(i+1)); print $(i+1)}}')
+if [ -z "$WCOVER" ]; then
+    echo "check: could not read internal/wal coverage" >&2
+    exit 1
+fi
+if awk -v c="$WCOVER" -v f="$WAL_FLOOR" 'BEGIN{exit !(c < f)}'; then
+    echo "check: internal/wal coverage ${WCOVER}% is below the ${WAL_FLOOR}% floor" >&2
+    exit 1
+fi
+echo "internal/wal coverage: ${WCOVER}%"
 
 echo "check: OK"
