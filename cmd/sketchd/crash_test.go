@@ -271,6 +271,108 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	cmd2.Wait()
 }
 
+// TestViewCatalogSurvivesCrash: continuous views registered over the
+// wire must survive kill -9 — the catalog rides the WAL (RecView
+// records plus the snapshot's view list) and recovery re-registers it,
+// after which the views evaluate over the replayed updates.
+func TestViewCatalogSurvivesCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+	walDir := t.TempDir()
+	cmd, addr, _ := startHelperDaemon(t, walDir)
+
+	cli, err := distributed.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := []string{
+		"CREATE VIEW total AS (A | B)",
+		"CREATE VIEW per AS logins WINDOW 10m SLIDE 1m GROUP BY tenant EMIT ISTREAM",
+		"CREATE VIEW doomed AS A",
+	}
+	for _, s := range stmts {
+		if err := cli.CreateView(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.DropView("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cli.OpenStream("edge1", testCoins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []datagen.Update
+	for i := 0; i < 500; i++ {
+		ups = append(ups,
+			datagen.Update{Stream: "A", Elem: uint64(i), Delta: 1},
+			datagen.Update{Stream: "acme:logins", Elem: uint64(i), Delta: 1})
+	}
+	if _, err := sess.SendUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd.Process.Kill() // SIGKILL: no shutdown path runs
+	cmd.Wait()
+	cli.Close()
+
+	cmd2, addr2, _ := startHelperDaemon(t, walDir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	cli2, err := distributed.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	got, err := cli2.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"CREATE VIEW per AS logins WINDOW 10m SLIDE 1m GROUP BY tenant EMIT ISTREAM",
+		"CREATE VIEW total AS (A | B)",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("catalog after crash:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+
+	// The recovered views evaluate over the replayed updates: the
+	// ungrouped view sees stream A, the grouped view its acme group.
+	events, err := cli2.Subscribe(distributed.WatchRequest{
+		Views: []string{"total", "per"}, Eps: 0.2, EveryUpdates: 1, Interval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	seen := map[string]float64{}
+	for len(seen) < 2 {
+		select {
+		case ev, ok := <-events:
+			if !ok || ev.Terminal {
+				t.Fatalf("watch ended early: %+v (seen %v)", ev, seen)
+			}
+			if ev.Err != "" {
+				t.Fatalf("view round error after recovery: %s", ev.Err)
+			}
+			key := ev.View
+			if ev.Group != "" {
+				key += ":" + ev.Group
+			}
+			seen[key] = ev.Est.Value
+		case <-deadline:
+			t.Fatalf("timed out waiting for view rounds (seen %v)", seen)
+		}
+	}
+	if seen["total"] <= 0 || seen["per:acme"] <= 0 {
+		t.Errorf("recovered views estimate nothing: %v", seen)
+	}
+}
+
 // captureStdout runs fn with os.Stdout redirected to a pipe and
 // returns what it printed.
 func captureStdout(t *testing.T, fn func() error) string {

@@ -7,15 +7,18 @@
 //	sketchd serve  -listen :7070 [-admin :7071] [-log-level info] \
 //	               [-idle-timeout 0] [-copies 512] [-s 32] [-seed 1] \
 //	               [-wal-dir /var/lib/sketchd/wal] [-fsync always] \
-//	               [-segment-size 16777216] [-snapshot-interval 1m]
+//	               [-segment-size 16777216] [-snapshot-interval 1m] \
+//	               [-cq-max-groups 4096] [-cq-group-sep :] \
+//	               [-cq-rotate-interval 1s]
 //	sketchd push   -addr host:7070 -site edge1 -in updates.txt [...coins]
 //	sketchd stream -addr host:7070 -site edge1 -in updates.txt \
 //	               [-mode sketch|forward] [-workers N] [-flush-updates 10000] \
 //	               [-wal-dir dir] [-fsync always] [-segment-size N] \
 //	               [-admin :0] [-log-level info] [...coins]
 //	sketchd query  -addr host:7070 -expr '(A & B) - C' [-eps 0.1]
-//	sketchd watch  -addr host:7070 -expr 'A & B' [-expr 'A | B'] \
+//	sketchd watch  -addr host:7070 [-expr 'A & B'] [-view name] \
 //	               [-eps 0.1] [-every 10000] [-interval 2s]
+//	sketchd views  -addr host:7070 [-create 'CREATE VIEW ...'] [-drop name]
 //	sketchd streams -addr host:7070
 //	sketchd inspect wal -dir /var/lib/sketchd/wal
 //
@@ -24,8 +27,11 @@
 // the sharded ingest engine locally and flushes synopsis deltas
 // (merged by linearity at the coordinator); in forward mode it relays
 // raw update batches for the coordinator to sketch. watch registers
-// standing continuous queries and prints each re-evaluation as the
-// coordinator streams it back.
+// standing continuous queries — ad-hoc expressions and/or continuous
+// views — and prints each re-evaluation as the coordinator streams it
+// back. views manages the coordinator's continuous-view catalog
+// (CREATE VIEW statements with windows, groups, and emit modes — see
+// QUERIES.md for the language).
 //
 // All parties must share the stored-coins parameters (-copies, -s,
 // -wise, -seed); mismatches are rejected by the coordinator.
@@ -56,6 +62,7 @@ import (
 	"time"
 
 	"setsketch/internal/core"
+	"setsketch/internal/cq"
 	"setsketch/internal/datagen"
 	"setsketch/internal/distributed"
 	"setsketch/internal/ingest"
@@ -80,6 +87,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "watch":
 		err = runWatch(os.Args[2:])
+	case "views":
+		err = runViews(os.Args[2:])
 	case "streams":
 		err = runStreams(os.Args[2:])
 	case "inspect":
@@ -94,7 +103,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sketchd {serve|push|stream|query|watch|streams|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sketchd {serve|push|stream|query|watch|views|streams|inspect} [flags]")
 	os.Exit(2)
 }
 
@@ -140,6 +149,7 @@ type daemon struct {
 
 	wlog *wal.Log
 	snap *distributed.Snapshotter
+	rot  *distributed.ViewRotator
 	log  *obs.Logger
 }
 
@@ -161,6 +171,16 @@ type daemonConfig struct {
 	Fsync            string // "always", "never", or an interval duration
 	SegmentSize      int64  // 0 = WAL default (16 MiB)
 	SnapshotInterval time.Duration
+
+	// Continuous-view engine knobs (see QUERIES.md). CQMaxGroups bounds
+	// live groups per grouped view (0 = engine default 4096, negative =
+	// unbounded); CQGroupSep is the group/stream separator in physical
+	// stream names ("" = ":"); CQRotateInterval sweeps windowed views so
+	// idle views still age (0 disables the sweep — updates and watch
+	// rounds still rotate lazily).
+	CQMaxGroups      int
+	CQGroupSep       string
+	CQRotateInterval time.Duration
 }
 
 // startDaemon listens, wires observability into the coordinator and
@@ -170,6 +190,14 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	coord, err := distributed.NewCoordinator(cfg.Coins)
 	if err != nil {
 		return nil, err
+	}
+	// Reconfigure the continuous-view engine before recovery so replayed
+	// CREATE VIEW statements land in an engine with the right group
+	// bound and separator.
+	if cfg.CQMaxGroups != 0 || cfg.CQGroupSep != "" {
+		if err := coord.SetCQOptions(cq.Options{MaxGroups: cfg.CQMaxGroups, GroupSep: cfg.CQGroupSep}); err != nil {
+			return nil, err
+		}
 	}
 	l, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
@@ -218,6 +246,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 			"snapshot_seq", rs.SnapshotSeq, "replayed_records", rs.Replayed.Records,
 			"replayed_updates", rs.Replayed.Updates, "last_seq", wlog.LastSeq())
 	}
+	d.rot = distributed.StartViewRotator(coord, cfg.CQRotateInterval)
 	srv := distributed.NewServer(coord)
 	srv.IdleTimeout = cfg.IdleTimeout
 	srv.SetObservability(reg, cfg.Log)
@@ -261,6 +290,7 @@ func (d *daemon) Close() {
 		d.admin.Close()
 	}
 	d.srv.Close() // drains in-flight dispatches; all mutations logged
+	d.rot.Stop()  // nil-safe
 	if d.wlog != nil {
 		d.snap.Stop() // nil-safe
 		if err := d.Coord.WriteSnapshot(); err != nil {
@@ -285,6 +315,9 @@ func runServe(args []string) error {
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always, never, or an interval like 100ms")
 	segSize := fs.Int64("segment-size", 16<<20, "rotate WAL segments at this many bytes")
 	snapInterval := fs.Duration("snapshot-interval", time.Minute, "write a state snapshot this often so recovery replays only a short WAL suffix (0 disables periodic snapshots)")
+	cqMaxGroups := fs.Int("cq-max-groups", 0, "live groups per grouped continuous view before LRU eviction (0 = default 4096, negative = unbounded)")
+	cqGroupSep := fs.String("cq-group-sep", "", "separator splitting physical stream names into group:logical for GROUP BY views (default \":\")")
+	cqRotate := fs.Duration("cq-rotate-interval", time.Second, "sweep windowed continuous views this often so idle views still age out buckets (0 disables the sweep)")
 	mkLog := logFlags(fs)
 	coins := coinFlags(fs)
 	fs.Parse(args)
@@ -304,6 +337,9 @@ func runServe(args []string) error {
 		Fsync:            *fsync,
 		SegmentSize:      *segSize,
 		SnapshotInterval: *snapInterval,
+		CQMaxGroups:      *cqMaxGroups,
+		CQGroupSep:       *cqGroupSep,
+		CQRotateInterval: *cqRotate,
 	})
 	if err != nil {
 		return err
@@ -601,30 +637,41 @@ func streamSketch(sess *distributed.StreamSession, in string, coins distributed.
 func runWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
-	var exprs []string
+	var exprs, views []string
 	fs.Func("expr", "set expression to watch (repeatable)", func(s string) error {
 		exprs = append(exprs, s)
+		return nil
+	})
+	fs.Func("view", "continuous view to watch, registered earlier via `sketchd views -create` (repeatable)", func(s string) error {
+		views = append(views, s)
 		return nil
 	})
 	eps := fs.Float64("eps", 0.1, "relative accuracy parameter ε")
 	every := fs.Uint64("every", 10000, "re-evaluate after this many accepted updates (0 disables)")
 	interval := fs.Duration("interval", 0, "also re-evaluate on this wall-clock period (0 disables)")
 	fs.Parse(args)
-	if len(exprs) == 0 {
-		return fmt.Errorf("watch: at least one -expr is required")
+	if len(exprs) == 0 && len(views) == 0 {
+		return fmt.Errorf("watch: at least one -expr or -view is required")
 	}
 	cli, err := distributed.Dial(*addr)
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
-	events, err := cli.Watch(exprs, *eps, *every, *interval)
+	events, err := cli.Subscribe(distributed.WatchRequest{
+		Exprs:        exprs,
+		Views:        views,
+		Eps:          *eps,
+		EveryUpdates: *every,
+		Interval:     *interval,
+	})
 	if err != nil {
 		return err
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	fmt.Fprintf(os.Stderr, "sketchd: watching %d expression(s); ^C to stop\n", len(exprs))
+	fmt.Fprintf(os.Stderr, "sketchd: watching %d expression(s), %d view(s); ^C to stop\n",
+		len(exprs), len(views))
 	for {
 		select {
 		case <-sig:
@@ -644,15 +691,72 @@ func runWatch(args []string) error {
 				}
 				return fmt.Errorf("watch: %s", ev.Err)
 			}
+			label := ev.Expr
+			if ev.View != "" {
+				label = "view " + ev.View
+				if ev.Group != "" {
+					label += "[" + ev.Group + "]"
+				}
+			}
 			if ev.Err != "" {
-				fmt.Printf("[%d @ %d updates] %s: %s\n", ev.Epoch, ev.Updates, ev.Expr, ev.Err)
+				fmt.Printf("[%d @ %d updates] %s: %s\n", ev.Epoch, ev.Updates, label, ev.Err)
 				continue
 			}
-			fmt.Printf("[%d @ %d updates] |%s| ≈ %.0f ± %.0f  (level %d, %d/%d valid, %d witnesses)\n",
-				ev.Epoch, ev.Updates, ev.Expr, ev.Est.Value, ev.Est.StdError,
+			delta := ""
+			if ev.Delta != 0 {
+				delta = fmt.Sprintf("  Δ%+.0f", ev.Delta)
+			}
+			fmt.Printf("[%d @ %d updates] |%s| ≈ %.0f ± %.0f%s  (level %d, %d/%d valid, %d witnesses)\n",
+				ev.Epoch, ev.Updates, label, ev.Est.Value, ev.Est.StdError, delta,
 				ev.Est.Level, ev.Est.Valid, ev.Est.Copies, ev.Est.Witnesses)
 		}
 	}
+}
+
+// runViews manages the coordinator's continuous-view catalog: with no
+// action flags it lists the catalog as canonical CREATE VIEW
+// statements; -create registers a view and -drop removes one (both may
+// be given, creates run first).
+func runViews(args []string) error {
+	fs := flag.NewFlagSet("views", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	var creates, drops []string
+	fs.Func("create", "CREATE VIEW statement to register (repeatable; see QUERIES.md)", func(s string) error {
+		creates = append(creates, s)
+		return nil
+	})
+	fs.Func("drop", "view name to drop (repeatable)", func(s string) error {
+		drops = append(drops, s)
+		return nil
+	})
+	fs.Parse(args)
+	cli, err := distributed.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	for _, stmt := range creates {
+		if err := cli.CreateView(stmt); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sketchd: created view\n")
+	}
+	for _, name := range drops {
+		if err := cli.DropView(name); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sketchd: dropped view %q\n", name)
+	}
+	if len(creates) == 0 && len(drops) == 0 {
+		stmts, err := cli.ListViews()
+		if err != nil {
+			return err
+		}
+		for _, s := range stmts {
+			fmt.Println(s)
+		}
+	}
+	return nil
 }
 
 func runQuery(args []string) error {
@@ -702,7 +806,7 @@ func runInspect(args []string) error {
 	for _, s := range rep.Segments {
 		fmt.Printf("segment %s: %d bytes, seq %d..%d, %d records",
 			filepath.Base(s.Path), s.Size, s.FirstSeq, s.LastSeq, s.Records)
-		for _, t := range []byte{wal.RecUpdates, wal.RecDigests, wal.RecDelta, wal.RecMark} {
+		for _, t := range []byte{wal.RecUpdates, wal.RecDigests, wal.RecDelta, wal.RecMark, wal.RecView} {
 			if n := s.ByType[t]; n > 0 {
 				fmt.Printf(" %s=%d", wal.RecordTypeName(t), n)
 			}

@@ -120,7 +120,7 @@ func (j *siteJournal) MarkAcked() error {
 	j.lastMarkSeq = seq
 	j.marks++
 	if j.marks%markCheckpointEvery == 0 || j.l.SegmentCount() > 1 {
-		return j.l.WriteSnapshot(seq, 0, nil, nil)
+		return j.l.WriteSnapshot(seq, 0, nil, nil, nil)
 	}
 	return nil
 }
@@ -133,7 +133,7 @@ func (j *siteJournal) Close() error {
 		return nil
 	}
 	if j.lastMarkSeq > j.l.LastSnapshotSeq() {
-		j.l.WriteSnapshot(j.lastMarkSeq, 0, nil, nil)
+		j.l.WriteSnapshot(j.lastMarkSeq, 0, nil, nil, nil)
 	}
 	return j.l.Close()
 }

@@ -1,0 +1,408 @@
+// Package cq implements the continuous-query surface over the paper's
+// set-expression estimators: sliding/tumbling time windows, keyed
+// sketch groups, and a small declarative view language, all layered on
+// the same linear synopses the point-in-time query processor uses.
+//
+// Everything here exploits one fact: a sketch family is a linear
+// function of its update stream. That makes a time window a ring of
+// per-bucket families merged on evaluation (eviction = dropping the
+// oldest bucket, exactly — no decay approximation), and a keyed group
+// just one family set per group key, merged and estimated
+// independently.
+//
+// The language is deliberately tiny:
+//
+//	CREATE VIEW name AS <set-expression>
+//	    [WINDOW <duration> [SLIDE <duration>]]
+//	    [GROUP BY <key>]
+//	    [EMIT RSTREAM|ISTREAM]
+//	DROP VIEW name
+//
+// parsed into ViewSpec values that compile down to existing watch
+// registrations and the compiled query kernel (QUERIES.md is the full
+// reference). The Engine type holds the per-view window/group state;
+// it does no locking of its own — the embedding coordinator serializes
+// mutations under its state lock.
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"setsketch/internal/expr"
+)
+
+// EmitMode selects which per-group results a view emits each round.
+type EmitMode int
+
+const (
+	// EmitRStream emits the current estimate of every group every
+	// round (the relation stream of CQL: the full answer, re-stated).
+	EmitRStream EmitMode = iota
+	// EmitIStream emits only groups whose estimate changed since the
+	// last emitted round, carrying the signed change in Delta (the
+	// insert stream of CQL, generalized to signed cardinality deltas).
+	EmitIStream
+)
+
+// String returns the keyword spelling of the emit mode.
+func (m EmitMode) String() string {
+	if m == EmitIStream {
+		return "ISTREAM"
+	}
+	return "RSTREAM"
+}
+
+// maxWindowBuckets bounds WINDOW/SLIDE so a view cannot demand an
+// absurd ring (each bucket holds one family per referenced stream per
+// live group).
+const maxWindowBuckets = 4096
+
+// ViewSpec is one parsed continuous-view definition.
+type ViewSpec struct {
+	// Name identifies the view in the catalog; a set-expression
+	// identifier ([A-Za-z_][A-Za-z0-9_]*).
+	Name string
+	// Expr is the set expression evaluated each round, in canonical
+	// (fully parenthesized) form.
+	Expr string
+	// Window is the time span estimates cover; 0 means all-time.
+	Window time.Duration
+	// Slide is the window advance granularity (= bucket width). 0 with
+	// a window selects a tumbling window (Slide = Window). Must divide
+	// Window evenly.
+	Slide time.Duration
+	// GroupBy names the group dimension; "" disables grouping. Grouped
+	// views read logical streams: a physical stream "acme:logins"
+	// contributes to group "acme" of a view referencing "logins" (the
+	// separator is Options.GroupSep).
+	GroupBy string
+	// Emit selects RSTREAM (default) or ISTREAM delivery.
+	Emit EmitMode
+}
+
+// Windowed reports whether the view has a time window.
+func (s ViewSpec) Windowed() bool { return s.Window > 0 }
+
+// Grouped reports whether the view is keyed.
+func (s ViewSpec) Grouped() bool { return s.GroupBy != "" }
+
+// Buckets returns the ring size Window/Slide (1 for all-time views).
+func (s ViewSpec) Buckets() int {
+	if s.Window <= 0 || s.Slide <= 0 {
+		return 1
+	}
+	return int(s.Window / s.Slide)
+}
+
+// Statement renders the canonical CREATE VIEW statement. Parsing the
+// result yields an identical spec (the round-trip is tested), which is
+// why catalogs persist statements, not structs.
+func (s ViewSpec) Statement() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE VIEW %s AS %s", s.Name, s.Expr)
+	if s.Window > 0 {
+		fmt.Fprintf(&b, " WINDOW %s", formatDuration(s.Window))
+		if s.Slide > 0 && s.Slide != s.Window {
+			fmt.Fprintf(&b, " SLIDE %s", formatDuration(s.Slide))
+		}
+	}
+	if s.GroupBy != "" {
+		fmt.Fprintf(&b, " GROUP BY %s", s.GroupBy)
+	}
+	if s.Emit != EmitRStream {
+		fmt.Fprintf(&b, " EMIT %s", s.Emit)
+	}
+	return b.String()
+}
+
+// formatDuration renders a duration the way a person would write it in
+// a statement: time.Duration.String() minus redundant zero units
+// ("5m0s" → "5m", "1h0m0s" → "1h"), so canonical statements read like
+// the input that produced them.
+func formatDuration(d time.Duration) string {
+	s := d.String()
+	// Only strip a zero component that follows a larger unit, so "30s"
+	// stays intact while "5m0s" and "1h0m0s" lose their zero tails.
+	if strings.HasSuffix(s, "m0s") {
+		s = strings.TrimSuffix(s, "0s")
+	}
+	if strings.HasSuffix(s, "h0m") {
+		s = strings.TrimSuffix(s, "0m")
+	}
+	return s
+}
+
+// Validate checks the structural constraints ParseStatement enforces,
+// normalizing a zero Slide to the tumbling default. Specs built in
+// code should call it before Engine.Register.
+func (s *ViewSpec) Validate() error {
+	if !isIdent(s.Name) {
+		return fmt.Errorf("cq: view name %q is not an identifier", s.Name)
+	}
+	node, err := expr.Parse(s.Expr)
+	if err != nil {
+		return fmt.Errorf("cq: view %s: %w", s.Name, err)
+	}
+	for _, name := range expr.Streams(node) {
+		if isClauseKeyword(name) {
+			return fmt.Errorf("cq: view %s: stream name %q is a reserved keyword", s.Name, name)
+		}
+	}
+	s.Expr = node.String()
+	if s.Window < 0 || s.Slide < 0 {
+		return fmt.Errorf("cq: view %s: negative window or slide", s.Name)
+	}
+	if s.Window == 0 {
+		if s.Slide != 0 {
+			return fmt.Errorf("cq: view %s: SLIDE without WINDOW", s.Name)
+		}
+	} else {
+		if s.Slide == 0 {
+			s.Slide = s.Window // tumbling
+		}
+		if s.Slide > s.Window {
+			return fmt.Errorf("cq: view %s: slide %s exceeds window %s", s.Name, s.Slide, s.Window)
+		}
+		if s.Window%s.Slide != 0 {
+			return fmt.Errorf("cq: view %s: slide %s does not divide window %s evenly", s.Name, s.Slide, s.Window)
+		}
+		if n := s.Window / s.Slide; n > maxWindowBuckets {
+			return fmt.Errorf("cq: view %s: window/slide = %d buckets exceeds the %d-bucket limit", s.Name, n, maxWindowBuckets)
+		}
+	}
+	if s.GroupBy != "" && !isIdent(s.GroupBy) {
+		return fmt.Errorf("cq: view %s: group key %q is not an identifier", s.Name, s.GroupBy)
+	}
+	return nil
+}
+
+// Statement is one parsed catalog statement: exactly one of Create and
+// Drop is set.
+type Statement struct {
+	Create *ViewSpec
+	Drop   string // view name
+}
+
+// clause keywords are reserved inside view statements: they terminate
+// the expression region, so a stream may not be named after one there.
+func isClauseKeyword(w string) bool {
+	switch strings.ToUpper(w) {
+	case "WINDOW", "SLIDE", "GROUP", "EMIT":
+		return true
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtScanner walks a statement's word tokens (identifier/keyword/
+// duration runs), reporting each word's byte offset so the expression
+// region can be sliced out of the source verbatim. Punctuation — the
+// expression's operators and parentheses — is skipped a byte at a
+// time; only words matter to the clause grammar.
+type stmtScanner struct {
+	src string
+	pos int
+}
+
+// next returns the next word and its byte offset, or "" at the end.
+// Words are runs of identifier characters plus '.' (for durations like
+// "1.5m"); any other byte is skipped.
+func (sc *stmtScanner) next() (string, int) {
+	for sc.pos < len(sc.src) {
+		c := sc.src[sc.pos]
+		if isIdentChar(c) || c == '.' {
+			start := sc.pos
+			for sc.pos < len(sc.src) && (isIdentChar(sc.src[sc.pos]) || sc.src[sc.pos] == '.') {
+				sc.pos++
+			}
+			return sc.src[start:sc.pos], start
+		}
+		sc.pos++
+	}
+	return "", len(sc.src)
+}
+
+// StatementError describes a view-statement syntax error with its byte
+// offset in the input.
+type StatementError struct {
+	Pos int
+	Msg string
+}
+
+func (e *StatementError) Error() string {
+	return fmt.Sprintf("cq: statement error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// ParseStatement parses one catalog statement:
+//
+//	CREATE VIEW name AS expr [WINDOW dur [SLIDE dur]] [GROUP BY key] [EMIT RSTREAM|ISTREAM]
+//	DROP VIEW name
+//
+// Keywords are case-insensitive; clauses appear in the order shown.
+// The expression uses the full set-expression grammar of expr.Parse
+// (see QUERIES.md), except that WINDOW, SLIDE, GROUP, and EMIT are
+// reserved and cannot name streams inside a view statement.
+func ParseStatement(src string) (*Statement, error) {
+	sc := &stmtScanner{src: src}
+	w, pos := sc.next()
+	switch strings.ToUpper(w) {
+	case "CREATE":
+		return parseCreate(src, sc)
+	case "DROP":
+		return parseDrop(sc)
+	case "":
+		return nil, &StatementError{Pos: pos, Msg: "empty statement"}
+	default:
+		return nil, &StatementError{Pos: pos, Msg: fmt.Sprintf("expected CREATE or DROP, found %q", w)}
+	}
+}
+
+func parseDrop(sc *stmtScanner) (*Statement, error) {
+	if w, pos := sc.next(); strings.ToUpper(w) != "VIEW" {
+		return nil, &StatementError{Pos: pos, Msg: fmt.Sprintf("expected VIEW after DROP, found %q", w)}
+	}
+	name, pos := sc.next()
+	if !isIdent(name) {
+		return nil, &StatementError{Pos: pos, Msg: fmt.Sprintf("expected a view name, found %q", name)}
+	}
+	if w, pos := sc.next(); w != "" {
+		return nil, &StatementError{Pos: pos, Msg: fmt.Sprintf("unexpected %q after DROP VIEW", w)}
+	}
+	return &Statement{Drop: name}, nil
+}
+
+func parseCreate(src string, sc *stmtScanner) (*Statement, error) {
+	if w, pos := sc.next(); strings.ToUpper(w) != "VIEW" {
+		return nil, &StatementError{Pos: pos, Msg: fmt.Sprintf("expected VIEW after CREATE, found %q", w)}
+	}
+	name, pos := sc.next()
+	if !isIdent(name) || isClauseKeyword(name) {
+		return nil, &StatementError{Pos: pos, Msg: fmt.Sprintf("expected a view name, found %q", name)}
+	}
+	asWord, asPos := sc.next()
+	if strings.ToUpper(asWord) != "AS" {
+		return nil, &StatementError{Pos: asPos, Msg: fmt.Sprintf("expected AS after the view name, found %q", asWord)}
+	}
+	// The expression runs from here to the first clause keyword (or the
+	// end); it is sliced out verbatim and handed to the expression
+	// parser, so the full expr grammar — operators, parentheses,
+	// Unicode spellings — works unchanged inside a statement.
+	exprStart := sc.pos
+	exprEnd := len(src)
+	var clause string
+	var clausePos int
+	for {
+		w, pos := sc.next()
+		if w == "" {
+			break
+		}
+		if isClauseKeyword(w) {
+			clause, clausePos, exprEnd = strings.ToUpper(w), pos, pos
+			break
+		}
+	}
+	exprSrc := strings.TrimSpace(src[exprStart:exprEnd])
+	if exprSrc == "" {
+		return nil, &StatementError{Pos: exprStart, Msg: "missing set expression after AS"}
+	}
+	spec := &ViewSpec{Name: name, Expr: exprSrc}
+	if err := parseClauses(spec, sc, clause, clausePos); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Statement{Create: spec}, nil
+}
+
+// parseClauses consumes the optional clause tail, starting from the
+// clause keyword (if any) that terminated the expression region.
+func parseClauses(spec *ViewSpec, sc *stmtScanner, clause string, pos int) error {
+	duration := func(after string) (time.Duration, error) {
+		w, wpos := sc.next()
+		d, err := time.ParseDuration(w)
+		if err != nil || d <= 0 {
+			return 0, &StatementError{Pos: wpos, Msg: fmt.Sprintf("expected a positive duration after %s, found %q", after, w)}
+		}
+		return d, nil
+	}
+	if clause == "WINDOW" {
+		d, err := duration("WINDOW")
+		if err != nil {
+			return err
+		}
+		spec.Window = d
+		clause, pos = nextClause(sc)
+		if clause == "SLIDE" {
+			d, err := duration("SLIDE")
+			if err != nil {
+				return err
+			}
+			spec.Slide = d
+			clause, pos = nextClause(sc)
+		}
+	} else if clause == "SLIDE" {
+		return &StatementError{Pos: pos, Msg: "SLIDE without WINDOW"}
+	}
+	if clause == "GROUP" {
+		if w, wpos := sc.next(); strings.ToUpper(w) != "BY" {
+			return &StatementError{Pos: wpos, Msg: fmt.Sprintf("expected BY after GROUP, found %q", w)}
+		}
+		key, kpos := sc.next()
+		if !isIdent(key) || isClauseKeyword(key) {
+			return &StatementError{Pos: kpos, Msg: fmt.Sprintf("expected a group key after GROUP BY, found %q", key)}
+		}
+		spec.GroupBy = key
+		clause, pos = nextClause(sc)
+	}
+	if clause == "EMIT" {
+		w, wpos := sc.next()
+		switch strings.ToUpper(w) {
+		case "RSTREAM":
+			spec.Emit = EmitRStream
+		case "ISTREAM":
+			spec.Emit = EmitIStream
+		default:
+			return &StatementError{Pos: wpos, Msg: fmt.Sprintf("expected RSTREAM or ISTREAM after EMIT, found %q", w)}
+		}
+		clause, pos = nextClause(sc)
+	}
+	if clause != "" {
+		return &StatementError{Pos: pos, Msg: fmt.Sprintf("unexpected %q", clause)}
+	}
+	return nil
+}
+
+// nextClause reads the next word, requiring it to be a clause keyword
+// or the end of the statement. It returns the uppercased keyword.
+func nextClause(sc *stmtScanner) (string, int) {
+	w, pos := sc.next()
+	if w == "" {
+		return "", pos
+	}
+	if isClauseKeyword(w) {
+		return strings.ToUpper(w), pos
+	}
+	return w, pos // caller reports "unexpected"
+}

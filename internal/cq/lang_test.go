@@ -1,0 +1,201 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustCreate(t *testing.T, src string) *ViewSpec {
+	t.Helper()
+	st, err := ParseStatement(src)
+	if err != nil {
+		t.Fatalf("ParseStatement(%q): %v", src, err)
+	}
+	if st.Create == nil {
+		t.Fatalf("ParseStatement(%q): not a CREATE", src)
+	}
+	return st.Create
+}
+
+func TestParseCreateMinimal(t *testing.T) {
+	spec := mustCreate(t, "CREATE VIEW v AS a | b")
+	if spec.Name != "v" || spec.Expr != "(a | b)" {
+		t.Fatalf("got %+v", spec)
+	}
+	if spec.Windowed() || spec.Grouped() || spec.Emit != EmitRStream {
+		t.Fatalf("unexpected clauses: %+v", spec)
+	}
+	if spec.Buckets() != 1 {
+		t.Fatalf("all-time view wants 1 bucket, got %d", spec.Buckets())
+	}
+}
+
+func TestParseCreateFull(t *testing.T) {
+	spec := mustCreate(t,
+		"create view errs as (logins & errors) - bots window 5m slide 1m group by tenant emit istream")
+	if spec.Name != "errs" {
+		t.Fatalf("name %q", spec.Name)
+	}
+	if spec.Expr != "((logins & errors) - bots)" {
+		t.Fatalf("expr %q", spec.Expr)
+	}
+	if spec.Window != 5*time.Minute || spec.Slide != time.Minute {
+		t.Fatalf("window %v slide %v", spec.Window, spec.Slide)
+	}
+	if spec.GroupBy != "tenant" || spec.Emit != EmitIStream {
+		t.Fatalf("group %q emit %v", spec.GroupBy, spec.Emit)
+	}
+	if spec.Buckets() != 5 {
+		t.Fatalf("buckets %d", spec.Buckets())
+	}
+}
+
+func TestParseTumblingDefault(t *testing.T) {
+	spec := mustCreate(t, "CREATE VIEW v AS a WINDOW 10m")
+	if spec.Slide != 10*time.Minute {
+		t.Fatalf("tumbling default: slide %v", spec.Slide)
+	}
+	if spec.Buckets() != 1 {
+		t.Fatalf("tumbling buckets %d", spec.Buckets())
+	}
+}
+
+func TestParseUnicodeOperators(t *testing.T) {
+	spec := mustCreate(t, "CREATE VIEW v AS (a ∪ b) ∩ (c ⊕ d) WINDOW 1h SLIDE 15m")
+	if spec.Expr != "((a | b) & (c ^ d))" {
+		t.Fatalf("expr %q", spec.Expr)
+	}
+}
+
+func TestParseWordOperators(t *testing.T) {
+	spec := mustCreate(t, "CREATE VIEW v AS a UNION b EXCEPT c")
+	// EXCEPT binds tighter than UNION in the expression grammar.
+	if spec.Expr != "(a | (b - c))" {
+		t.Fatalf("expr %q", spec.Expr)
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	st, err := ParseStatement("DROP VIEW old_view")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Drop != "old_view" || st.Create != nil {
+		t.Fatalf("got %+v", st)
+	}
+}
+
+// Statement() must render a form that reparses to the identical spec —
+// the catalog persists statements, so this round-trip is load-bearing.
+func TestStatementRoundTrip(t *testing.T) {
+	srcs := []string{
+		"CREATE VIEW v AS a",
+		"CREATE VIEW v AS a | b WINDOW 5m SLIDE 1m",
+		"CREATE VIEW v AS a & b WINDOW 1h",
+		"CREATE VIEW v AS a ^ b GROUP BY region",
+		"CREATE VIEW v AS (a - b) | c WINDOW 30s SLIDE 10s GROUP BY tenant EMIT ISTREAM",
+		"CREATE VIEW v AS a EMIT RSTREAM",
+	}
+	for _, src := range srcs {
+		spec := mustCreate(t, src)
+		again := mustCreate(t, spec.Statement())
+		if *again != *spec {
+			t.Errorf("%q: round-trip mismatch:\n  once:  %+v\n  twice: %+v", src, spec, again)
+		}
+		if again.Statement() != spec.Statement() {
+			t.Errorf("%q: statement not a fixed point: %q vs %q", src, spec.Statement(), again.Statement())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"", "empty statement"},
+		{"SELECT 1", "expected CREATE or DROP"},
+		{"CREATE TABLE t AS a", "expected VIEW"},
+		{"CREATE VIEW AS a", "expected AS"}, // "AS" scans as the name
+		{"CREATE VIEW window AS a", "expected a view name"},
+		{"CREATE VIEW v a | b", "expected AS"},
+		{"CREATE VIEW v AS", "missing set expression"},
+		{"CREATE VIEW v AS WINDOW 5m", "missing set expression"},
+		{"CREATE VIEW v AS a | ", "expr"},
+		{"CREATE VIEW v AS a WINDOW", "expected a positive duration"},
+		{"CREATE VIEW v AS a WINDOW banana", "expected a positive duration"},
+		{"CREATE VIEW v AS a SLIDE 1m", "SLIDE without WINDOW"},
+		{"CREATE VIEW v AS a WINDOW 5m SLIDE 2m", "does not divide"},
+		{"CREATE VIEW v AS a WINDOW 1m SLIDE 5m", "exceeds window"},
+		{"CREATE VIEW v AS a WINDOW 5000h SLIDE 1s", "bucket limit"},
+		{"CREATE VIEW v AS a GROUP tenant", "expected BY"},
+		{"CREATE VIEW v AS a GROUP BY", "expected a group key"},
+		{"CREATE VIEW v AS a GROUP BY emit", "expected a group key"},
+		{"CREATE VIEW v AS a EMIT DSTREAM", "expected RSTREAM or ISTREAM"},
+		{"CREATE VIEW v AS a EMIT RSTREAM trailing", "unexpected"},
+		{"CREATE VIEW v AS a GROUP BY k WINDOW 5m", "unexpected"}, // clauses are ordered
+		{"DROP VIEW", "expected a view name"},
+		{"DROP TABLE v", "expected VIEW"},
+		{"DROP VIEW v extra", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := ParseStatement(c.src)
+		if err == nil {
+			t.Errorf("%q: no error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+// The scanner skips punctuation, so "WINDOW -5m" reads the duration as
+// a positive "5m" — sign characters never reach ParseDuration. Pin
+// that down so a doc change doesn't silently alter it.
+func TestParseNegativeDurationSignIgnored(t *testing.T) {
+	spec := mustCreate(t, "CREATE VIEW v AS a WINDOW -5m")
+	if spec.Window != 5*time.Minute {
+		t.Fatalf("window %v", spec.Window)
+	}
+}
+
+func TestValidateNormalizes(t *testing.T) {
+	s := ViewSpec{Name: "v", Expr: "a|b", Window: time.Hour}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Slide != time.Hour {
+		t.Fatalf("tumbling normalization: slide %v", s.Slide)
+	}
+	if s.Expr != "(a | b)" {
+		t.Fatalf("canonicalization: %q", s.Expr)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []ViewSpec{
+		{Name: "9v", Expr: "a"},
+		{Name: "v", Expr: "a |"},
+		{Name: "v", Expr: "a", Slide: time.Minute},
+		{Name: "v", Expr: "a", Window: -time.Minute},
+		{Name: "v", Expr: "a", GroupBy: "no spaces"},
+		{Name: "v", Expr: "window"}, // reserved stream name
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v: accepted", s)
+		}
+	}
+}
+
+func TestStatementErrorOffset(t *testing.T) {
+	_, err := ParseStatement("CREATE VIEW v AS a WINDOW banana")
+	se, ok := err.(*StatementError)
+	if !ok {
+		t.Fatalf("want *StatementError, got %T", err)
+	}
+	if se.Pos != strings.Index("CREATE VIEW v AS a WINDOW banana", "banana") {
+		t.Fatalf("offset %d", se.Pos)
+	}
+}

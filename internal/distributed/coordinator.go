@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"setsketch/internal/core"
+	"setsketch/internal/cq"
 	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
 	"setsketch/internal/obs"
@@ -39,6 +40,13 @@ type Coordinator struct {
 	fams    map[string]*core.Family
 	sites   map[string]int // pushes accepted per site, for diagnostics
 	updates uint64         // stream updates credited so far (watch triggers)
+
+	// cqe holds the continuous-view catalog and all window/group sketch
+	// state (views.go). The engine does no locking of its own: every
+	// mutation happens under c.mu's write lock, in the same critical
+	// section as the family-map mutation it mirrors, and evaluation
+	// under the read lock.
+	cqe *cq.Engine
 
 	// cmu guards the ad-hoc query compile cache: Estimate(string) hits
 	// it so repeated queries skip parse + compile. Watchers bypass it —
@@ -84,6 +92,9 @@ type coordMetrics struct {
 	watchDelivered *obs.Counter
 	watchDropped   *obs.Counter
 	watchSlowDrops *obs.Counter
+	cqViewRounds   *obs.Counter
+	cqViewResults  *obs.Counter
+	cqViewErrors   *obs.Counter
 }
 
 func newCoordMetrics(reg *obs.Registry) coordMetrics {
@@ -116,6 +127,12 @@ func newCoordMetrics(reg *obs.Registry) coordMetrics {
 			"Watch results lost to full bounded watcher queues."),
 		watchSlowDrops: reg.Counter("watch_slow_consumer_drops_total",
 			"Watchers unregistered after exceeding MaxDrops consecutive losses."),
+		cqViewRounds: reg.Counter("cq_view_rounds_total",
+			"Continuous-view evaluation rounds run (one per watched view per fired round)."),
+		cqViewResults: reg.Counter("cq_view_results_total",
+			"Per-group continuous-view results delivered to watchers (after ISTREAM filtering)."),
+		cqViewErrors: reg.Counter("cq_view_errors_total",
+			"Continuous-view evaluations that failed (unknown view or per-group estimate error)."),
 	}
 }
 
@@ -126,6 +143,31 @@ func newCoordMetrics(reg *obs.Registry) coordMetrics {
 func (c *Coordinator) SetObservability(reg *obs.Registry, log *obs.Logger) {
 	c.met = newCoordMetrics(reg)
 	c.log = log.Named("coord")
+	c.cqe.SetObservability(reg, log)
+	reg.GaugeFunc("cq_views",
+		"Continuous views registered in the catalog.",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			v, _, _ := c.cqe.Counts()
+			return float64(v)
+		})
+	reg.GaugeFunc("cq_window_buckets",
+		"Live (non-empty) window-ring buckets across all views and groups.",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			_, b, _ := c.cqe.Counts()
+			return float64(b)
+		})
+	reg.GaugeFunc("cq_groups",
+		"Live keyed groups across all grouped views (bounded by -cq-max-groups per view).",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			_, _, g := c.cqe.Counts()
+			return float64(g)
+		})
 	reg.CounterFunc("coord_updates_credited_total",
 		"Stream updates credited toward watch triggers (raw updates individually; deltas by reported counts).",
 		c.Updates)
@@ -173,12 +215,17 @@ func NewCoordinator(coins Coins) (*Coordinator, error) {
 	if err := coins.Validate(); err != nil {
 		return nil, err
 	}
+	cqe, err := cq.NewEngine(cq.Options{NewFamily: coins.NewFamily})
+	if err != nil {
+		return nil, err
+	}
 	return &Coordinator{
 		coins:        coins,
 		met:          newCoordMetrics(nil), // unregistered instruments until SetObservability
 		estOpts:      core.DefaultEstimateOptions(),
 		fams:         make(map[string]*core.Family),
 		sites:        make(map[string]int),
+		cqe:          cqe,
 		compileCache: make(map[string]compiledExpr),
 		watchers:     make(map[int]*Watcher),
 	}, nil
@@ -229,6 +276,10 @@ func (c *Coordinator) ApplyDelta(site, stream string, fam *core.Family, count ui
 		c.mu.Unlock()
 		return err
 	}
+	if err := c.cqe.MergeDelta(stream, fam); err != nil {
+		c.mu.Unlock()
+		return err
+	}
 	c.sites[site]++
 	c.updates += count
 	total := c.updates
@@ -267,6 +318,10 @@ func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
 	} else {
 		for _, u := range ups {
 			c.famLocked(u.Stream).Update(u.Elem, u.Delta)
+			if err := c.cqe.Observe(u.Stream, u.Elem, u.Delta); err != nil {
+				c.mu.Unlock()
+				return err
+			}
 		}
 	}
 	c.sites[site]++

@@ -73,6 +73,9 @@ func (c *Coordinator) applyUpdateRecordLocked(rec *wal.Record) error {
 	case wal.RecUpdates:
 		for _, u := range rec.Updates {
 			c.famLocked(u.Stream).Update(u.Elem, u.Delta)
+			if err := c.cqe.Observe(u.Stream, u.Elem, u.Delta); err != nil {
+				return err
+			}
 		}
 	case wal.RecDigests:
 		for _, d := range rec.Digests {
@@ -81,6 +84,11 @@ func (c *Coordinator) applyUpdateRecordLocked(rec *wal.Record) error {
 					rec.Seq, len(d.Digest), c.coins.Copies)
 			}
 			c.famLocked(d.Stream).UpdateDigest(d.Digest, d.Delta)
+			// Digests depend only on the stored coins, so the logged
+			// words apply unchanged to view bucket families.
+			if err := c.cqe.ObserveDigest(d.Stream, d.Digest, d.Delta); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -107,8 +115,18 @@ func (c *Coordinator) applyWALRecord(rec *wal.Record) error {
 		if err := c.famLocked(rec.Stream).Merge(fam); err != nil {
 			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
 		}
+		if err := c.cqe.MergeDelta(rec.Stream, fam); err != nil {
+			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+		}
 	case wal.RecMark:
 		return nil // site-local flush marks carry no coordinator state
+	case wal.RecView:
+		// Re-apply the catalog statement without re-logging it. A view
+		// credits no sites/updates, so return before the accounting.
+		if err := c.applyViewStatementLocked(rec.Statement); err != nil {
+			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+		}
+		return nil
 	default:
 		return fmt.Errorf("distributed: replay seq %d: unknown record type %d", rec.Seq, rec.Type)
 	}
@@ -179,6 +197,16 @@ func (c *Coordinator) InstallSnapshot(snap *wal.Snapshot) error {
 		c.sites[site] = n
 	}
 	c.updates = snap.Updates
+	// Re-register the view catalog. Window/group sketch state is NOT
+	// snapshotted — views refill from the replayed WAL suffix only,
+	// landing in the bucket current at replay time, and re-converge
+	// over one window of live traffic (see DESIGN.md "Continuous
+	// queries" for the trade-off).
+	for _, stmt := range snap.Views {
+		if err := c.applyViewStatementLocked(stmt); err != nil {
+			return fmt.Errorf("distributed: snapshot view: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -205,11 +233,12 @@ func (c *Coordinator) WriteSnapshot() error {
 	for name, f := range c.fams {
 		fams[name] = f.Clone()
 	}
+	views := c.cqe.Statements()
 	c.mu.RUnlock()
 	if seq == 0 || seq == l.LastSnapshotSeq() {
 		return nil
 	}
-	return l.WriteSnapshot(seq, updates, sites, fams)
+	return l.WriteSnapshot(seq, updates, sites, fams, views)
 }
 
 // Snapshotter periodically snapshots coordinator state so recovery

@@ -35,11 +35,15 @@ const (
 	msgDelta       = 0x06 // deltaMsg: counted synopsis delta within a session
 	msgHeartbeat   = 0x07 // heartbeatMsg: session keep-alive
 	msgWatch       = 0x08 // watchMsg: register standing continuous queries
-	msgOK          = 0x10 // empty reply to a successful push/hello/watch
+	msgCreateView  = 0x09 // createViewMsg: register a continuous view
+	msgDropView    = 0x0a // dropViewMsg: remove a continuous view
+	msgListViews   = 0x0b // no payload: list the view catalog
+	msgOK          = 0x10 // empty reply to a successful push/hello/watch/view change
 	msgEstimate    = 0x11 // estimateMsg reply to a query
 	msgNames       = 0x12 // namesMsg reply to a streams request
 	msgAck         = 0x13 // ackMsg: session frame accepted
 	msgWatchResult = 0x14 // watchResultMsg: streamed continuous-query result
+	msgViews       = 0x15 // viewsMsg reply to a list-views request
 	msgError       = 0x7f // errorMsg: request failed
 )
 
@@ -76,6 +80,12 @@ type estimateMsg struct {
 }
 
 type namesMsg struct{ Names []string }
+
+type createViewMsg struct{ Statement string }
+
+type dropViewMsg struct{ Name string }
+
+type viewsMsg struct{ Statements []string }
 
 type errorMsg struct{ Message string }
 
@@ -190,6 +200,9 @@ var requestTypeNames = map[byte]string{
 	msgDelta:       "delta",
 	msgHeartbeat:   "heartbeat",
 	msgWatch:       "watch",
+	msgCreateView:  "create_view",
+	msgDropView:    "drop_view",
+	msgListViews:   "list_views",
 }
 
 var replyTypeNames = map[byte]string{
@@ -198,6 +211,7 @@ var replyTypeNames = map[byte]string{
 	msgNames:       "names",
 	msgAck:         "ack",
 	msgWatchResult: "watch_result",
+	msgViews:       "views",
 	msgError:       "error",
 }
 
@@ -457,6 +471,30 @@ func (s *Server) dispatch(st *connState, typ byte, payload []byte) (reply []byte
 		return s.handleHeartbeat(st, payload)
 	case msgWatch:
 		return s.handleWatch(st, payload)
+	case msgCreateView:
+		var m createViewMsg
+		if err := decodeGob(payload, &m); err != nil {
+			return fail(err)
+		}
+		if _, err := s.coord.CreateView(m.Statement); err != nil {
+			return fail(err)
+		}
+		return nil, msgOK
+	case msgDropView:
+		var m dropViewMsg
+		if err := decodeGob(payload, &m); err != nil {
+			return fail(err)
+		}
+		if err := s.coord.DropView(m.Name); err != nil {
+			return fail(err)
+		}
+		return nil, msgOK
+	case msgListViews:
+		out, err := encodeGob(viewsMsg{Statements: s.coord.ViewStatements()})
+		if err != nil {
+			return fail(err)
+		}
+		return out, msgViews
 	default:
 		return fail(fmt.Errorf("distributed: unknown request type %#x", typ))
 	}
@@ -585,5 +623,62 @@ func (c *Client) Streams() ([]string, error) {
 		return nil, remoteError(reply)
 	default:
 		return nil, fmt.Errorf("distributed: unexpected reply type %#x to streams", typ)
+	}
+}
+
+// okRoundTrip sends one frame whose success reply is an empty ok.
+func (c *Client) okRoundTrip(typ byte, payload []byte, what string) error {
+	replyTyp, reply, err := c.roundTrip(typ, payload)
+	if err != nil {
+		return err
+	}
+	switch replyTyp {
+	case msgOK:
+		return nil
+	case msgError:
+		return remoteError(reply)
+	default:
+		return fmt.Errorf("distributed: unexpected reply type %#x to %s", replyTyp, what)
+	}
+}
+
+// CreateView registers a continuous view from a CREATE VIEW statement
+// (see QUERIES.md for the statement language). The view is WAL-logged
+// by the coordinator and survives restarts.
+func (c *Client) CreateView(statement string) error {
+	payload, err := encodeGob(createViewMsg{Statement: statement})
+	if err != nil {
+		return err
+	}
+	return c.okRoundTrip(msgCreateView, payload, "create view")
+}
+
+// DropView removes a continuous view from the coordinator's catalog.
+func (c *Client) DropView(name string) error {
+	payload, err := encodeGob(dropViewMsg{Name: name})
+	if err != nil {
+		return err
+	}
+	return c.okRoundTrip(msgDropView, payload, "drop view")
+}
+
+// ListViews returns the coordinator's view catalog as canonical
+// CREATE VIEW statements, sorted by view name.
+func (c *Client) ListViews() ([]string, error) {
+	typ, reply, err := c.roundTrip(msgListViews, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case msgViews:
+		var m viewsMsg
+		if err := decodeGob(reply, &m); err != nil {
+			return nil, err
+		}
+		return m.Statements, nil
+	case msgError:
+		return nil, remoteError(reply)
+	default:
+		return nil, fmt.Errorf("distributed: unexpected reply type %#x to list views", typ)
 	}
 }

@@ -65,6 +65,7 @@ type ackMsg struct {
 
 type watchMsg struct {
 	Exprs          []string
+	Views          []string
 	Eps            float64
 	EveryUpdates   uint64
 	IntervalMillis int64
@@ -72,8 +73,11 @@ type watchMsg struct {
 
 type watchResultMsg struct {
 	Expr    string
+	View    string
+	Group   string
 	Epoch   uint64
 	Updates uint64
+	Delta   float64
 	Err     string
 	Est     estimateMsg
 }
@@ -245,6 +249,7 @@ func (s *Server) handleWatch(st *connState, payload []byte) ([]byte, byte) {
 	}
 	w, err := s.coord.Watch(WatchSpec{
 		Exprs:        m.Exprs,
+		Views:        m.Views,
 		Eps:          m.Eps,
 		EveryUpdates: m.EveryUpdates,
 		Interval:     time.Duration(m.IntervalMillis) * time.Millisecond,
@@ -276,8 +281,11 @@ func (s *Server) pushWatchResults(st *connState, w *Watcher) {
 	for res := range w.C {
 		out, err := encodeGob(watchResultMsg{
 			Expr:    res.Expr,
+			View:    res.View,
+			Group:   res.Group,
 			Epoch:   res.Epoch,
 			Updates: res.Updates,
+			Delta:   res.Delta,
 			Err:     res.Err,
 			Est: estimateMsg{
 				Value: res.Est.Value, Level: res.Est.Level, Copies: res.Est.Copies,
@@ -439,13 +447,18 @@ func (s *StreamSession) Heartbeat() (uint64, error) {
 }
 
 // WatchEvent is one continuous-query result delivered to a watching
-// client.
+// client. Exactly one of Expr and View is set: Expr for a standing
+// set-expression result, View (plus Group for grouped views) for a
+// continuous-view result.
 type WatchEvent struct {
 	Expr    string
+	View    string // continuous view this result belongs to, if any
+	Group   string // group key within the view ("" for ungrouped views)
 	Epoch   uint64
 	Updates uint64
 	Est     core.Estimate
-	Err     string // per-round evaluation error, or terminal session error
+	Delta   float64 // ISTREAM views only: change in Est.Value since the last emit
+	Err     string  // per-round evaluation error, or terminal session error
 	// Terminal marks the last event of the stream: the server ended the
 	// watch (Err carries its reason — e.g. a slow-consumer drop or
 	// coordinator shutdown) or the connection failed. No further events
@@ -453,12 +466,24 @@ type WatchEvent struct {
 	Terminal bool
 }
 
+// WatchRequest describes a watch registration: standing set
+// expressions and/or continuous views (registered earlier with
+// CreateView) whose results stream back on this connection.
+type WatchRequest struct {
+	Exprs        []string      // set expressions evaluated each round
+	Views        []string      // continuous views evaluated each round
+	Eps          float64       // target standard error (0 = coordinator default)
+	EveryUpdates uint64        // fire a round after this many accepted updates
+	Interval     time.Duration // also fire on this wall-clock period
+}
+
 // Watch registers standing continuous queries and dedicates this
 // client's connection to the result stream: the returned channel
 // yields one event per expression per evaluation round until the
 // server drops the watch or the connection closes. every triggers a
 // round after that many accepted updates; interval adds wall-clock
-// rounds; either may be zero.
+// rounds; either may be zero. To watch continuous views, use
+// Subscribe.
 //
 // Results are delivered through bounded queues at both ends — the
 // coordinator's per-watcher queue and this channel — and the
@@ -471,11 +496,20 @@ type WatchEvent struct {
 // event (including after a local Close, where the reason is the local
 // read error).
 func (c *Client) Watch(exprs []string, eps float64, every uint64, interval time.Duration) (<-chan WatchEvent, error) {
+	return c.Subscribe(WatchRequest{Exprs: exprs, Eps: eps, EveryUpdates: every, Interval: interval})
+}
+
+// Subscribe is the general form of Watch: it registers any mix of set
+// expressions and continuous views. Grouped views yield one event per
+// live group per round; ISTREAM views emit only groups whose estimate
+// changed, with the change in the event's Delta field.
+func (c *Client) Subscribe(req WatchRequest) (<-chan WatchEvent, error) {
 	payload, err := encodeGob(watchMsg{
-		Exprs:          exprs,
-		Eps:            eps,
-		EveryUpdates:   every,
-		IntervalMillis: int64(interval / time.Millisecond),
+		Exprs:          req.Exprs,
+		Views:          req.Views,
+		Eps:            req.Eps,
+		EveryUpdates:   req.EveryUpdates,
+		IntervalMillis: int64(req.Interval / time.Millisecond),
 	})
 	if err != nil {
 		return nil, err
@@ -520,8 +554,11 @@ func (c *Client) Watch(exprs []string, eps float64, every uint64, interval time.
 				}
 				ch <- WatchEvent{
 					Expr:    m.Expr,
+					View:    m.View,
+					Group:   m.Group,
 					Epoch:   m.Epoch,
 					Updates: m.Updates,
+					Delta:   m.Delta,
 					Err:     m.Err,
 					Est: core.Estimate{
 						Value: m.Est.Value, Level: m.Est.Level, Copies: m.Est.Copies,

@@ -1,0 +1,358 @@
+package distributed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"setsketch/internal/datagen"
+)
+
+func mustCreateView(t *testing.T, c *Coordinator, stmt string) {
+	t.Helper()
+	if _, err := c.CreateView(stmt); err != nil {
+		t.Fatalf("CreateView(%q): %v", stmt, err)
+	}
+}
+
+func TestCreateDropListViews(t *testing.T) {
+	c, _ := NewCoordinator(testCoins)
+	mustCreateView(t, c, "CREATE VIEW ab AS A | B")
+	mustCreateView(t, c, "CREATE VIEW per AS logins WINDOW 5m SLIDE 1m GROUP BY tenant EMIT ISTREAM")
+
+	if _, err := c.CreateView("CREATE VIEW ab AS A & B"); err == nil {
+		t.Error("duplicate view accepted")
+	}
+	if _, err := c.CreateView("CREATE VIEW bad AS A &"); err == nil {
+		t.Error("malformed expression accepted")
+	}
+	if _, err := c.CreateView("DROP VIEW ab"); err == nil {
+		t.Error("CreateView accepted a DROP statement")
+	}
+
+	stmts := c.ViewStatements()
+	want := []string{
+		"CREATE VIEW ab AS (A | B)",
+		"CREATE VIEW per AS logins WINDOW 5m SLIDE 1m GROUP BY tenant EMIT ISTREAM",
+	}
+	if strings.Join(stmts, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("catalog:\n%s\nwant:\n%s", strings.Join(stmts, "\n"), strings.Join(want, "\n"))
+	}
+	if err := c.DropView("ab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("ab"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if got := c.ViewStatements(); len(got) != 1 || !strings.Contains(got[0], "per") {
+		t.Fatalf("catalog after drop: %v", got)
+	}
+}
+
+// TestWatchViewRounds: an unwindowed, ungrouped view over a single
+// stream must estimate exactly what an ad-hoc query over the same
+// stream reports — the view's bucket family is built from the same
+// updates with the same stored coins.
+func TestWatchViewRounds(t *testing.T) {
+	c, _ := NewCoordinator(testCoins)
+	mustCreateView(t, c, "CREATE VIEW va AS A")
+	w, err := c.Watch(WatchSpec{Views: []string{"va"}, Eps: 0.2, EveryUpdates: 1 << 60, Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	var ups []datagen.Update
+	for i := 0; i < 300; i++ {
+		ups = append(ups, datagen.Update{Stream: "A", Elem: uint64(i * 131), Delta: 1})
+	}
+	if err := c.ApplyUpdates("edge", ups); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick()
+	res := <-w.C
+	if res.View != "va" || res.Group != "" || res.Err != "" {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	adhoc, err := c.Estimate("A", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Est.Value != adhoc.Value {
+		t.Errorf("view estimate %v, ad-hoc estimate %v", res.Est.Value, adhoc.Value)
+	}
+}
+
+// TestWatchViewMissingStream: a view over a stream that has never
+// appeared evaluates as the empty set, not an error.
+func TestWatchViewMissingStream(t *testing.T) {
+	c, _ := NewCoordinator(testCoins)
+	mustCreateView(t, c, "CREATE VIEW ghost AS NeverSeen")
+	w, err := c.Watch(WatchSpec{Views: []string{"ghost"}, EveryUpdates: 1 << 60, Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c.Tick()
+	res := <-w.C
+	if res.Err != "" {
+		t.Fatalf("missing stream should be empty set, got error %q", res.Err)
+	}
+	if res.Est.Value != 0 {
+		t.Errorf("empty view estimated %v, want 0", res.Est.Value)
+	}
+}
+
+// TestWatchViewGroupedISTREAM drives two tenants through a grouped
+// ISTREAM view: the first round emits both groups, a round after
+// updates to only one tenant emits only that group, and an unchanged
+// round emits nothing.
+func TestWatchViewGroupedISTREAM(t *testing.T) {
+	c, _ := NewCoordinator(testCoins)
+	mustCreateView(t, c, "CREATE VIEW per AS logins GROUP BY tenant EMIT ISTREAM")
+	w, err := c.Watch(WatchSpec{Views: []string{"per"}, Eps: 0.2, EveryUpdates: 1 << 60, Buffer: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	feed := func(tenant string, base, n int) {
+		t.Helper()
+		var ups []datagen.Update
+		for i := 0; i < n; i++ {
+			ups = append(ups, datagen.Update{Stream: tenant + ":logins", Elem: uint64(base + i), Delta: 1})
+		}
+		if err := c.ApplyUpdates("edge", ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed("acme", 0, 200)
+	feed("globex", 1000, 120)
+
+	c.Tick()
+	got := map[string]WatchResult{}
+	for i := 0; i < 2; i++ {
+		res := <-w.C
+		got[res.Group] = res
+	}
+	for _, g := range []string{"acme", "globex"} {
+		res, ok := got[g]
+		if !ok {
+			t.Fatalf("no first-round result for group %q (got %v)", g, got)
+		}
+		if res.Err != "" || res.Est.Value <= 0 || res.Delta != res.Est.Value {
+			t.Errorf("group %q first emit: %+v", g, res)
+		}
+	}
+
+	// Only acme changes: the next round must emit acme alone, with the
+	// delta of the change.
+	prevAcme := got["acme"].Est.Value
+	feed("acme", 5000, 150)
+	c.Tick()
+	res := <-w.C
+	if res.Group != "acme" || res.Err != "" {
+		t.Fatalf("second round: %+v", res)
+	}
+	if res.Delta != res.Est.Value-prevAcme {
+		t.Errorf("delta %v, want %v", res.Delta, res.Est.Value-prevAcme)
+	}
+	select {
+	case extra := <-w.C:
+		t.Fatalf("unchanged group emitted: %+v", extra)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestViewCatalogWALRecovery is the continuous-query half of the core
+// durability property: after a crash (no clean close, fsynced appends
+// only) the recovered coordinator has the identical view catalog, and
+// an unwindowed view's contents — rebuilt from replayed updates —
+// estimate identically.
+func TestViewCatalogWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := NewCoordinator(testCoins)
+	l1 := openTestLog(t, dir)
+	c1.AttachWAL(l1)
+
+	mustCreateView(t, c1, "CREATE VIEW va AS A | B")
+	mustCreateView(t, c1, "CREATE VIEW dropped AS A")
+	mustCreateView(t, c1, "CREATE VIEW per AS logins WINDOW 10m SLIDE 2m GROUP BY tenant")
+	testWorkload(t, c1)
+	if err := c1.DropView("dropped"); err != nil {
+		t.Fatal(err)
+	}
+	// No close: simulate kill -9.
+
+	c2, _ := NewCoordinator(testCoins)
+	l2 := openTestLog(t, dir)
+	defer l2.Close()
+	if _, err := c2.Recover(l2); err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, c1, c2)
+	w1, w2 := c1.ViewStatements(), c2.ViewStatements()
+	if strings.Join(w1, "\n") != strings.Join(w2, "\n") {
+		t.Fatalf("view catalog diverged:\n%s\nvs\n%s", strings.Join(w1, "\n"), strings.Join(w2, "\n"))
+	}
+	if len(w2) != 2 {
+		t.Fatalf("recovered catalog: %v", w2)
+	}
+
+	// The unwindowed view's contents must estimate identically.
+	viewEst := func(c *Coordinator) float64 {
+		t.Helper()
+		w, err := c.Watch(WatchSpec{Views: []string{"va"}, Eps: 0.1, EveryUpdates: 1 << 60, Buffer: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		c.Tick()
+		res := <-w.C
+		if res.Err != "" {
+			t.Fatalf("view round error: %s", res.Err)
+		}
+		return res.Est.Value
+	}
+	if e1, e2 := viewEst(c1), viewEst(c2); e1 != e2 {
+		t.Errorf("view estimates diverge after recovery: %v vs %v", e1, e2)
+	}
+	l1.Close()
+}
+
+// TestViewCatalogSnapshotRecovery: the catalog travels in the snapshot,
+// and RecView records past the snapshot replay on top of it.
+func TestViewCatalogSnapshotRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := NewCoordinator(testCoins)
+	l1 := openTestLog(t, dir)
+	c1.AttachWAL(l1)
+
+	mustCreateView(t, c1, "CREATE VIEW va AS A")
+	mustCreateView(t, c1, "CREATE VIEW vb AS B")
+	testWorkload(t, c1)
+	if err := c1.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Catalog changes after the snapshot: replayed from the WAL suffix.
+	mustCreateView(t, c1, "CREATE VIEW vc AS A & B")
+	if err := c1.DropView("vb"); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := NewCoordinator(testCoins)
+	l2 := openTestLog(t, dir)
+	defer l2.Close()
+	rs, err := c2.Recover(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SnapshotSeq == 0 {
+		t.Fatal("recovery ignored the snapshot")
+	}
+	w1, w2 := c1.ViewStatements(), c2.ViewStatements()
+	if strings.Join(w1, "\n") != strings.Join(w2, "\n") {
+		t.Fatalf("view catalog diverged:\n%s\nvs\n%s", strings.Join(w1, "\n"), strings.Join(w2, "\n"))
+	}
+	l1.Close()
+}
+
+// TestViewProtocolEndToEnd exercises the wire surface: create and list
+// views over TCP, subscribe a watch to a grouped view, stream updates
+// through a session, and receive per-group results.
+func TestViewProtocolEndToEnd(t *testing.T) {
+	coord, _ := NewCoordinator(testCoins)
+	addr, shutdown := startServer(t, coord)
+	defer shutdown()
+
+	admin, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if err := admin.CreateView("CREATE VIEW per AS logins GROUP BY tenant"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateView("CREATE VIEW per AS logins"); err == nil {
+		t.Error("duplicate view accepted over the wire")
+	}
+	if err := admin.CreateView("CREATE VIEW bad AS ("); err == nil {
+		t.Error("malformed statement accepted over the wire")
+	}
+	stmts, err := admin.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 || stmts[0] != "CREATE VIEW per AS logins GROUP BY tenant" {
+		t.Fatalf("ListViews: %v", stmts)
+	}
+
+	watchCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watchCli.Close()
+	events, err := watchCli.Subscribe(WatchRequest{Views: []string{"per"}, Eps: 0.2, EveryUpdates: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := watchCli.Subscribe(WatchRequest{Views: []string{"nope"}, EveryUpdates: 1}); err == nil {
+		t.Error("watch on unknown view accepted")
+	}
+
+	siteCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteCli.Close()
+	sess, err := siteCli.OpenStream("edge", testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []datagen.Update
+	for i := 0; i < 200; i++ {
+		tenant := "acme"
+		if i%4 == 0 {
+			tenant = "globex"
+		}
+		ups = append(ups, datagen.Update{Stream: tenant + ":logins", Elem: uint64(i), Delta: 1})
+	}
+	if _, err := sess.SendUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(5 * time.Second)
+	got := map[string]WatchEvent{}
+	for len(got) < 2 {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("watch stream closed early (got %v)", got)
+			}
+			if ev.Err != "" {
+				t.Fatalf("watch error: %s", ev.Err)
+			}
+			if ev.View != "per" {
+				t.Fatalf("unexpected event: %+v", ev)
+			}
+			got[ev.Group] = ev
+		case <-deadline:
+			t.Fatalf("timed out waiting for group results (got %v)", got)
+		}
+	}
+	if got["acme"].Est.Value <= got["globex"].Est.Value {
+		t.Errorf("acme (150 elems) should exceed globex (50): %v vs %v",
+			got["acme"].Est.Value, got["globex"].Est.Value)
+	}
+
+	if err := admin.DropView("per"); err != nil {
+		t.Fatal(err)
+	}
+	stmts, err = admin.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 0 {
+		t.Fatalf("catalog after drop: %v", stmts)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"setsketch/internal/core"
+	"setsketch/internal/cq"
 	"setsketch/internal/expr"
 )
 
@@ -29,6 +30,11 @@ type WatchSpec struct {
 	// parse at registration time; streams they reference may appear
 	// later (evaluation errors are reported per-round in Err).
 	Exprs []string
+	// Views names continuous views (CreateView) this watcher follows.
+	// Every named view must exist at registration; rounds evaluate each
+	// view per live group, honoring the view's window and emit mode. A
+	// view dropped mid-watch reports an unknown-view error each round.
+	Views []string
 	// Eps is the accuracy parameter passed to the estimator.
 	Eps float64
 	// EveryUpdates re-evaluates after this many newly credited stream
@@ -45,13 +51,20 @@ type WatchSpec struct {
 	MaxDrops int
 }
 
-// WatchResult is one continuous-query evaluation.
+// WatchResult is one continuous-query evaluation: either an ad-hoc
+// expression round (Expr set) or one group of a continuous-view round
+// (View set; Group "" for ungrouped views).
 type WatchResult struct {
 	Expr    string
+	View    string // continuous-view name, for view rounds
+	Group   string // group key of a grouped view's result
 	Epoch   uint64 // evaluation round, per watcher
 	Updates uint64 // coordinator update count when the round fired
 	Est     core.Estimate
-	Err     string // per-expression evaluation error, if any
+	// Delta is the signed change in the estimate since this group's
+	// last emitted round (ISTREAM rounds only; RSTREAM leaves it 0).
+	Delta float64
+	Err   string // per-expression evaluation error, if any
 }
 
 // Watcher is one registered continuous query. Results arrive on C,
@@ -66,19 +79,25 @@ type Watcher struct {
 
 	// queries holds the parsed + compiled form of spec.Exprs, built
 	// once at registration and reused every round; streams is the
-	// sorted union of streams they reference. Both are immutable.
+	// sorted union of streams they reference; views mirrors spec.Views.
+	// All are immutable.
 	queries []compiledExpr
 	streams []string
+	views   []string
 
 	// lastEval and epoch are guarded by c.wmu, as are the round-skip
-	// fields: evaluated ("at least one round ran") and lastVersions
-	// (the referenced families' change stamps at the last evaluated
-	// round, aligned with streams).
-	lastEval     uint64
-	epoch        uint64
-	evaluated    bool
-	lastHadError bool
-	lastVersions []uint64
+	// fields: evaluated ("at least one round ran") and lastVersions /
+	// lastViewVersions (change stamps at the last evaluated round,
+	// aligned with streams and views respectively).
+	lastEval         uint64
+	epoch            uint64
+	evaluated        bool
+	lastHadError     bool
+	lastVersions     []uint64
+	lastViewVersions []uint64
+	// lastVals backs ISTREAM emit filtering: view name → group key →
+	// last emitted estimate. Guarded by c.wmu.
+	lastVals map[string]map[string]float64
 
 	mu      sync.Mutex // guards ch sends vs close; never hold c.wmu under it
 	ch      chan WatchResult
@@ -100,8 +119,19 @@ type Watcher struct {
 // that must not lose rounds should drain C promptly or size Buffer
 // for their worst-case stall.
 func (c *Coordinator) Watch(spec WatchSpec) (*Watcher, error) {
-	if len(spec.Exprs) == 0 {
-		return nil, fmt.Errorf("distributed: watch registers no expressions")
+	if len(spec.Exprs) == 0 && len(spec.Views) == 0 {
+		return nil, fmt.Errorf("distributed: watch registers no expressions or views")
+	}
+	for _, name := range spec.Views {
+		if c.cqe == nil {
+			return nil, fmt.Errorf("distributed: continuous views are not enabled")
+		}
+		c.mu.RLock()
+		known := c.cqe.View(name) != nil
+		c.mu.RUnlock()
+		if !known {
+			return nil, fmt.Errorf("distributed: watch references unknown view %q", name)
+		}
 	}
 	// Parse and compile every expression once here; rounds reuse the
 	// compiled queries instead of re-parsing the strings.
@@ -139,13 +169,16 @@ func (c *Coordinator) Watch(spec WatchSpec) (*Watcher, error) {
 		spec.MaxDrops = 8
 	}
 	w := &Watcher{
-		c:            c,
-		spec:         spec,
-		queries:      queries,
-		streams:      streams,
-		lastVersions: make([]uint64, len(streams)),
-		ch:           make(chan WatchResult, spec.Buffer),
-		tickers:      make(chan struct{}),
+		c:                c,
+		spec:             spec,
+		queries:          queries,
+		streams:          streams,
+		views:            append([]string(nil), spec.Views...),
+		lastVersions:     make([]uint64, len(streams)),
+		lastViewVersions: make([]uint64, len(spec.Views)),
+		lastVals:         make(map[string]map[string]float64),
+		ch:               make(chan WatchResult, spec.Buffer),
+		tickers:          make(chan struct{}),
 	}
 	w.C = w.ch
 	c.wmu.Lock()
@@ -303,14 +336,24 @@ func (c *Coordinator) evalWatcher(w *Watcher, force bool) {
 // Versions are sampled before evaluating, so updates racing with the
 // evaluation re-trigger the next round rather than being lost.
 func (c *Coordinator) evalRound(w *Watcher) {
+	// Windowed views age by rotation: sweep before sampling versions so
+	// an eviction due now is visible to this round, not the next.
+	if len(w.views) > 0 {
+		c.RotateViews()
+	}
 	versions := make([]uint64, len(w.streams))
 	c.streamVersions(w.streams, versions)
+	viewVersions := make([]uint64, len(w.views))
+	c.viewVersions(w.views, viewVersions)
 	c.wmu.Lock()
 	epoch := w.epoch
-	skip := w.evaluated && !w.lastHadError && versionsEqual(versions, w.lastVersions)
+	skip := w.evaluated && !w.lastHadError &&
+		versionsEqual(versions, w.lastVersions) &&
+		versionsEqual(viewVersions, w.lastViewVersions)
 	if !skip {
 		w.evaluated = true
 		copy(w.lastVersions, versions)
+		copy(w.lastViewVersions, viewVersions)
 	}
 	c.wmu.Unlock()
 	if skip {
@@ -332,9 +375,88 @@ func (c *Coordinator) evalRound(w *Watcher) {
 		}
 		w.deliver(res)
 	}
+	if c.evalViews(w, epoch, total) {
+		hadErr = true
+	}
 	c.wmu.Lock()
 	w.lastHadError = hadErr
 	c.wmu.Unlock()
+}
+
+// evalViews runs one round over every view the watcher follows,
+// delivering per-group results after the view's emit-mode filtering.
+// It reports whether any result carried an error (which keeps the
+// watcher re-evaluating every round until the error clears).
+func (c *Coordinator) evalViews(w *Watcher, epoch, total uint64) bool {
+	hadErr := false
+	for _, name := range w.views {
+		c.mu.RLock()
+		v := c.cqe.View(name)
+		var results []cq.GroupResult
+		var emit cq.EmitMode
+		if v != nil {
+			emit = v.Spec().Emit
+			results = c.cqe.Evaluate(v, w.spec.Eps, c.estOpts)
+		}
+		c.mu.RUnlock()
+		c.met.cqViewRounds.Inc()
+		if v == nil {
+			hadErr = true
+			c.met.cqViewErrors.Inc()
+			w.deliver(WatchResult{View: name, Epoch: epoch, Updates: total,
+				Err: fmt.Sprintf("unknown view %q", name)})
+			continue
+		}
+		if emit == cq.EmitIStream {
+			results = w.filterIStream(name, results)
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				hadErr = true
+				c.met.cqViewErrors.Inc()
+			}
+			w.deliver(WatchResult{View: name, Group: r.Group, Epoch: epoch,
+				Updates: total, Est: r.Est, Delta: r.Delta, Err: r.Err})
+		}
+		c.met.cqViewResults.Add(uint64(len(results)))
+	}
+	return hadErr
+}
+
+// filterIStream keeps only groups whose estimate changed since the
+// watcher last emitted them, stamping each survivor's Delta. Vanished
+// groups (evicted, or aged to nothing) are forgotten — no retraction is
+// emitted, and a reappearing group re-emits from zero.
+func (w *Watcher) filterIStream(view string, results []cq.GroupResult) []cq.GroupResult {
+	w.c.wmu.Lock()
+	defer w.c.wmu.Unlock()
+	last := w.lastVals[view]
+	if last == nil {
+		last = make(map[string]float64)
+		w.lastVals[view] = last
+	}
+	seen := make(map[string]bool, len(results))
+	out := make([]cq.GroupResult, 0, len(results))
+	for _, r := range results {
+		seen[r.Group] = true
+		if r.Err != "" {
+			out = append(out, r) // errors always reach the consumer
+			continue
+		}
+		prev := last[r.Group]
+		if _, ok := last[r.Group]; ok && prev == r.Est.Value {
+			continue
+		}
+		r.Delta = r.Est.Value - prev
+		last[r.Group] = r.Est.Value
+		out = append(out, r)
+	}
+	for g := range last {
+		if !seen[g] {
+			delete(last, g)
+		}
+	}
+	return out
 }
 
 func versionsEqual(a, b []uint64) bool {

@@ -21,6 +21,7 @@ func FuzzDecodeBody(f *testing.F) {
 			Digests: []DigestUpdate{{Stream: "A", Elem: 5, Delta: 2, Digest: core.Digest{1, 2, 3}}}},
 		{Seq: 3, Type: RecDelta, Site: "s", Stream: "A", Count: 4, Synopsis: []byte{1, 2, 3, 4}},
 		{Seq: 4, Type: RecMark, Site: "s"},
+		{Seq: 5, Type: RecView, View: "v", Statement: "CREATE VIEW v AS (A | B)"},
 	}
 	for _, rec := range seeds {
 		body, err := encodeBody(rec)
@@ -51,7 +52,8 @@ func FuzzDecodeBody(f *testing.F) {
 		}
 		if rec2.Seq != rec.Seq || rec2.Type != rec.Type || rec2.Site != rec.Site ||
 			rec2.Count != rec.Count || len(rec2.Updates) != len(rec.Updates) ||
-			len(rec2.Digests) != len(rec.Digests) {
+			len(rec2.Digests) != len(rec.Digests) ||
+			rec2.View != rec.View || rec2.Statement != rec.Statement {
 			t.Fatalf("round trip changed the record: %+v vs %+v", rec2, rec)
 		}
 	})
@@ -66,7 +68,7 @@ func FuzzDecodeSnapshotManifest(f *testing.F) {
 		f.Fatal(err)
 	}
 	fam.Insert(42)
-	snap, err := encodeSnapshot(3, 10, map[string]int{"s": 2}, map[string]*core.Family{"A": fam})
+	snap, err := encodeSnapshot(3, 10, map[string]int{"s": 2}, map[string]*core.Family{"A": fam}, []string{"CREATE VIEW v AS (A | A)"})
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -83,6 +83,20 @@ func TestWALGoldenBytes(t *testing.T) {
 		}
 	})
 
+	t.Run("rec-view", func(t *testing.T) {
+		body, err := encodeBody(&Record{
+			Seq: 11, Type: RecView, View: "v",
+			Statement: "CREATE VIEW v AS (A | B)",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "050b0000000000000001761843524541544520564945572076204153202841207c204229"
+		if got := hex.EncodeToString(body); got != want {
+			t.Errorf("RecView body changed:\n got %s\nwant %s", got, want)
+		}
+	})
+
 	t.Run("manifest", func(t *testing.T) {
 		got := hex.EncodeToString(encodeManifest(12, 3456, "snap-00000000000000000012.dat", 9999, 0xdeadbeef, 2))
 		const want = "534d414e010c00000000000000800d0000000000001d736e61702d30303030303030303030303030303030303031322e6461740f27000000000000efbeadde020000006946e574"
@@ -100,6 +114,7 @@ func TestWALGoldenBytes(t *testing.T) {
 				Digests: []DigestUpdate{{Stream: "A", Elem: 100, Delta: 2, Digest: core.Digest{1, 2}}}},
 			{Seq: 9, Type: RecDelta, Site: "edge1", Stream: "A", Count: 5, Synopsis: []byte{1, 2, 3}},
 			{Seq: 10, Type: RecMark, Site: "edge1"},
+			{Seq: 11, Type: RecView, View: "v", Statement: "CREATE VIEW v AS (A | B)"},
 		}
 		for _, rec := range recs {
 			body, err := encodeBody(rec)
@@ -112,7 +127,8 @@ func TestWALGoldenBytes(t *testing.T) {
 			}
 			if back.Seq != rec.Seq || back.Type != rec.Type || back.Site != rec.Site ||
 				back.Count != rec.Count || len(back.Updates) != len(rec.Updates) ||
-				len(back.Digests) != len(rec.Digests) || back.Stream != rec.Stream {
+				len(back.Digests) != len(rec.Digests) || back.Stream != rec.Stream ||
+				back.View != rec.View || back.Statement != rec.Statement {
 				t.Fatalf("type %d: decode mismatch: %+v vs %+v", rec.Type, back, rec)
 			}
 		}

@@ -60,6 +60,8 @@ func RecordTypeName(t byte) string {
 		return "delta"
 	case RecMark:
 		return "mark"
+	case RecView:
+		return "view"
 	}
 	return "unknown"
 }

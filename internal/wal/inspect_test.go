@@ -40,7 +40,7 @@ func TestInspectDir(t *testing.T) {
 	if _, err := l.Append(&Record{Type: RecMark, Site: "edge"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.WriteSnapshot(l.LastSeq(), 3, map[string]int{"edge": 3}, nil); err != nil {
+	if err := l.WriteSnapshot(l.LastSeq(), 3, map[string]int{"edge": 3}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {

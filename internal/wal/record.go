@@ -85,6 +85,15 @@ const (
 	//
 	//	site string
 	RecMark = byte(4)
+
+	// RecView is a continuous-view catalog change: a canonical
+	// CREATE VIEW or DROP VIEW statement (see internal/cq). Replaying
+	// the statement suffix over a snapshot's view list reconstructs the
+	// catalog exactly, which is how views survive restarts.
+	//
+	//	view      string    view name
+	//	statement string    canonical statement text
+	RecView = byte(5)
 )
 
 // maxRecord bounds a decoded record body so corrupt length fields
@@ -134,6 +143,9 @@ type Record struct {
 
 	Stream   string // RecDelta
 	Synopsis []byte // RecDelta
+
+	View      string // RecView: view name
+	Statement string // RecView: canonical CREATE VIEW / DROP VIEW text
 }
 
 // appendString appends a uvarint-length-prefixed string.
@@ -218,6 +230,9 @@ func encodeBody(rec *Record) ([]byte, error) {
 		b = append(b, rec.Synopsis...)
 	case RecMark:
 		b = appendString(b, rec.Site)
+	case RecView:
+		b = appendString(b, rec.View)
+		b = appendString(b, rec.Statement)
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %#x", rec.Type)
 	}
@@ -389,6 +404,9 @@ func decodeBody(b []byte) (*Record, error) {
 		rec.Synopsis = c.bytes()
 	case RecMark:
 		rec.Site = c.str()
+	case RecView:
+		rec.View = c.str()
+		rec.Statement = c.str()
 	default:
 		return nil, fmt.Errorf("%w: unknown record type %#x", ErrCorrupt, rec.Type)
 	}

@@ -23,12 +23,14 @@ import (
 //
 //	snap-%020d.dat — the state
 //	  magic   "SSNP"    4 bytes
-//	  version u8        currently 1
+//	  version u8        currently 2 (1 readable: it lacks the views section)
 //	  seq     u64       covering WAL sequence number
 //	  updates u64       stream updates credited at the snapshot point
 //	  sites   uvarint n, then n × { name string, pushes uvarint }
 //	  streams uvarint m, then m × { name string,
 //	                                family uvarint len + core serialization }
+//	  views   uvarint k, then k strings   (canonical CREATE VIEW statements;
+//	                                       version ≥ 2 only)
 //	  crc     u32       CRC32C over everything after the magic
 //
 //	snap-%020d.manifest — the commit record, written after the data
@@ -50,13 +52,19 @@ import (
 // successful snapshot cleans up.
 
 const (
-	snapMagic    = "SSNP"
-	maniMagic    = "SMAN"
-	snapVersion  = 1
-	snapPrefix   = "snap-"
-	snapSuffix   = ".dat"
-	maniSuffix   = ".manifest"
-	keepSnapshot = 2 // newest snapshots retained after a successful write
+	snapMagic = "SSNP"
+	maniMagic = "SMAN"
+	// snapVersion 2 appends the continuous-view catalog (uvarint count,
+	// then canonical statements) after the streams section. Version-1
+	// data files (no views) remain readable; the manifest format is
+	// unchanged and keeps its own version.
+	snapVersion   = 2
+	snapVersionV1 = 1
+	maniVersion   = 1
+	snapPrefix    = "snap-"
+	snapSuffix    = ".dat"
+	maniSuffix    = ".manifest"
+	keepSnapshot  = 2 // newest snapshots retained after a successful write
 )
 
 // Snapshot is a loaded coordinator state snapshot.
@@ -65,7 +73,11 @@ type Snapshot struct {
 	Updates uint64
 	Sites   map[string]int
 	Streams map[string]*core.Family
-	Path    string
+	// Views is the continuous-view catalog at the snapshot point:
+	// canonical CREATE VIEW statements, sorted by view name (empty for
+	// version-1 snapshots, written before views existed).
+	Views []string
+	Path  string
 }
 
 func snapDataPath(dir string, seq uint64) string {
@@ -94,7 +106,7 @@ func parseSnapshotName(name, suffix string) (uint64, bool) {
 }
 
 // encodeSnapshot renders the data-file bytes.
-func encodeSnapshot(seq, updates uint64, sites map[string]int, fams map[string]*core.Family) ([]byte, error) {
+func encodeSnapshot(seq, updates uint64, sites map[string]int, fams map[string]*core.Family, views []string) ([]byte, error) {
 	var b []byte
 	b = append(b, snapMagic...)
 	b = append(b, snapVersion)
@@ -126,6 +138,10 @@ func encodeSnapshot(seq, updates uint64, sites map[string]int, fams map[string]*
 		b = binary.AppendUvarint(b, uint64(buf.Len()))
 		b = append(b, buf.Bytes()...)
 	}
+	b = binary.AppendUvarint(b, uint64(len(views)))
+	for _, v := range views {
+		b = appendString(b, v)
+	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[4:], castagnoli))
 	return b, nil
 }
@@ -141,8 +157,9 @@ func decodeSnapshot(b []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
 	c := &byteCursor{b: body}
-	if v := c.u8(); v != snapVersion {
-		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
+	version := c.u8()
+	if version != snapVersion && version != snapVersionV1 {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, version)
 	}
 	snap := &Snapshot{
 		Seq:     c.u64(),
@@ -166,6 +183,11 @@ func decodeSnapshot(b []byte) (*Snapshot, error) {
 		}
 		snap.Streams[name] = fam
 	}
+	if version >= 2 {
+		for i, n := 0, c.count(2); i < n && c.err == nil; i++ {
+			snap.Views = append(snap.Views, c.str())
+		}
+	}
 	if c.err != nil {
 		return nil, c.err
 	}
@@ -179,7 +201,7 @@ func decodeSnapshot(b []byte) (*Snapshot, error) {
 func encodeManifest(seq, updates uint64, dataName string, size int64, dataCRC uint32, streams int) []byte {
 	var b []byte
 	b = append(b, maniMagic...)
-	b = append(b, snapVersion)
+	b = append(b, maniVersion)
 	b = binary.LittleEndian.AppendUint64(b, seq)
 	b = binary.LittleEndian.AppendUint64(b, updates)
 	b = appendString(b, dataName)
@@ -210,7 +232,7 @@ func decodeManifest(b []byte) (*Manifest, error) {
 		return nil, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
 	}
 	c := &byteCursor{b: body}
-	if v := c.u8(); v != snapVersion {
+	if v := c.u8(); v != maniVersion {
 		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, v)
 	}
 	m := &Manifest{Seq: c.u64(), Updates: c.u64(), DataName: c.str()}
@@ -266,9 +288,10 @@ func syncDir(dir string) error {
 // segments and snapshots the new snapshot makes redundant. Callers
 // must pass a seq no greater than LastSeq and state that includes the
 // effect of every record up to seq.
-func (l *Log) WriteSnapshot(seq, updates uint64, sites map[string]int, fams map[string]*core.Family) error {
+// views is the continuous-view catalog as canonical statements.
+func (l *Log) WriteSnapshot(seq, updates uint64, sites map[string]int, fams map[string]*core.Family, views []string) error {
 	start := time.Now()
-	data, err := encodeSnapshot(seq, updates, sites, fams)
+	data, err := encodeSnapshot(seq, updates, sites, fams, views)
 	if err != nil {
 		return err
 	}
@@ -287,7 +310,7 @@ func (l *Log) WriteSnapshot(seq, updates uint64, sites map[string]int, fams map[
 	l.lastSnap = seq
 	l.mu.Unlock()
 	l.log.Info("snapshot written", "seq", seq, "streams", len(fams),
-		"bytes", len(data), "elapsed", time.Since(start).String())
+		"views", len(views), "bytes", len(data), "elapsed", time.Since(start).String())
 	return l.prune(seq)
 }
 

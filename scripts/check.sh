@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # check.sh — the repo's tier-1 gate plus the race detector over the
-# concurrent ingest/session code, gofmt enforcement, and a coverage
-# floor on the observability layer. Run from anywhere.
+# concurrent ingest/session code, gofmt enforcement, coverage floors on
+# the operator-facing layers, and a docs lint keeping OPERATIONS.md and
+# QUERIES.md in sync with the code. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,27 +24,28 @@ echo "== go test -race ./..."
 go test -race ./...
 
 # The digest cache and batch coalescing live on the producer side of
-# the ingest engine's mutex, and the distributed layer drives the same
-# engine from network goroutines; run those two packages under the race
-# detector twice more with fresh schedules so the cache/coalescing
-# paths get extra interleavings in tier-1. The query kernel's parallel
-# witness scan and shared family views get the same treatment (scoped
-# to the kernel tests — the whole core package under -race -count=2 is
-# minutes of statistical tests).
-echo "== go test -race -count=2 ./internal/ingest ./internal/distributed"
-go test -race -count=2 ./internal/ingest ./internal/distributed
+# the ingest engine's mutex, the distributed layer drives the same
+# engine from network goroutines, and the cq engine's window/group
+# state is mutated under the coordinator lock while watch rounds read
+# it; run those packages under the race detector twice more with fresh
+# schedules so the contended paths get extra interleavings in tier-1.
+# The query kernel's parallel witness scan and shared family views get
+# the same treatment (scoped to the kernel tests — the whole core
+# package under -race -count=2 is minutes of statistical tests).
+echo "== go test -race -count=2 ./internal/ingest ./internal/distributed ./internal/cq"
+go test -race -count=2 ./internal/ingest ./internal/distributed ./internal/cq
 echo "== go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core"
 go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core
 
 # The WAL is the layer that must never lie about what is on disk; run
 # it under the race detector twice (appenders, the snapshotter, and
 # replay share the log), and run the kill -9 crash-recovery
-# integration test explicitly so a test-filter change can never
-# silently drop it from the gate.
+# integration tests explicitly so a test-filter change can never
+# silently drop them from the gate.
 echo "== go test -race -count=2 ./internal/wal"
 go test -race -count=2 ./internal/wal
-echo "== go test -run 'TestCrashRecoveryBitIdentical|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd"
-go test -run 'TestCrashRecoveryBitIdentical|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd
+echo "== go test -run 'TestCrashRecoveryBitIdentical|TestViewCatalogSurvivesCrash|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd"
+go test -run 'TestCrashRecoveryBitIdentical|TestViewCatalogSurvivesCrash|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd
 
 # Estimator bench smoke: the three query-kernel benchmarks must at
 # least compile and complete one iteration (full numbers come from
@@ -51,34 +53,64 @@ go test -run 'TestCrashRecoveryBitIdentical|TestInspectWALCorruptSegment' -count
 echo "== go test -run=NONE -bench 'Estimate(Expression|Compiled|Parallel)$' -benchtime=1x ."
 go test -run=NONE -bench 'Estimate(Expression|Compiled|Parallel)$' -benchtime=1x .
 
-# The metrics/logging layer is what operators debug everything else
-# with; keep it thoroughly tested.
-OBS_FLOOR=80
-echo "== go test -cover ./internal/obs (floor ${OBS_FLOOR}%)"
-COVER=$(go test -cover ./internal/obs | awk '{for (i=1; i<=NF; i++) if ($i == "coverage:") {sub(/%.*/, "", $(i+1)); print $(i+1)}}')
-if [ -z "$COVER" ]; then
-    echo "check: could not read internal/obs coverage" >&2
-    exit 1
-fi
-if awk -v c="$COVER" -v f="$OBS_FLOOR" 'BEGIN{exit !(c < f)}'; then
-    echo "check: internal/obs coverage ${COVER}% is below the ${OBS_FLOOR}% floor" >&2
-    exit 1
-fi
-echo "internal/obs coverage: ${COVER}%"
+# Coverage floors on the operator-facing layers: the metrics/logging
+# layer is what operators debug everything else with, recovery
+# correctness is only as good as the tests pinning the on-disk
+# formats, and the cq window/group semantics are contracts QUERIES.md
+# promises to users.
+cover_floor() {
+    local pkg="$1" floor="$2" cover
+    echo "== go test -cover ${pkg} (floor ${floor}%)"
+    cover=$(go test -cover "$pkg" | awk '{for (i=1; i<=NF; i++) if ($i == "coverage:") {sub(/%.*/, "", $(i+1)); print $(i+1)}}')
+    if [ -z "$cover" ]; then
+        echo "check: could not read ${pkg} coverage" >&2
+        exit 1
+    fi
+    if awk -v c="$cover" -v f="$floor" 'BEGIN{exit !(c < f)}'; then
+        echo "check: ${pkg} coverage ${cover}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "${pkg} coverage: ${cover}%"
+}
+cover_floor ./internal/obs 80
+cover_floor ./internal/wal 80
+cover_floor ./internal/cq 80
 
-# Same bar for the durability layer: recovery correctness is only as
-# good as the tests that pin the on-disk formats and failure paths.
-WAL_FLOOR=80
-echo "== go test -cover ./internal/wal (floor ${WAL_FLOOR}%)"
-WCOVER=$(go test -cover ./internal/wal | awk '{for (i=1; i<=NF; i++) if ($i == "coverage:") {sub(/%.*/, "", $(i+1)); print $(i+1)}}')
-if [ -z "$WCOVER" ]; then
-    echo "check: could not read internal/wal coverage" >&2
+# Docs lint: the operational surface must stay documented. Every
+# metric series name registered in non-test code must appear in
+# OPERATIONS.md; every sketchd flag must appear in OPERATIONS.md or
+# QUERIES.md; every keyword of the CQ statement language must appear
+# in QUERIES.md. Names are extracted from the source, so adding an
+# instrument or flag without documenting it fails this gate.
+echo "== docs lint (OPERATIONS.md / QUERIES.md)"
+LINT_FAIL=0
+# wal_dir is a logfmt key that matches the series-name shape, not a metric.
+METRICS=$(grep -rhoE '"(ingest|stream|coord|watch|cq|estimator|wal|process|estimate)_[a-z0-9_]+"' \
+    --include='*.go' --exclude='*_test.go' . | tr -d '"' | sort -u | grep -vx 'wal_dir')
+for m in $METRICS; do
+    if ! grep -q "$m" OPERATIONS.md; then
+        echo "docs lint: metric ${m} is not documented in OPERATIONS.md" >&2
+        LINT_FAIL=1
+    fi
+done
+FLAGS=$(grep -hoE '\.(String|Bool|Int|Int64|Uint64|Duration|Float64|Func)\("[a-z-]+"' \
+    cmd/sketchd/main.go | sed -E 's/.*\("([a-z-]+)"/\1/' | sort -u)
+for f in $FLAGS; do
+    if ! grep -q -- "-$f" OPERATIONS.md QUERIES.md; then
+        echo "docs lint: sketchd flag -${f} is not documented in OPERATIONS.md or QUERIES.md" >&2
+        LINT_FAIL=1
+    fi
+done
+for k in CREATE DROP VIEW AS WINDOW SLIDE GROUP BY EMIT RSTREAM ISTREAM UNION INTERSECT EXCEPT XOR; do
+    if ! grep -q "$k" QUERIES.md; then
+        echo "docs lint: CQ keyword ${k} is not documented in QUERIES.md" >&2
+        LINT_FAIL=1
+    fi
+done
+if [ "$LINT_FAIL" -ne 0 ]; then
+    echo "check: docs lint failed" >&2
     exit 1
 fi
-if awk -v c="$WCOVER" -v f="$WAL_FLOOR" 'BEGIN{exit !(c < f)}'; then
-    echo "check: internal/wal coverage ${WCOVER}% is below the ${WAL_FLOOR}% floor" >&2
-    exit 1
-fi
-echo "internal/wal coverage: ${WCOVER}%"
+echo "docs lint: OK"
 
 echo "check: OK"
