@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race race-ingest bench bench-ingest bench-update bench-wal
+.PHONY: check lint vet build test race race-ingest bench bench-ingest bench-update bench-wal
 
 check:
 	./scripts/check.sh
+
+# Static analysis only: stock go vet plus sketchvet, the project's own
+# analyzer suite (lock annotations, WAL append-before-apply, bit-exact
+# hygiene, docs coverage). Also part of `make check`.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sketchvet ./...
 
 # Focused race pass over the concurrent ingest/distributed paths (also
 # part of `make check`).

@@ -1,0 +1,82 @@
+// Command sketchvet is the repo's multichecker: it loads the named
+// packages once and runs the four project-specific analyzers that
+// machine-check the correctness invariants no compiler sees —
+// guardedby (lock annotations), walbefore (append-before-apply),
+// bitexact (bit-identical estimator contract), and obslint
+// (metric/flag/keyword naming and documentation).
+//
+// Usage:
+//
+//	sketchvet [-timing] [packages]
+//
+// Packages default to ./... relative to the current directory.
+// Diagnostics print one per line as file:line:col: analyzer: message;
+// any diagnostic makes the exit status 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"setsketch/internal/analysis"
+	"setsketch/internal/analysis/bitexact"
+	"setsketch/internal/analysis/guardedby"
+	"setsketch/internal/analysis/obslint"
+	"setsketch/internal/analysis/walbefore"
+)
+
+var analyzers = []*analysis.Analyzer{
+	guardedby.Analyzer,
+	walbefore.Analyzer,
+	bitexact.Analyzer,
+	obslint.Analyzer,
+}
+
+func main() {
+	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sketchvet [-timing] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loadStart := time.Now()
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sketchvet: %v\n", err)
+		os.Exit(2)
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "sketchvet: load %d packages: %v\n", len(pkgs), time.Since(loadStart).Round(time.Millisecond))
+	}
+
+	failed := false
+	for _, a := range analyzers {
+		start := time.Now()
+		diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sketchvet: %v\n", err)
+			os.Exit(2)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "sketchvet: %-10s %v\n", a.Name, time.Since(start).Round(time.Millisecond))
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

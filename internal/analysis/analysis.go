@@ -1,0 +1,160 @@
+// Package analysis is a stdlib-only reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repo's needs: an
+// Analyzer runs over one type-checked package at a time and reports
+// position-anchored diagnostics.
+//
+// The x/tools module is not vendored here (the module is deliberately
+// dependency-free), so this package provides the three pieces sketchvet
+// needs: the Analyzer/Pass/Diagnostic vocabulary, a package loader
+// built on `go list -deps -json` plus go/parser and go/types (load.go),
+// and an analysistest-style harness driven by // want comments
+// (analysistest.go). The API mirrors x/tools closely enough that the
+// analyzers under internal/analysis/... could be ported to a real
+// multichecker by swapping imports.
+//
+// Suppression: a comment of the form
+//
+//	//sketchvet:ignore <analyzer> [reason...]
+//
+// on the flagged line (or alone on the line above it) silences that
+// analyzer's diagnostics for the line. Analyzers define their own
+// richer annotations (// guarded by:, // caller holds:,
+// //sketchvet:wal-handler, ...) documented in their package docs.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sketchvet:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work. All syntax and type
+// information covers the package's non-test Go files.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path; Dir its directory on disk.
+	PkgPath string
+	Dir     string
+	// ModDir is the directory of the go.mod governing the package —
+	// where repo-level artifacts (OPERATIONS.md, QUERIES.md) live.
+	ModDir string
+
+	diags      []Diagnostic
+	suppressed map[string]map[int]bool // filename -> line -> suppressed
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.suppressed[position.Filename]; ok && lines[position.Line] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// buildSuppressions indexes //sketchvet:ignore directives for one
+// analyzer: a directive suppresses its own line, and — when it is the
+// only thing on its line — the following line.
+func (p *Pass) buildSuppressions() {
+	p.suppressed = make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//sketchvet:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || fields[0] != p.Analyzer.Name {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.suppressed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.suppressed[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined diagnostics sorted by position. PerAnalyzer durations are
+// reported through the optional timing callback.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				Dir:       pkg.Dir,
+				ModDir:    pkg.ModDir,
+			}
+			pass.buildSuppressions()
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			all = append(all, pass.diags...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,112 @@
+package analysis
+
+// analysistest-style harness: run one analyzer over a testdata module
+// and compare its diagnostics against // want "regex" comments in the
+// sources. Each analyzer keeps a self-contained Go module under
+// testdata/ (the go tool ignores testdata directories, so these
+// modules never leak into the repo build).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one expectation:  // want "regex"  (possibly several
+// per comment, each introduced by its own `want`).
+var wantRe = regexp.MustCompile(`want\s+("(?:[^"\\]|\\.)*")`)
+
+// RunTest loads ./... from moddir (a module rooted in testdata), runs
+// the analyzer, and reports any mismatch between its diagnostics and
+// the // want expectations as test failures.
+func RunTest(t *testing.T, moddir string, a *Analyzer) {
+	t.Helper()
+	pkgs, err := Load(moddir, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", moddir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", moddir)
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	expected := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pat, err := strconv.Unquote(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+						}
+						key := lineKey(pkg.Fset, c.Pos())
+						expected[key] = append(expected[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, exp := range expected[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, exps := range expected {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.re)
+			}
+		}
+	}
+}
+
+func lineKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// CommentDirectives collects, per file line, the text of comments
+// starting with the given prefix — shared by analyzers that read
+// annotations like "// guarded by: mu". The returned map keys are
+// "filename:line"; values are the directive bodies with the prefix and
+// surrounding space stripped.
+func CommentDirectives(fset *token.FileSet, files []*ast.File, prefix string) map[string]string {
+	out := make(map[string]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if rest, ok := strings.CutPrefix(text, prefix); ok {
+					out[lineKey(fset, c.Pos())] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+// Package bitexact checks packages on the bit-identical contract: the
+// serial, compiled, and parallel estimator paths must produce the same
+// bits, so code in these packages must avoid the three classic sources
+// of run-to-run divergence.
+//
+// A package opts in with a directive comment in any of its files:
+//
+//	//sketchvet:bitexact
+//
+// Checks, in opted-in packages only:
+//
+//  1. Map iteration into output order: a `range` over a map whose body
+//     appends into a slice declared outside the loop is flagged unless
+//     the slice is later passed to sort.* / slices.Sort* in the same
+//     function (the collect-then-sort idiom). Bodies that write to an
+//     io.Writer-shaped sink (Write*/Fprint*/Encode* methods) or
+//     accumulate floating point inside map iteration are flagged
+//     unconditionally — both bake nondeterministic order into output
+//     bits. Integer accumulation is commutative and allowed.
+//
+//  2. Unpinned math: calls to math.* functions outside the allowlist
+//     of functions the kernels are specified against. Anything else
+//     (math.Sin, math.FMA, ...) risks platform-dependent bits.
+//
+//  3. Float equality: ==/!= between floating-point operands where
+//     neither side is a compile-time constant. Comparisons against
+//     constants (x == 0 in the pinned epilogue) are the contract's
+//     own idiom and stay legal.
+//
+// //sketchvet:ignore bitexact suppresses a finding on its line.
+package bitexact
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"setsketch/internal/analysis"
+)
+
+// Analyzer is the bitexact analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bitexact",
+	Doc:  "check bit-identical-contract packages for ordering and float hazards",
+	Run:  run,
+}
+
+// mathAllowlist lists the math functions the estimator contract pins;
+// see DESIGN.md's bit-identical section.
+var mathAllowlist = map[string]bool{
+	"Pow": true, "Log": true, "Log2": true, "Log1p": true,
+	"Sqrt": true, "Ceil": true, "Floor": true, "Trunc": true,
+	"Exp": true, "Exp2": true, "Abs": true, "Inf": true, "IsInf": true,
+	"IsNaN": true, "NaN": true, "Min": true, "Max": true,
+	"Float64bits": true, "Float64frombits": true,
+	"Float32bits": true, "Float32frombits": true,
+	"MaxUint32": true, "MaxUint64": true, "MaxInt64": true,
+	"MaxFloat64": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !optedIn(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// optedIn reports whether any file carries the bitexact directive.
+func optedIn(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//sketchvet:bitexact") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sorted := sortedSlices(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass, n.X) {
+				checkMapRangeBody(pass, n, sorted)
+			}
+		case *ast.CallExpr:
+			checkMathCall(pass, n)
+		case *ast.BinaryExpr:
+			checkFloatEq(pass, n)
+		}
+		return true
+	})
+}
+
+// sortedSlices collects slice objects passed to sort.*/slices.Sort* in
+// the function — appends into these inside a map range are the legal
+// collect-then-sort idiom.
+func sortedSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObject(pass, arg); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "append" || i >= len(n.Lhs) {
+					continue
+				}
+				obj := rootObject(pass, n.Lhs[i])
+				if obj == nil || sorted[obj] {
+					continue
+				}
+				// Appends into a slice that outlives the loop pick up
+				// map order; appends into loop-local scratch do not.
+				if obj.Pos() < rng.Pos() {
+					pass.Reportf(n.Pos(),
+						"append to %s inside map iteration fixes nondeterministic order into output (collect then sort.Slice, or iterate a sorted key slice)", obj.Name())
+				}
+			}
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if isFloatExpr(pass, lhs) {
+						pass.Reportf(n.Pos(),
+							"floating-point accumulation inside map iteration is order-dependent (iterate sorted keys)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Fprint") ||
+					strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Encode") {
+					pass.Reportf(n.Pos(),
+						"%s inside map iteration emits output in nondeterministic order (iterate sorted keys)", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkMathCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "math" {
+		return
+	}
+	if !mathAllowlist[sel.Sel.Name] {
+		pass.Reportf(call.Pos(),
+			"math.%s is not on the bit-identical allowlist (pinned functions: see DESIGN.md invariants)", sel.Sel.Name)
+	}
+}
+
+func checkFloatEq(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !isFloatExpr(pass, e.X) && !isFloatExpr(pass, e.Y) {
+		return
+	}
+	xc := pass.TypesInfo.Types[e.X].Value != nil
+	yc := pass.TypesInfo.Types[e.Y].Value != nil
+	if xc || yc {
+		return // comparison against a constant: the pinned-epilogue idiom
+	}
+	pass.Reportf(e.OpPos,
+		"float %s comparison between computed values breaks bit-exactness (compare bits, a constant, or an epsilon)", e.Op)
+}
+
+func isFloatExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMapType reports whether e has map type.
+func isMapType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rootObject unwraps selectors/indexing to the base identifier's object.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			// Field chains root at the field object itself so that
+			// c.keys and local keys are distinct.
+			if s := pass.TypesInfo.Selections[x]; s != nil {
+				return s.Obj()
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

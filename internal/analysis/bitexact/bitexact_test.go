@@ -1,0 +1,17 @@
+package bitexact_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"setsketch/internal/analysis"
+	"setsketch/internal/analysis/bitexact"
+)
+
+func TestBitExact(t *testing.T) {
+	moddir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunTest(t, moddir, bitexact.Analyzer)
+}

@@ -1,0 +1,96 @@
+// Package a exercises the bitexact analyzer in an opted-in package.
+//
+//sketchvet:bitexact
+package a
+
+import (
+	"bytes"
+	"math"
+	"sort"
+)
+
+// Good: collect-then-sort is the sanctioned map-iteration idiom.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Bad: the unsorted append leaks map order into the result.
+func UnsortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration fixes nondeterministic order"
+	}
+	return keys
+}
+
+// Good: integer accumulation is commutative — merge order cannot
+// change the bits (the cq window-merge pattern).
+func MergeCounts(dst, src map[string]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// Bad: float accumulation order changes the bits.
+func SumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation inside map iteration is order-dependent"
+	}
+	return sum
+}
+
+// Good: iterating a sorted key slice pins the accumulation order.
+func SumValuesSorted(m map[string]float64) float64 {
+	var sum float64
+	for _, k := range SortedKeys(m) {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Bad: writing to a sink inside map iteration emits nondeterministic
+// byte order.
+func Encode(m map[string]int64) []byte {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want "WriteString inside map iteration emits output in nondeterministic order"
+	}
+	return buf.Bytes()
+}
+
+// Good: allowlisted math functions are the pinned kernel set.
+func Estimate(x float64) float64 {
+	return math.Pow(2, math.Log1p(x)/math.Log(2))
+}
+
+// Bad: math.Sin is not part of the pinned contract.
+func Wobble(x float64) float64 {
+	return math.Sin(x) // want "math.Sin is not on the bit-identical allowlist"
+}
+
+// Good: comparing against a constant is the pinned-epilogue idiom.
+func IsZero(u float64) bool {
+	return u == 0
+}
+
+// Bad: equality between two computed floats.
+func SameEstimate(a, b float64) bool {
+	return a == b // want "float == comparison between computed values breaks bit-exactness"
+}
+
+// Good: bit comparison is exact by construction.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Suppressed: the ignore directive covers the next line.
+func SuppressedCompare(a, b float64) bool {
+	//sketchvet:ignore bitexact test oracle compares exact bits on purpose
+	return a == b
+}

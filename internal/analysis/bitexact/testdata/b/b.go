@@ -1,0 +1,13 @@
+// Package b has no bitexact directive: nothing here may be flagged,
+// however order-dependent it is.
+package b
+
+import "math"
+
+func UnpinnedEverywhere(m map[string]float64) (float64, bool) {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return math.Sin(sum), sum == 1.0/3.0*3.0
+}

@@ -1,0 +1,3 @@
+module bitexacttest
+
+go 1.22

@@ -1,0 +1,770 @@
+// Package guardedby checks lock-annotation discipline: a struct field
+// annotated
+//
+//	// guarded by: mu
+//	// guarded by: c.wmu
+//
+// may only be accessed while the named mutex is held. The mutex is
+// named by a path resolved from the annotated field's struct — a bare
+// name is a sibling field, a dotted path walks through struct-typed
+// fields (c.wmu: field c, then field wmu of c's type). Reads require
+// at least a read lock (RLock or Lock), writes require the write lock.
+//
+// Holding is established flow-insensitively per function body by
+// tracking Lock/RLock/Unlock/RUnlock calls on the annotated mutex
+// *object* (the types.Var of the field), in source order, with
+// branch-aware merging: a lock taken in only one arm of an if is not
+// held after it unless the other arm terminates. Deferred unlocks keep
+// the lock held to the end of the function. Function literals start
+// with no locks held — they may run later — so closures must lock for
+// themselves.
+//
+// Escape hatches, in decreasing preference:
+//
+//   - // caller holds: mu   (function doc) — the contract-documented
+//     form: the function requires its caller to hold the lock.
+//   - accesses whose receiver chain is rooted at a local variable
+//     freshly built from a composite literal or new() in the same
+//     function are exempt: the object is not shared yet (constructors).
+//   - //sketchvet:ignore guardedby on the flagged line.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"setsketch/internal/analysis"
+)
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "check that fields annotated '// guarded by: <mutex>' are only accessed with the lock held",
+	Run:  run,
+}
+
+// lockInfo describes the mutex guarding one annotated field.
+type lockInfo struct {
+	mutex *types.Var // the mutex field object
+	rw    bool       // sync.RWMutex (read locks exist)
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectAnnotations(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	mutexByName := make(map[string][]*types.Var)
+	for _, li := range guarded {
+		name := li.mutex.Name()
+		seen := false
+		for _, v := range mutexByName[name] {
+			if v == li.mutex {
+				seen = true
+			}
+		}
+		if !seen {
+			mutexByName[name] = append(mutexByName[name], li.mutex)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{
+				pass:    pass,
+				guarded: guarded,
+				state:   newLockState(),
+				fresh:   make(map[*types.Var]bool),
+			}
+			c.addCallerHolds(fd, mutexByName)
+			c.collectFresh(fd.Body)
+			c.stmt(fd.Body)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations maps guarded field objects to their lock info.
+func collectAnnotations(pass *analysis.Pass) map[*types.Var]lockInfo {
+	out := make(map[*types.Var]lockInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				path, ok := guardDirective(field)
+				if !ok {
+					continue
+				}
+				if len(field.Names) == 0 {
+					pass.Reportf(field.Pos(), "'guarded by:' annotation on an embedded field is not supported")
+					continue
+				}
+				owner := pass.TypesInfo.Defs[field.Names[0]].(*types.Var)
+				li, err := resolveLockPath(owner, path)
+				if err != "" {
+					pass.Reportf(field.Pos(), "bad 'guarded by: %s' annotation: %s", path, err)
+					continue
+				}
+				for _, name := range field.Names {
+					out[pass.TypesInfo.Defs[name].(*types.Var)] = li
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardDirective extracts the mutex path of a field's "guarded by:"
+// annotation from its doc or line comment.
+func guardDirective(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if rest, ok := strings.CutPrefix(text, "guarded by:"); ok {
+				path := strings.TrimSpace(rest)
+				if i := strings.IndexAny(path, " \t;,"); i >= 0 {
+					path = path[:i]
+				}
+				return path, path != ""
+			}
+		}
+	}
+	return "", false
+}
+
+// resolveLockPath walks a dotted mutex path from the struct that owns
+// the annotated field and returns the mutex object it lands on.
+func resolveLockPath(owner *types.Var, path string) (lockInfo, string) {
+	// The owner var's parent struct is not directly recorded by
+	// go/types; owningStruct recovers it by scanning the package's
+	// struct types. The path is then resolved against that struct.
+	strct := owningStruct(owner)
+	if strct == nil {
+		return lockInfo{}, "cannot resolve owning struct"
+	}
+	segs := strings.Split(path, ".")
+	curStruct := strct
+	var target *types.Var
+	for i, seg := range segs {
+		fv := lookupField(curStruct, seg)
+		if fv == nil {
+			return lockInfo{}, "no field " + seg
+		}
+		if i == len(segs)-1 {
+			target = fv
+			break
+		}
+		next, ok := derefStruct(fv.Type())
+		if !ok {
+			return lockInfo{}, "field " + seg + " is not a struct"
+		}
+		curStruct = next
+	}
+	rw, ok := isMutex(target.Type())
+	if !ok {
+		return lockInfo{}, "field " + segs[len(segs)-1] + " is not a sync.Mutex or sync.RWMutex"
+	}
+	return lockInfo{mutex: target, rw: rw}, ""
+}
+
+// fieldOwners caches field object -> owning struct resolution.
+var fieldOwners = map[*types.Var]*types.Struct{}
+
+// owningStruct finds the *types.Struct that declares the field var by
+// scanning the field lists of every struct in the field's package.
+func owningStruct(field *types.Var) *types.Struct {
+	if s, ok := fieldOwners[field]; ok {
+		return s
+	}
+	pkg := field.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fieldOwners[st.Field(i)] = st
+		}
+	}
+	return fieldOwners[field]
+}
+
+func lookupField(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (rw reports
+// the latter).
+func isMutex(t types.Type) (rw, ok bool) {
+	if p, yes := t.Underlying().(*types.Pointer); yes {
+		t = p.Elem()
+	}
+	named, yes := t.(*types.Named)
+	if !yes {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// lockState is the set of locks held at a program point.
+type lockState struct {
+	read  map[*types.Var]int
+	write map[*types.Var]int
+}
+
+func newLockState() *lockState {
+	return &lockState{read: map[*types.Var]int{}, write: map[*types.Var]int{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.read {
+		c.read[k] = v
+	}
+	for k, v := range s.write {
+		c.write[k] = v
+	}
+	return c
+}
+
+// mergeMin keeps, for each lock, the minimum hold count across states
+// — the conservative "held on every path" answer.
+func mergeMin(states []*lockState) *lockState {
+	if len(states) == 0 {
+		return newLockState()
+	}
+	out := states[0].clone()
+	for _, s := range states[1:] {
+		for k, v := range out.read {
+			if s.read[k] < v {
+				out.read[k] = s.read[k]
+			}
+		}
+		for k := range out.read {
+			if _, ok := s.read[k]; !ok {
+				out.read[k] = 0
+			}
+		}
+		for k, v := range out.write {
+			if s.write[k] < v {
+				out.write[k] = s.write[k]
+			}
+		}
+	}
+	return out
+}
+
+// checker walks one function body in source order.
+type checker struct {
+	pass        *analysis.Pass
+	guarded     map[*types.Var]lockInfo
+	state       *lockState
+	callerHolds map[*types.Var]bool
+	fresh       map[*types.Var]bool // locals built from composite literals
+}
+
+// addCallerHolds reads "// caller holds: mu[, wmu]" doc directives.
+func (c *checker) addCallerHolds(fd *ast.FuncDecl, byName map[string][]*types.Var) {
+	c.callerHolds = map[*types.Var]bool{}
+	if fd.Doc == nil {
+		return
+	}
+	for _, cm := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+		rest, ok := strings.CutPrefix(text, "caller holds:")
+		if !ok {
+			// Also accept the conventional prose form "Caller holds c.mu."
+			rest, ok = strings.CutPrefix(text, "Caller holds")
+			if !ok {
+				continue
+			}
+		}
+		for _, tok := range strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ',' || r == ' ' || r == ';' || r == '.' && false
+		}) {
+			tok = strings.TrimRight(tok, ".")
+			segs := strings.Split(tok, ".")
+			name := segs[len(segs)-1]
+			for _, mv := range byName[name] {
+				c.callerHolds[mv] = true
+			}
+		}
+	}
+}
+
+// collectFresh records locals initialized from composite literals or
+// new() — objects that cannot be shared with other goroutines yet.
+func (c *checker) collectFresh(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			if !isFreshExpr(as.Rhs[i]) {
+				continue
+			}
+			if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+				c.fresh[v] = true
+			}
+		}
+		return true
+	})
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement, updating lock state in source order.
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			c.stmt(sub)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond, false)
+		var merged []*lockState
+		saved := c.state
+		c.state = saved.clone()
+		c.stmt(s.Body)
+		if !terminates(s.Body) {
+			merged = append(merged, c.state)
+		}
+		c.state = saved.clone()
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+		if s.Else == nil || !stmtTerminates(s.Else) {
+			merged = append(merged, c.state)
+		}
+		c.state = mergeMin(merged)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, false)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		saved := c.state.clone()
+		c.stmt(s.Body)
+		c.state = mergeMin([]*lockState{saved, c.state})
+	case *ast.RangeStmt:
+		c.expr(s.X, false)
+		saved := c.state.clone()
+		c.stmt(s.Body)
+		c.state = mergeMin([]*lockState{saved, c.state})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		c.caseBodies(s)
+	case *ast.DeferStmt:
+		// A deferred unlock fires at return: the lock stays held for
+		// the rest of the body, so skip the state change. Everything
+		// else in the call (receiver, args) is still an access.
+		if !c.lockCall(s.Call, true) {
+			c.expr(s.Call, false)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: analyze its callee literal
+		// (if any) with no locks held; the call's operands are accesses.
+		c.expr(s.Call, false)
+	case *ast.ExprStmt:
+		c.expr(s.X, false)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.expr(r, false)
+		}
+		for _, l := range s.Lhs {
+			c.expr(l, true)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, true)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, false)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		c.expr(s.Chan, false)
+		c.expr(s.Value, false)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	}
+}
+
+// caseBodies handles switch/select: each clause sees the entry state;
+// afterwards the minimum across non-terminating clauses holds.
+func (c *checker) caseBodies(s ast.Stmt) {
+	var init ast.Stmt
+	var tag ast.Expr
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag, body = s.Init, s.Tag, s.Body
+	case *ast.TypeSwitchStmt:
+		init, body = s.Init, s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	if init != nil {
+		c.stmt(init)
+	}
+	if tag != nil {
+		c.expr(tag, false)
+	}
+	saved := c.state
+	var merged []*lockState
+	hasDefault := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.state = saved
+				c.expr(e, false)
+			}
+			stmts = cl.Body
+			hasDefault = hasDefault || cl.List == nil
+		case *ast.CommClause:
+			stmts = cl.Body
+			hasDefault = hasDefault || cl.Comm == nil
+			if cl.Comm != nil {
+				c.state = saved.clone()
+				c.stmt(cl.Comm)
+				saved, c.state = c.state, saved // comm effects stay in-branch
+			}
+		}
+		c.state = saved.clone()
+		for _, st := range stmts {
+			c.stmt(st)
+		}
+		if !stmtsTerminate(stmts) {
+			merged = append(merged, c.state)
+		}
+	}
+	if !hasDefault {
+		merged = append(merged, saved.clone())
+	}
+	c.state = mergeMin(merged)
+}
+
+// expr walks an expression in evaluation order. write marks the
+// outermost expression as a store target.
+func (c *checker) expr(e ast.Expr, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.SelectorExpr:
+		if c.lockCallSelector(e) {
+			return // handled as part of the call
+		}
+		c.expr(e.X, false)
+		c.checkAccess(e, write)
+	case *ast.IndexExpr:
+		c.expr(e.X, write) // writing m[k] writes through the field
+		c.expr(e.Index, false)
+	case *ast.StarExpr:
+		c.expr(e.X, write)
+	case *ast.ParenExpr:
+		c.expr(e.X, write)
+	case *ast.UnaryExpr:
+		// Taking the address of a guarded location hands out an alias;
+		// require the write lock.
+		c.expr(e.X, write || e.Op == token.AND)
+	case *ast.BinaryExpr:
+		c.expr(e.X, false)
+		c.expr(e.Y, false)
+	case *ast.CallExpr:
+		if c.lockCall(e, false) {
+			return
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "delete" && len(e.Args) > 0 {
+			// delete(c.fams, k) writes through the map field.
+			c.expr(e.Args[0], true)
+			for _, a := range e.Args[1:] {
+				c.expr(a, false)
+			}
+			return
+		}
+		c.expr(e.Fun, false)
+		for _, a := range e.Args {
+			c.expr(a, false)
+		}
+	case *ast.FuncLit:
+		// The literal may run on another goroutine or after unlock:
+		// analyze its body with nothing held and no fresh locals.
+		sub := &checker{
+			pass:        c.pass,
+			guarded:     c.guarded,
+			state:       newLockState(),
+			callerHolds: map[*types.Var]bool{},
+			fresh:       map[*types.Var]bool{},
+		}
+		sub.collectFresh(e.Body)
+		sub.stmt(e.Body)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				c.expr(kv.Value, false)
+				continue
+			}
+			c.expr(el, false)
+		}
+	case *ast.KeyValueExpr:
+		c.expr(e.Key, false)
+		c.expr(e.Value, false)
+	case *ast.SliceExpr:
+		c.expr(e.X, write)
+		c.expr(e.Low, false)
+		c.expr(e.High, false)
+		c.expr(e.Max, false)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, false)
+	case *ast.IndexListExpr:
+		c.expr(e.X, false)
+	}
+}
+
+// lockCallSelector reports whether sel is the Fun of a lock-method
+// call; those are consumed by lockCall via the enclosing CallExpr.
+func (c *checker) lockCallSelector(sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		_, ok := c.mutexOf(sel)
+		return ok
+	}
+	return false
+}
+
+// lockCall applies a Lock/Unlock call's state transition. deferred
+// calls are recognized but do not change state.
+func (c *checker) lockCall(call *ast.CallExpr, deferred bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return false
+	}
+	mv, ok := c.mutexOf(sel)
+	if !ok {
+		return false
+	}
+	if deferred {
+		return true
+	}
+	switch op {
+	case "Lock":
+		c.state.write[mv]++
+	case "Unlock":
+		if c.state.write[mv] > 0 {
+			c.state.write[mv]--
+		}
+	case "RLock":
+		c.state.read[mv]++
+	case "RUnlock":
+		if c.state.read[mv] > 0 {
+			c.state.read[mv]--
+		}
+	}
+	return true
+}
+
+// mutexOf resolves the receiver of a lock-method selector (c.mu.Lock →
+// the mu field object) when it is an annotated mutex.
+func (c *checker) mutexOf(sel *ast.SelectorExpr) (*types.Var, bool) {
+	var obj types.Object
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		if s := c.pass.TypesInfo.Selections[x]; s != nil {
+			obj = s.Obj()
+		} else {
+			obj = c.pass.TypesInfo.Uses[x.Sel]
+		}
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[x]
+	default:
+		return nil, false
+	}
+	mv, ok := obj.(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	for _, li := range c.guarded {
+		if li.mutex == mv {
+			return mv, true
+		}
+	}
+	return nil, false
+}
+
+// checkAccess validates one selector access against the annotations.
+func (c *checker) checkAccess(sel *ast.SelectorExpr, write bool) {
+	s := c.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	li, ok := c.guarded[fv]
+	if !ok {
+		return
+	}
+	if c.callerHolds[li.mutex] {
+		return
+	}
+	if base, ok := chainBase(sel.X); ok {
+		if v, ok := c.pass.TypesInfo.Uses[base].(*types.Var); ok && c.fresh[v] {
+			return
+		}
+	}
+	if c.state.write[li.mutex] > 0 {
+		return
+	}
+	if !write && li.rw && c.state.read[li.mutex] > 0 {
+		return
+	}
+	kind := "read"
+	if write {
+		kind = "write to"
+	}
+	lock := li.mutex.Name()
+	if write && li.rw && c.state.read[li.mutex] > 0 {
+		c.pass.Reportf(sel.Sel.Pos(),
+			"%s guarded field %s holds only the read lock %s (write lock required)", kind, fv.Name(), lock)
+		return
+	}
+	c.pass.Reportf(sel.Sel.Pos(),
+		"%s guarded field %s without holding %s (add %s.Lock or a '// caller holds: %s' contract)",
+		kind, fv.Name(), lock, lock, lock)
+}
+
+// chainBase unwraps a selector receiver chain to its base identifier.
+func chainBase(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+func terminates(b *ast.BlockStmt) bool { return stmtsTerminate(b.List) }
+
+func stmtsTerminate(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return terminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package guardedby_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"setsketch/internal/analysis"
+	"setsketch/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	moddir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunTest(t, moddir, guardedby.Analyzer)
+}

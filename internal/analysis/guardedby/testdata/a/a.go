@@ -1,0 +1,134 @@
+// Package a exercises the guardedby analyzer: annotated fields must be
+// accessed under their named lock.
+package a
+
+import "sync"
+
+type Counter struct {
+	mu sync.RWMutex
+	n  int            // guarded by: mu
+	m  map[string]int // guarded by: mu
+
+	plain sync.Mutex
+	p     int // guarded by: plain
+
+	free int // unannotated: never checked
+}
+
+// Good: write lock held across the write.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Good: deferred unlock keeps the lock held to the end.
+func (c *Counter) IncDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m["x"] = c.n
+}
+
+// Good: read lock is enough for reads.
+func (c *Counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Bad: no lock at all.
+func (c *Counter) Racy() int {
+	c.n++      // want "write to guarded field n without holding mu"
+	return c.n // want "read guarded field n without holding mu"
+}
+
+// Bad: read lock does not license writes.
+func (c *Counter) RacyWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n = 7 // want "write to guarded field n holds only the read lock mu"
+}
+
+// Bad: access after the unlock.
+func (c *Counter) UseAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want "read guarded field n without holding mu"
+}
+
+// Bad: the lock is only held on one branch.
+func (c *Counter) BranchLeak(cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.n++ // want "write to guarded field n without holding mu"
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+// Good: early-return arm unlocks; fallthrough path stays locked.
+func (c *Counter) EarlyReturn(err bool) int {
+	c.mu.Lock()
+	if err {
+		c.mu.Unlock()
+		return -1
+	}
+	c.n++
+	c.mu.Unlock()
+	return 0
+}
+
+// Good: the doc contract transfers the obligation to callers.
+// caller holds: mu
+func (c *Counter) incLocked() {
+	c.n++
+	delete(c.m, "x")
+}
+
+// Bad: map mutations are writes through the field.
+func (c *Counter) RacyDelete() {
+	delete(c.m, "x") // want "write to guarded field m without holding mu"
+}
+
+// Good: freshly constructed values are not shared yet.
+func NewCounter() *Counter {
+	c := &Counter{m: map[string]int{}}
+	c.n = 1
+	c.m["seed"] = 1
+	return c
+}
+
+// Bad: a closure may run later; it must lock for itself.
+func (c *Counter) Closure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want "read guarded field n without holding mu"
+	}
+}
+
+// Good: a closure that locks for itself.
+func (c *Counter) GoodClosure() func() int {
+	return func() int {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.n
+	}
+}
+
+// Good: plain Mutex Lock licenses reads and writes.
+func (c *Counter) PlainOK() int {
+	c.plain.Lock()
+	defer c.plain.Unlock()
+	c.p++
+	return c.p
+}
+
+// Suppressed: the directive silences the next line.
+func (c *Counter) Suppressed() int {
+	//sketchvet:ignore guardedby intentionally racy stat
+	return c.n
+}

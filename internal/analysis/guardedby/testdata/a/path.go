@@ -1,0 +1,43 @@
+package a
+
+import "sync"
+
+// Hub/Spoke mirror the Coordinator/Watcher shape: spoke state guarded
+// by a mutex reached through a struct-typed field path.
+type Hub struct {
+	wmu    sync.Mutex
+	spokes map[int]*Spoke // guarded by: wmu
+}
+
+type Spoke struct {
+	hub   *Hub
+	epoch int // guarded by: hub.wmu
+}
+
+// Good: the path annotation resolves to the same lock object whether
+// reached as h.wmu or s.hub.wmu.
+func (s *Spoke) Bump() {
+	s.hub.wmu.Lock()
+	s.epoch++
+	s.hub.wmu.Unlock()
+}
+
+func (h *Hub) Sweep() {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
+	for _, s := range h.spokes {
+		s.epoch++
+	}
+}
+
+// Bad: no lock on the path-guarded field.
+func (s *Spoke) RacyBump() {
+	s.epoch++ // want "write to guarded field epoch without holding wmu"
+}
+
+// Bad: range variables alias shared state — freshness does not apply.
+func (h *Hub) RacySweep() {
+	for _, s := range h.spokes { // want "read guarded field spokes without holding wmu"
+		s.epoch = 0 // want "write to guarded field epoch without holding wmu"
+	}
+}

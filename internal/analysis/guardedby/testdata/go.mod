@@ -1,0 +1,3 @@
+module guardedbytest
+
+go 1.22

@@ -1,0 +1,180 @@
+package analysis
+
+// Package loading without golang.org/x/tools/go/packages: one
+// `go list -deps -json` invocation enumerates the target packages and
+// their full dependency graph in topological order, then each package
+// is parsed with go/parser and type-checked with go/types against the
+// already-checked dependencies. Dependency-only packages (the standard
+// library, mostly) are checked with IgnoreFuncBodies — their exported
+// API is all the analyzers need — while target packages get full
+// bodies, comments, and types.Info.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	ModDir    string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir (a module directory; "" = cwd), parses
+// and type-checks the matched packages plus their dependency graph,
+// and returns the matched packages only. Dependency type-check errors
+// are tolerated (IgnoreFuncBodies makes them rare and benign); errors
+// in the target packages fail the load — analyzers need sound types.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Cgo-free file sets keep source type-checking self-contained.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package, len(listed))
+	// The gc export-data importer resolves any stdlib package whose
+	// source-check fails (none expected, but belt and braces for
+	// toolchain-internal packages).
+	fallback := importer.ForCompiler(fset, "gc", nil)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			checked["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		target := !lp.DepOnly
+		files, err := parseFiles(fset, lp, target)
+		if err != nil {
+			if !target {
+				continue // a dep that fails to parse resolves via fallback
+			}
+			return nil, err
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		cfg := &types.Config{
+			IgnoreFuncBodies: !target,
+			FakeImportC:      true,
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				if mapped, ok := lp.ImportMap[path]; ok {
+					path = mapped
+				}
+				if p, ok := checked[path]; ok && p != nil {
+					return p, nil
+				}
+				return fallback.Import(path)
+			}),
+		}
+		var firstErr error
+		cfg.Error = func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		tpkg, _ := cfg.Check(lp.ImportPath, fset, files, info)
+		if target && firstErr != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, firstErr)
+		}
+		checked[lp.ImportPath] = tpkg
+		if !target {
+			continue
+		}
+		modDir := lp.Dir
+		if lp.Module != nil && lp.Module.Dir != "" {
+			modDir = lp.Module.Dir
+		}
+		out = append(out, &Package{
+			PkgPath:   lp.ImportPath,
+			Name:      lp.Name,
+			Dir:       lp.Dir,
+			ModDir:    modDir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+// parseFiles parses a listed package's non-test Go files. Target
+// packages keep comments (annotations live there); dependencies skip
+// object resolution work they don't need.
+func parseFiles(fset *token.FileSet, lp *listPackage, target bool) ([]*ast.File, error) {
+	mode := parser.SkipObjectResolution
+	if target {
+		mode |= parser.ParseComments
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", filepath.Join(lp.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

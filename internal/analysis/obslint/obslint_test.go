@@ -1,0 +1,17 @@
+package obslint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"setsketch/internal/analysis"
+	"setsketch/internal/analysis/obslint"
+)
+
+func TestObsLint(t *testing.T) {
+	moddir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunTest(t, moddir, obslint.Analyzer)
+}

@@ -1,0 +1,54 @@
+// Package a exercises obslint's metric checks.
+package a
+
+import "obslinttest/obs"
+
+func Register(reg *obs.Registry) {
+	// Good: documented, well-formed names of every kind.
+	reg.Counter("ingest_updates_accepted_total", "Accepted updates.")
+	reg.Gauge("coord_streams", "Known streams.")
+	reg.Histogram("wal_append_seconds", "Append latency.", nil)
+	reg.GaugeFunc("process_goroutines", "Live goroutines.", func() float64 { return 0 })
+
+	// Good: the labeled form documents its base name.
+	reg.Counter(obs.Label("stream_frames_received_total", "type", "push"), "Frames.")
+
+	// Bad: counters must end in _total.
+	reg.Counter("ingest_updates_accepted", "Accepted updates.") // want "counter \"ingest_updates_accepted\" must end in _total"
+
+	// Bad: histograms must end in _seconds.
+	reg.Histogram("wal_append_latency", "Append latency.", nil) // want "histogram \"wal_append_latency\" must end in _seconds"
+
+	// Bad: gauges must not borrow the counter suffix.
+	reg.Gauge("coord_streams_total", "Known streams.") // want "gauge \"coord_streams_total\" must not end in _total"
+
+	// Bad: unknown subsystem prefix.
+	reg.Counter("sketchy_things_total", "Things.") // want "metric \"sketchy_things_total\" has unknown subsystem prefix \"sketchy\""
+
+	// Bad: registered but absent from OPERATIONS.md.
+	reg.Counter("coord_undocumented_total", "Mystery.") // want "metric \"coord_undocumented_total\" is not documented in OPERATIONS.md"
+
+	// Bad: the name cannot be resolved statically.
+	reg.Counter(dynamicName(), "Mystery.") // want "metric name is not statically resolvable"
+}
+
+func dynamicName() string { return "coord_streams" }
+
+// RegisterLoop is the map-literal registration loop the grep lint could
+// never see through: every key resolves, including via the name := name
+// rebinding.
+func RegisterLoop(reg *obs.Registry) {
+	for name, help := range map[string]string{
+		"estimator_estimates_total": "Estimator invocations.",
+		"estimator_witnesses_total": "Witness observations.",
+	} {
+		name := name
+		reg.CounterFunc(name, help, func() uint64 { return 0 })
+	}
+	// Bad: one key in the loop is undocumented.
+	for name, help := range map[string]string{
+		"estimator_unlisted_total": "Missing from docs.",
+	} {
+		reg.CounterFunc(name, help, func() uint64 { return 0 }) // want "metric \"estimator_unlisted_total\" is not documented in OPERATIONS.md"
+	}
+}

@@ -1,0 +1,17 @@
+// Command sketchd (fixture) exercises obslint's flag checks.
+package main
+
+import (
+	"flag"
+	"time"
+)
+
+func main() {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	// Good: documented flags.
+	fs.String("listen", ":7070", "address to listen on")
+	fs.Duration("idle-timeout", time.Minute, "session idle timeout")
+	// Bad: undocumented flag.
+	fs.Int("secret-knob", 0, "undocumented tuning knob") // want "flag -secret-knob is not documented in OPERATIONS.md or QUERIES.md"
+	_ = fs
+}

@@ -1,0 +1,9 @@
+// Package cq (fixture) exercises obslint's keyword checks.
+package cq
+
+func Keywords() []string {
+	return []string{
+		"CREATE", "VIEW", "WINDOW", // good: documented
+		"FROB", // want "query keyword \"FROB\" is not documented in QUERIES.md"
+	}
+}

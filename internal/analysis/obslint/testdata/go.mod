@@ -1,0 +1,3 @@
+module obslinttest
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package obs is a minimal stand-in for the real registry: obslint
+// matches on the Registry type name and package name, not the import
+// path, so these fixtures exercise the same detection.
+package obs
+
+type Metric struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(series, help string) *Metric                { return &Metric{} }
+func (r *Registry) Gauge(series, help string) *Metric                  { return &Metric{} }
+func (r *Registry) Histogram(series, help string, b []float64) *Metric { return &Metric{} }
+func (r *Registry) CounterFunc(series, help string, fn func() uint64)  {}
+func (r *Registry) GaugeFunc(series, help string, fn func() float64)   {}
+
+func Label(series string, kv ...string) string { return series }

@@ -1,0 +1,116 @@
+// Package a exercises the walbefore analyzer: WAL-logged state may
+// only change after the corresponding record is appended.
+package a
+
+type wal struct{ records [][]byte }
+
+func (w *wal) AppendRecord(b []byte) error {
+	w.records = append(w.records, b)
+	return nil
+}
+
+type engine struct{ views map[string]int }
+
+func (e *engine) Register(name string) { e.views[name] = 1 }
+func (e *engine) View(name string) int { return e.views[name] }
+
+type coord struct {
+	log *wal
+
+	fams    map[string]int // wal: state
+	updates uint64         // wal: state
+	cqe     *engine        // wal: state
+}
+
+// Good: append strictly precedes every mutation.
+//
+//sketchvet:wal-handler
+func (c *coord) Apply(k string, v int) error {
+	if err := c.log.AppendRecord(nil); err != nil {
+		return err
+	}
+	c.fams[k] = v
+	c.updates++
+	return nil
+}
+
+// Good: the append is reached through an in-package helper.
+//
+//sketchvet:wal-handler
+func (c *coord) ApplyViaHelper(k string, v int) error {
+	if err := c.logRecord(); err != nil {
+		return err
+	}
+	c.fams[k] = v
+	c.cqe.Register(k)
+	return nil
+}
+
+func (c *coord) logRecord() error { return c.log.AppendRecord(nil) }
+
+// Bad: the mutation happens before the append — a crash in between
+// loses it on replay.
+//
+//sketchvet:wal-handler
+func (c *coord) ApplyBackwards(k string, v int) error {
+	c.fams[k] = v // want "mutates WAL state before the WAL append"
+	return c.log.AppendRecord(nil)
+}
+
+// Bad: a handler that never appends at all.
+//
+//sketchvet:wal-handler
+func (c *coord) ApplyNoLog(k string, v int) {
+	c.fams[k] = v // want "mutates WAL state but never appends a record"
+}
+
+// Bad: exported mutation with no annotation at all.
+func (c *coord) Poke(k string) { // want "exported function Poke mutates WAL-logged state"
+	delete(c.fams, k)
+}
+
+// Good: replay paths apply without appending, by declared exemption.
+//
+//sketchvet:wal-exempt replay applies already-logged records
+func (c *coord) replayRecord(k string, v int) {
+	c.fams[k] = v
+	c.updates++
+}
+
+// Good: recovery drives the exempt replay helper; exemption absorbs
+// the mutator obligation.
+func (c *coord) Recover() {
+	for k := range c.fams {
+		c.replayRecord(k, 0)
+	}
+}
+
+// applyLocked is an unexported helper mutator: fine when reached from
+// handlers (ApplyViaMutator), flagged when reached from undisciplined
+// code (Undisciplined).
+func (c *coord) applyLocked(k string, v int) {
+	c.fams[k] = v
+	c.cqe.Register(k)
+}
+
+// Good: append, then mutate through the helper.
+//
+//sketchvet:wal-handler
+func (c *coord) ApplyViaMutator(k string, v int) error {
+	if err := c.logRecord(); err != nil {
+		return err
+	}
+	c.applyLocked(k, v)
+	return nil
+}
+
+// Bad: a plain exported function driving the mutator skips the WAL
+// entirely — the helper's obligation propagates up to it.
+func (c *coord) Undisciplined(k string) { // want "exported function Undisciplined mutates WAL-logged state"
+	c.applyLocked(k, 1)
+}
+
+// Good: reads of state need no discipline.
+func (c *coord) Peek(k string) int {
+	return c.fams[k] + c.cqe.View(k)
+}

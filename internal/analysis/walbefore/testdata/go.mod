@@ -1,0 +1,3 @@
+module walbeforetest
+
+go 1.22

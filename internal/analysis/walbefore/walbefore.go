@@ -1,0 +1,327 @@
+// Package walbefore checks the durability subsystem's append-before-
+// apply contract: state that is recovered from the write-ahead log must
+// never change before the record describing the change is appended,
+// or a crash between the two loses the mutation.
+//
+// Annotations:
+//
+//	// wal: state              — on a struct field: the field is part
+//	                             of the WAL-logged state.
+//	//sketchvet:wal-handler    — on a function: it mutates WAL state
+//	                             and must append before the first
+//	                             mutation.
+//	//sketchvet:wal-exempt <reason> — on a function: it mutates WAL
+//	                             state legitimately without appending
+//	                             (replay, snapshot install, pre-traffic
+//	                             setup).
+//
+// A mutation is a write rooted at a state field (assignment, ++/--,
+// delete, index store) or a method call on a state field whose name is
+// not in the read allowlist. Unexported functions that mutate state
+// become "mutators"; calling one counts as a mutation at the call
+// site, so the discipline composes through helpers. An appender is a
+// call to any Append* method, or to an in-package function that
+// (transitively) appends — c.logRecordLocked counts.
+//
+// Checks:
+//   - in a wal-handler, every mutation must appear after an appender
+//     call in source order;
+//   - an exported function that mutates state — directly or through
+//     unexported helpers — must be annotated wal-handler or
+//     wal-exempt. The obligation propagates up the in-package call
+//     graph until a handler or exempt function absorbs it.
+package walbefore
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"setsketch/internal/analysis"
+)
+
+// Analyzer is the walbefore analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "walbefore",
+	Doc:  "check that WAL-logged state mutations are preceded by the corresponding append",
+	Run:  run,
+}
+
+// readAllowlist holds method names that observe state without mutating
+// it; calls to these on a state field are not mutations.
+var readAllowlist = map[string]bool{
+	"View": true, "Views": true, "Counts": true, "Statements": true,
+	"Specs": true, "Evaluate": true, "Now": true, "Len": true,
+	"Keys": true, "Get": true, "String": true, "Snapshot": true,
+}
+
+// funcFacts summarizes one function body for the fixed-point pass.
+type funcFacts struct {
+	decl      *ast.FuncDecl
+	handler   bool
+	exempt    bool
+	mutations []token.Pos                 // direct state mutations
+	appends   []token.Pos                 // direct Append* calls
+	calls     map[*types.Func][]token.Pos // in-package callees
+}
+
+func run(pass *analysis.Pass) error {
+	stateFields := collectStateFields(pass)
+	if len(stateFields) == 0 {
+		return nil
+	}
+
+	facts := make(map[*types.Func]*funcFacts)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := &funcFacts{
+				decl:    fd,
+				handler: hasDirective(fd, "wal-handler"),
+				exempt:  hasDirective(fd, "wal-exempt"),
+				calls:   make(map[*types.Func][]token.Pos),
+			}
+			scanBody(pass, fd, stateFields, ff)
+			facts[fn] = ff
+		}
+	}
+
+	// Fixed point 1: appenders — functions whose body appends, directly
+	// or through an in-package call.
+	appender := make(map[*types.Func]bool)
+	for fn, ff := range facts {
+		if len(ff.appends) > 0 {
+			appender[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, ff := range facts {
+			if appender[fn] {
+				continue
+			}
+			for callee := range ff.calls {
+				if appender[callee] {
+					appender[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Fixed point 2: mutators — functions that mutate state, directly
+	// or through calls, excluding handlers and exempt functions (they
+	// absorb the obligation themselves).
+	mutator := make(map[*types.Func]bool)
+	// witness records, per mutator, a call path to a direct mutation —
+	// it turns "X mutates state" into an actionable diagnostic.
+	witness := make(map[*types.Func]string)
+	for fn, ff := range facts {
+		if len(ff.mutations) > 0 && !ff.handler && !ff.exempt {
+			mutator[fn] = true
+			witness[fn] = "directly"
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, ff := range facts {
+			if mutator[fn] || ff.handler || ff.exempt {
+				continue
+			}
+			for callee := range ff.calls {
+				if mutator[callee] {
+					mutator[fn] = true
+					if witness[callee] == "directly" {
+						witness[fn] = "via " + callee.Name()
+					} else {
+						witness[fn] = "via " + callee.Name() + ", " + strings.TrimPrefix(witness[callee], "via ")
+					}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for fn, ff := range facts {
+		// Mutation events seen from this function: direct mutations
+		// plus calls into mutators.
+		events := append([]token.Pos(nil), ff.mutations...)
+		for callee, sites := range ff.calls {
+			if mutator[callee] {
+				events = append(events, sites...)
+			}
+		}
+		// Append events: direct appends plus calls into appenders.
+		appendEvents := append([]token.Pos(nil), ff.appends...)
+		for callee, sites := range ff.calls {
+			if appender[callee] {
+				appendEvents = append(appendEvents, sites...)
+			}
+		}
+
+		switch {
+		case ff.exempt:
+		case ff.handler:
+			firstAppend := token.Pos(-1)
+			for _, p := range appendEvents {
+				if firstAppend < 0 || p < firstAppend {
+					firstAppend = p
+				}
+			}
+			for _, m := range events {
+				if firstAppend < 0 {
+					pass.Reportf(m, "wal-handler %s mutates WAL state but never appends a record", fn.Name())
+					continue
+				}
+				if m < firstAppend {
+					pass.Reportf(m, "wal-handler %s mutates WAL state before the WAL append (append-before-apply)", fn.Name())
+				}
+			}
+		case mutator[fn] && fn.Exported():
+			// The obligation propagated all the way to an exported
+			// entry point without meeting an append or an annotation.
+			pass.Reportf(ff.decl.Name.Pos(),
+				"exported function %s mutates WAL-logged state (%s) but is not marked //sketchvet:wal-handler or //sketchvet:wal-exempt", fn.Name(), witness[fn])
+		}
+	}
+	return nil
+}
+
+// collectStateFields gathers fields annotated "// wal: state".
+func collectStateFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldDirective(field, "wal:", "state") {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fieldDirective(field *ast.Field, key, value string) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, key); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 && fields[0] == value {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func hasDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//sketchvet:"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanBody records the function's direct mutations, direct appends, and
+// in-package calls.
+func scanBody(pass *analysis.Pass, fd *ast.FuncDecl, state map[*types.Var]bool, ff *funcFacts) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if p, ok := stateRoot(pass, lhs, state); ok {
+					ff.mutations = append(ff.mutations, p)
+				}
+			}
+		case *ast.IncDecStmt:
+			if p, ok := stateRoot(pass, n.X, state); ok {
+				ff.mutations = append(ff.mutations, p)
+			}
+		case *ast.CallExpr:
+			scanCall(pass, n, state, ff)
+		}
+		return true
+	})
+}
+
+func scanCall(pass *analysis.Pass, call *ast.CallExpr, state map[*types.Var]bool, ff *funcFacts) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "delete" && len(call.Args) > 0 {
+			if p, ok := stateRoot(pass, call.Args[0], state); ok {
+				ff.mutations = append(ff.mutations, p)
+			}
+			return
+		}
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+			ff.calls[fn] = append(ff.calls[fn], call.Pos())
+		}
+	case *ast.SelectorExpr:
+		if strings.HasPrefix(fun.Sel.Name, "Append") {
+			ff.appends = append(ff.appends, call.Pos())
+			return
+		}
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+			ff.calls[fn] = append(ff.calls[fn], call.Pos())
+		}
+		// A non-allowlisted method invoked on a state field mutates it.
+		if !readAllowlist[fun.Sel.Name] {
+			if p, ok := stateRoot(pass, fun.X, state); ok {
+				ff.mutations = append(ff.mutations, p)
+			}
+		}
+	}
+}
+
+// stateRoot reports whether the expression's selector chain touches a
+// WAL state field, returning the position to anchor the finding on.
+func stateRoot(pass *analysis.Pass, e ast.Expr, state map[*types.Var]bool) (token.Pos, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if s := pass.TypesInfo.Selections[x]; s != nil {
+				if v, ok := s.Obj().(*types.Var); ok && state[v] {
+					return x.Sel.Pos(), true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return token.NoPos, false
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package walbefore_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"setsketch/internal/analysis"
+	"setsketch/internal/analysis/walbefore"
+)
+
+func TestWALBefore(t *testing.T) {
+	moddir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunTest(t, moddir, walbefore.Analyzer)
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestGenSeedCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz seeds")
+	}
+	write := func(name string, b []byte) {
+		dir := filepath.Join("testdata", "fuzz", "FuzzReadFamily")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fam, err := NewFamily(Config{Buckets: 32, SecondLevel: 6, FirstWise: 4}, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 20; e++ {
+		fam.Update(e, int64(e%5)-2)
+	}
+	var buf bytes.Buffer
+	if _, err := fam.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	write("seed-populated-family", b)
+	write("seed-truncated-family", b[:len(b)/2])
+	corrupt := append([]byte(nil), b...)
+	corrupt[len(corrupt)/3] ^= 0xff
+	write("seed-corrupt-family", corrupt)
+}

@@ -17,6 +17,8 @@
 // never sees the deleted items", §3.1) and sketches of sub-streams merge
 // by counter addition — the property that powers both the distributed
 // stored-coins model and the n-way singleton-union checks of §4.
+//
+//sketchvet:bitexact
 package core
 
 import (

@@ -23,6 +23,8 @@
 // reference). The Engine type holds the per-view window/group state;
 // it does no locking of its own — the embedding coordinator serializes
 // mutations under its state lock.
+//
+//sketchvet:bitexact
 package cq
 
 import (

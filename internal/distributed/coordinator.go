@@ -36,27 +36,41 @@ type Coordinator struct {
 	// coordinator serves traffic; nil means durability is off.
 	wlog *wal.Log
 
-	mu      sync.RWMutex
-	fams    map[string]*core.Family
-	sites   map[string]int // pushes accepted per site, for diagnostics
-	updates uint64         // stream updates credited so far (watch triggers)
+	mu sync.RWMutex
+	// fams holds the merged per-stream synopses.
+	// guarded by: mu
+	// wal: state
+	fams map[string]*core.Family
+	// sites counts pushes accepted per site, for diagnostics.
+	// guarded by: mu
+	// wal: state
+	sites map[string]int
+	// updates counts stream updates credited so far (watch triggers).
+	// guarded by: mu
+	// wal: state
+	updates uint64
 
 	// cqe holds the continuous-view catalog and all window/group sketch
 	// state (views.go). The engine does no locking of its own: every
 	// mutation happens under c.mu's write lock, in the same critical
 	// section as the family-map mutation it mirrors, and evaluation
 	// under the read lock.
+	// guarded by: mu
+	// wal: state
 	cqe *cq.Engine
 
 	// cmu guards the ad-hoc query compile cache: Estimate(string) hits
 	// it so repeated queries skip parse + compile. Watchers bypass it —
 	// they hold their compiled queries from registration.
-	cmu          sync.Mutex
+	cmu sync.Mutex
+	// guarded by: cmu
 	compileCache map[string]compiledExpr
 
-	wmu      sync.Mutex // guards the watcher registry; never taken under w.mu
+	wmu sync.Mutex // guards the watcher registry; never taken under w.mu
+	// guarded by: wmu
 	watchers map[int]*Watcher
-	nextID   int
+	// guarded by: wmu
+	nextID int
 }
 
 // compiledExpr is one parse+compile result: the parsed node always,
@@ -140,10 +154,14 @@ func newCoordMetrics(reg *obs.Registry) coordMetrics {
 // coordinator, exporting the coord_*, watch_*, and estimator_* series
 // documented in OPERATIONS.md. Call it once, before the coordinator
 // serves traffic; either argument may be nil.
+//
+//sketchvet:wal-exempt pre-traffic setup: wires instruments, mutates no recovered state
 func (c *Coordinator) SetObservability(reg *obs.Registry, log *obs.Logger) {
 	c.met = newCoordMetrics(reg)
 	c.log = log.Named("coord")
+	c.mu.Lock()
 	c.cqe.SetObservability(reg, log)
+	c.mu.Unlock()
 	reg.GaugeFunc("cq_views",
 		"Continuous views registered in the catalog.",
 		func() float64 {
@@ -256,6 +274,8 @@ func (c *Coordinator) Push(site, stream string, fam *core.Family) error {
 // count stream updates toward the continuous-query triggers — streaming
 // sites report how many local updates each flushed delta summarizes, so
 // update-count watch thresholds fire accurately in delta mode too.
+//
+//sketchvet:wal-handler
 func (c *Coordinator) ApplyDelta(site, stream string, fam *core.Family, count uint64) error {
 	if fam == nil {
 		return fmt.Errorf("distributed: nil synopsis from site %q", site)
@@ -293,6 +313,8 @@ func (c *Coordinator) ApplyDelta(site, stream string, fam *core.Family, count ui
 // synopses — the server side of a msgUpdateBatch streaming session,
 // where thin clients forward updates for the coordinator to sketch
 // centrally instead of sketching locally and shipping deltas.
+//
+//sketchvet:wal-handler
 func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
 	if len(ups) == 0 {
 		return nil
@@ -335,7 +357,8 @@ func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
 }
 
 // famLocked returns the merged synopsis for a stream, creating an
-// empty one on first reference. Callers hold c.mu.
+// empty one on first reference.
+// caller holds: mu
 func (c *Coordinator) famLocked(stream string) *core.Family {
 	f, ok := c.fams[stream]
 	if !ok {

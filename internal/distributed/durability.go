@@ -68,6 +68,7 @@ func (c *Coordinator) deltaRecord(site, stream string, fam *core.Family, count u
 // adding them rebuilds exactly the state direct updates would have
 // built. Shared by the live path (reusing the digests just logged) and
 // recovery replay.
+// caller holds: mu
 func (c *Coordinator) applyUpdateRecordLocked(rec *wal.Record) error {
 	switch rec.Type {
 	case wal.RecUpdates:
@@ -96,6 +97,8 @@ func (c *Coordinator) applyUpdateRecordLocked(rec *wal.Record) error {
 
 // applyWALRecord applies one replayed record — the recovery-side twin
 // of the Apply* entry points, minus re-logging and watch triggers.
+//
+//sketchvet:wal-exempt recovery replay applies already-logged records
 func (c *Coordinator) applyWALRecord(rec *wal.Record) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -180,6 +183,8 @@ func (c *Coordinator) Recover(l *wal.Log) (RecoveryStats, error) {
 // The snapshot's families are adopted directly (LoadLatestSnapshot
 // already deep-read them from disk); they must match the coordinator's
 // stored coins.
+//
+//sketchvet:wal-exempt snapshot install replaces state with an already-durable image
 func (c *Coordinator) InstallSnapshot(snap *wal.Snapshot) error {
 	for name, fam := range snap.Streams {
 		if fam.Config() != c.coins.Config || fam.Seed() != c.coins.Seed || fam.Copies() != c.coins.Copies {

@@ -20,6 +20,8 @@ import (
 // the coordinator serves traffic, like SetObservability — it replaces
 // the engine, discarding any registered views. opts.NewFamily is
 // overridden with the coordinator's coins.
+//
+//sketchvet:wal-exempt pre-traffic setup: replaces the engine before recovery or traffic
 func (c *Coordinator) SetCQOptions(opts cq.Options) error {
 	opts.NewFamily = c.coins.NewFamily
 	e, err := cq.NewEngine(opts)
@@ -35,6 +37,8 @@ func (c *Coordinator) SetCQOptions(opts cq.Options) error {
 // CreateView registers a continuous view from a CREATE VIEW statement,
 // WAL-logging the canonical form before applying it. The returned spec
 // is the validated, canonicalized definition.
+//
+//sketchvet:wal-handler
 func (c *Coordinator) CreateView(statement string) (cq.ViewSpec, error) {
 	st, err := cq.ParseStatement(statement)
 	if err != nil {
@@ -64,6 +68,8 @@ func (c *Coordinator) CreateView(statement string) (cq.ViewSpec, error) {
 // DropView removes a view from the catalog, WAL-logging the drop.
 // Watchers attached to the view keep running and report an unknown-view
 // error each round until closed.
+//
+//sketchvet:wal-handler
 func (c *Coordinator) DropView(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -89,7 +95,10 @@ func (c *Coordinator) viewRecord(name, statement string) *wal.Record {
 
 // applyViewStatementLocked applies a catalog statement to the engine
 // without logging — the recovery path (snapshot view lists and RecView
-// replay). Callers hold c.mu.
+// replay).
+// caller holds: mu
+//
+//sketchvet:wal-exempt recovery replay applies already-logged catalog records
 func (c *Coordinator) applyViewStatementLocked(statement string) error {
 	st, err := cq.ParseStatement(statement)
 	if err != nil {
@@ -130,10 +139,14 @@ func (c *Coordinator) ViewStatements() []string {
 // now, evicting aged-out buckets. Updates rotate their own target rings
 // lazily; this sweep exists so idle views still age (and watchers see
 // the eviction through the view's version stamp).
+//
+//sketchvet:wal-exempt rotation is clock-derived; recovery re-ages windows from record timestamps
 func (c *Coordinator) RotateViews() {
-	now := c.cqe.Now()
+	// Read the clock through the engine under the same lock as the
+	// rotation: SetCQOptions swaps the whole engine, and reading c.cqe
+	// unlocked could rotate the old engine with the new engine's now.
 	c.mu.Lock()
-	c.cqe.RotateAll(now)
+	c.cqe.RotateAll(c.cqe.Now())
 	c.mu.Unlock()
 }
 

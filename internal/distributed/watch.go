@@ -89,20 +89,24 @@ type Watcher struct {
 	// fields: evaluated ("at least one round ran") and lastVersions /
 	// lastViewVersions (change stamps at the last evaluated round,
 	// aligned with streams and views respectively).
-	lastEval         uint64
-	epoch            uint64
-	evaluated        bool
-	lastHadError     bool
-	lastVersions     []uint64
-	lastViewVersions []uint64
+	// guarded by: c.wmu
+	lastEval, epoch uint64
+	// guarded by: c.wmu
+	evaluated, lastHadError bool
+	// guarded by: c.wmu
+	lastVersions, lastViewVersions []uint64
 	// lastVals backs ISTREAM emit filtering: view name → group key →
-	// last emitted estimate. Guarded by c.wmu.
+	// last emitted estimate.
+	// guarded by: c.wmu
 	lastVals map[string]map[string]float64
 
-	mu      sync.Mutex // guards ch sends vs close; never hold c.wmu under it
-	ch      chan WatchResult
-	drops   int
-	closed  bool
+	mu sync.Mutex // guards ch sends vs close; never hold c.wmu under it
+	ch chan WatchResult
+	// guarded by: mu
+	drops int
+	// guarded by: mu
+	closed bool
+	// guarded by: mu
 	reason  string
 	tickers chan struct{} // closed to stop the interval goroutine
 }
@@ -123,12 +127,15 @@ func (c *Coordinator) Watch(spec WatchSpec) (*Watcher, error) {
 		return nil, fmt.Errorf("distributed: watch registers no expressions or views")
 	}
 	for _, name := range spec.Views {
-		if c.cqe == nil {
+		// The nil check belongs under the same lock as the lookup:
+		// SetCQOptions swaps the engine pointer.
+		c.mu.RLock()
+		cqe := c.cqe
+		known := cqe != nil && cqe.View(name) != nil
+		c.mu.RUnlock()
+		if cqe == nil {
 			return nil, fmt.Errorf("distributed: continuous views are not enabled")
 		}
-		c.mu.RLock()
-		known := c.cqe.View(name) != nil
-		c.mu.RUnlock()
 		if !known {
 			return nil, fmt.Errorf("distributed: watch references unknown view %q", name)
 		}

@@ -1,0 +1,106 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorTaxonomy pins down which error each malformed input
+// produces and where it points: error positions are byte offsets (so
+// multibyte operators count their UTF-8 length), and each failure mode
+// has its own message.
+func TestParseErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantPos int
+		wantMsg string
+	}{
+		{"A | B C", 6, "after expression"},
+		{"(A | B", 6, "missing closing parenthesis"},
+		{"A &", 3, "unexpected end of expression"},
+		{"", 0, "unexpected end of expression"},
+		{"& A", 0, "unexpected"},
+		// "A ∪ " is 6 bytes (∪ is 3), so the bad rune sits at offset 6.
+		{"A ∪ ☃", 6, "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c.in)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error type %T, want *ParseError", c.in, err)
+			continue
+		}
+		if pe.Pos != c.wantPos {
+			t.Errorf("Parse(%q) error position = %d, want %d (%v)", c.in, pe.Pos, c.wantPos, err)
+		}
+		if !strings.Contains(pe.Msg, c.wantMsg) {
+			t.Errorf("Parse(%q) message %q does not mention %q", c.in, pe.Msg, c.wantMsg)
+		}
+	}
+}
+
+// TestParseDeepNesting checks that pathological nesting neither crashes
+// the recursive-descent parser nor survives into the canonical form
+// (parens group but allocate no nodes).
+func TestParseDeepNesting(t *testing.T) {
+	const depth = 10_000
+	node, err := Parse(strings.Repeat("(", depth) + "A" + strings.Repeat(")", depth))
+	if err != nil {
+		t.Fatalf("deeply nested parse failed: %v", err)
+	}
+	if node.String() != "A" {
+		t.Fatalf("canonical form %q, want %q", node.String(), "A")
+	}
+	if _, err := Parse(strings.Repeat("(", depth) + "A"); err == nil {
+		t.Fatal("unbalanced deep nesting parsed, want error")
+	}
+}
+
+// TestCompileTooManyStreamsFromExpression drives the 64-stream compile
+// limit from an actual parsed expression (not a hand-built name list):
+// Compile(e, Streams(e)) must refuse 65 distinct leaves.
+func TestCompileTooManyStreamsFromExpression(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= MaxCompiledStreams; i++ {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "S%02d", i)
+	}
+	node := MustParse(sb.String())
+	names := Streams(node)
+	if len(names) != MaxCompiledStreams+1 {
+		t.Fatalf("expression has %d streams, want %d", len(names), MaxCompiledStreams+1)
+	}
+	_, err := Compile(node, names)
+	if err == nil || !strings.Contains(err.Error(), "max 64") {
+		t.Fatalf("Compile over 65 streams: %v, want the 64-stream limit error", err)
+	}
+}
+
+// TestCompileChainStackDepth pins the fixed-stack guarantee emit's doc
+// comment makes: a maximal right-deep chain still evaluates with an
+// operand stack of two, because the deeper subtree is emitted first.
+func TestCompileChainStackDepth(t *testing.T) {
+	names := make([]string, MaxCompiledStreams)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+	}
+	src := names[len(names)-1]
+	for i := len(names) - 2; i >= 0; i-- {
+		src = names[i] + " | (" + src + ")"
+	}
+	prog, err := Compile(MustParse(src), names)
+	if err != nil {
+		t.Fatalf("Compile right-deep chain: %v", err)
+	}
+	if prog.depth != 2 {
+		t.Errorf("right-deep chain operand stack depth = %d, want 2", prog.depth)
+	}
+}

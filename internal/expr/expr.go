@@ -13,6 +13,8 @@
 //   - Member evaluates membership of a single element given a
 //     per-stream membership oracle (used by the synthetic data
 //     generator to classify Venn partitions, §5.1).
+//
+//sketchvet:bitexact
 package expr
 
 import (

@@ -97,8 +97,8 @@ type coalKey struct {
 // net-zero update is a no-op on every counter), and resolves each
 // survivor to its digest through the cache. A Zipf-skewed batch with
 // many repeats of the hot elements pays one digest lookup and one
-// replay per distinct element instead of one per stream item. Caller
-// holds e.mu.
+// replay per distinct element instead of one per stream item.
+// caller holds: mu
 func (e *Engine) coalesceLocked(batch []entry) []digestEntry {
 	idx := make(map[coalKey]int, len(batch))
 	out := make([]digestEntry, 0, len(batch))

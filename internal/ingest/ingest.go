@@ -210,19 +210,24 @@ type Engine struct {
 
 	// cache is the seed-keyed element-digest cache; nil when the digest
 	// path is disabled (Options.DigestCache < 0 or an unpackable shape).
-	// Guarded by mu: only the producer side touches it.
+	// Only the producer side touches it.
+	// guarded by: mu
 	cache *digestCache
 
-	mu       sync.Mutex
-	fams     map[string]*core.Family
-	pending  []entry
-	accepted uint64
-	merged   uint64
-	closed   bool
+	mu sync.Mutex
+	// guarded by: mu
+	fams map[string]*core.Family
+	// guarded by: mu
+	pending []entry
+	// guarded by: mu
+	accepted, merged uint64
+	// guarded by: mu
+	closed bool
 
 	errOnce sync.Once
 	errMu   sync.Mutex
-	err     error
+	// guarded by: errMu
+	err error
 }
 
 // New starts an engine whose synopses are built from the given stored
@@ -309,7 +314,8 @@ func (e *Engine) Err() error {
 func (e *Engine) Workers() int { return len(e.workers) }
 
 // resolveLocked returns the family for a stream, creating it on first
-// touch. Caller holds e.mu.
+// touch.
+// caller holds: mu
 func (e *Engine) resolveLocked(stream string) (*core.Family, error) {
 	f, ok := e.fams[stream]
 	if !ok {
@@ -336,6 +342,7 @@ func (e *Engine) broadcastLocked(it workItem) {
 // digest path on, the batch is first coalesced to net per-element
 // deltas and resolved to cached digests, so the workers replay pure
 // counter additions.
+// caller holds: mu
 func (e *Engine) flushPendingLocked() {
 	if len(e.pending) == 0 {
 		return

@@ -34,6 +34,8 @@
 // Segments rotate at a size threshold and are named by the sequence
 // number of their first record (%020d.wal), so the set of segments
 // covering a replay suffix is computable from file names alone.
+//
+//sketchvet:bitexact
 package wal
 
 import (
