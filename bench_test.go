@@ -385,6 +385,39 @@ func BenchmarkUpdateDigestCompute(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }
 
+// BenchmarkUpdateDigestComputeBatch is the cache-miss bound through the
+// batch kernel: the same work as BenchmarkUpdateDigestCompute (full
+// digest computation plus one replay per update) but amortized over
+// 256-element batches, copy-major, so each copy's hash constants and
+// counter slab are loaded once per batch instead of once per element.
+// ns/op is per update in both benches; the ratio is the batch payoff.
+func BenchmarkUpdateDigestComputeBatch(b *testing.B) {
+	const batch = 256
+	f, err := core.NewFamily(benchCfg, 1, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]uint64, batch)
+	deltas := make([]int64, batch)
+	for k := range deltas {
+		deltas[k] = 1
+	}
+	slab := make([]uint64, batch*128)
+	ds := make([]core.Digest, batch)
+	for k := range ds {
+		ds[k] = core.Digest(slab[k*128 : (k+1)*128])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for k := range elems {
+			elems[k] = uint64((i + k) % benchDigestElems)
+		}
+		f.DigestBatchInto(ds, elems)
+		f.UpdateBatchDigest(ds, deltas)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
 // BenchmarkMergeFlat measures coordinator-side merging of one pushed
 // 128-copy synopsis over the family-owned flat counter arenas (two
 // linear slice additions regardless of r).
@@ -470,20 +503,32 @@ func BenchmarkIngestShardedWorkers(b *testing.B) {
 	}
 }
 
+// benchLoadUpdates pre-renders the shared Zipf/delete-ratio workload
+// (datagen.LoadGen) — the same definition cmd/sketchbench drives over
+// the wire, so in-process and end-to-end numbers describe one stream.
+func benchLoadUpdates(n int, deletes float64) []datagen.Update {
+	g, err := datagen.NewLoadGen(datagen.LoadSpec{
+		Streams: []string{"A", "B", "C"},
+		Domain:  datagen.DomainUniform,
+		Support: 1 << 14,
+		Theta:   1.0,
+		Deletes: deletes,
+	}, hashing.NewRNG(2026))
+	if err != nil {
+		panic(err)
+	}
+	return g.Updates(n)
+}
+
 // BenchmarkIngestCoalesced drives the engine's digest path end to end
-// on a Zipf(1.0) update stream — the skewed regime of §5 where a few
-// hot elements dominate the volume, batch coalescing folds repeats, and
-// the digest cache absorbs the hash bill. Compare against
-// BenchmarkIngestSerial (plain per-update family hashing) in
+// on a Zipf(1.0) update stream with 10% deletions — the skewed regime
+// of §5 where a few hot elements dominate the volume, batch coalescing
+// folds repeats, and the digest cache absorbs the hash bill. Compare
+// against BenchmarkIngestSerial (plain per-update family hashing) in
 // BENCH_ingest.json.
 func BenchmarkIngestCoalesced(b *testing.B) {
 	const copies = 128
-	rng := hashing.NewRNG(2026)
-	stream, err := datagen.ZipfStream(datagen.DomainUniform, 1<<14, 1<<16, 1.0, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	names := []string{"A", "B", "C"}
+	ups := benchLoadUpdates(1<<16, 0.1)
 	eng, err := ingest.New(benchCfg, 1, copies, ingest.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -491,8 +536,8 @@ func BenchmarkIngestCoalesced(b *testing.B) {
 	defer eng.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e := stream[i%len(stream)]
-		if err := eng.Update(names[i%len(names)], e, 1); err != nil {
+		u := ups[i%len(ups)]
+		if err := eng.Update(u.Stream, u.Elem, u.Delta); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,117 @@
+// Command benchdiff compares two BENCH_*.json files (as written by
+// scripts/bench.sh) benchstat-style: results are matched by benchmark
+// name, per-op deltas are printed, and any slowdown beyond the
+// threshold fails the run — the one-command regression gate behind
+// `make bench-compare OLD=... NEW=...`.
+//
+//	benchdiff old/BENCH_update.json BENCH_update.json
+//	benchdiff -threshold 5 old.json new.json
+//
+// Exit status: 0 when no benchmark regressed past the threshold, 1 on
+// a regression, 2 on usage or parse errors. Results present in only
+// one file are reported but never fail the gate (benchmarks come and
+// go); missing updates_per_s metrics are simply not compared.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case err == errRegression:
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}
+
+var errRegression = fmt.Errorf("benchmark regression past threshold")
+
+// benchFile is the subset of a BENCH_*.json file benchdiff reads.
+type benchFile struct {
+	Benchmark string   `json:"benchmark"`
+	Results   []result `json:"results"`
+}
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	UpdatesPerS float64 `json:"updates_per_s"`
+}
+
+func load(path string) (*benchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results array", path)
+	}
+	return &f, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "fail on ns/op slowdowns larger than this percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-threshold pct] OLD.json NEW.json")
+	}
+	oldF, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newF, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]result, len(oldF.Results))
+	for _, r := range oldF.Results {
+		oldBy[r.Name] = r
+	}
+
+	regressions := 0
+	fmt.Fprintf(stdout, "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range newF.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-44s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delete(oldBy, nr.Name)
+		if or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+			fmt.Fprintf(stdout, "%-44s %14.0f %14.0f %9s\n", nr.Name, or.NsPerOp, nr.NsPerOp, "?")
+			continue
+		}
+		pct := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		mark := ""
+		if pct > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-44s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, pct, mark)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(stdout, "%-44s %14.0f %14s %9s\n", name, oldBy[name].NsPerOp, "-", "gone")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% (ns/op)\n", regressions, *threshold)
+		return errRegression
+	}
+	fmt.Fprintf(stdout, "no regressions past %.0f%%\n", *threshold)
+	return nil
+}

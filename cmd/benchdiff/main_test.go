@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldJSON = `{
+  "benchmark": "fixture",
+  "results": [
+    {"name": "BenchmarkA", "ns_per_op": 1000, "updates_per_s": 1000000},
+    {"name": "BenchmarkB", "ns_per_op": 500},
+    {"name": "BenchmarkGone", "ns_per_op": 42}
+  ]
+}`
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBench(t, dir, "old.json", oldJSON)
+	n := writeBench(t, dir, "new.json", `{
+  "results": [
+    {"name": "BenchmarkA", "ns_per_op": 1050},
+    {"name": "BenchmarkB", "ns_per_op": 400},
+    {"name": "BenchmarkNew", "ns_per_op": 7}
+  ]
+}`)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{o, n}, &stdout, &stderr); err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"BenchmarkA", "+5.0%", "BenchmarkNew", "new", "BenchmarkGone", "gone", "no regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	o := writeBench(t, dir, "old.json", oldJSON)
+	n := writeBench(t, dir, "new.json", `{
+  "results": [
+    {"name": "BenchmarkA", "ns_per_op": 1200},
+    {"name": "BenchmarkB", "ns_per_op": 510}
+  ]
+}`)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{o, n}, &stdout, &stderr)
+	if err != errRegression {
+		t.Fatalf("err = %v, want errRegression\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("output does not mark the regression:\n%s", stdout.String())
+	}
+	// B's +2% slowdown is within the default threshold.
+	if strings.Count(stdout.String(), "REGRESSION") != 1 {
+		t.Errorf("want exactly one regression:\n%s", stdout.String())
+	}
+	// A tighter threshold catches B too.
+	stdout.Reset()
+	if err := run([]string{"-threshold", "1", o, n}, &stdout, &stderr); err != errRegression {
+		t.Fatalf("threshold 1%%: err = %v", err)
+	}
+	if strings.Count(stdout.String(), "REGRESSION") != 2 {
+		t.Errorf("threshold 1%%: want two regressions:\n%s", stdout.String())
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeBench(t, dir, "ok.json", oldJSON)
+	empty := writeBench(t, dir, "empty.json", `{"results": []}`)
+	bad := writeBench(t, dir, "bad.json", `not json`)
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{ok},
+		{ok, filepath.Join(dir, "missing.json")},
+		{ok, empty},
+		{ok, bad},
+		{"-badflag", ok, ok},
+	} {
+		if err := run(args, &stdout, &stderr); err == nil || err == errRegression {
+			t.Errorf("run(%v) = %v, want usage/parse error", args, err)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Command sketchbench is the end-to-end load generator: it drives a
+// real sketchd coordinator over TCP with N concurrent streaming
+// sessions, each forwarding raw update batches drawn from the shared
+// benchmark workload (datagen.LoadGen — the same Zipf/delete-ratio
+// definition behind BenchmarkIngestCoalesced and streamgen -updates),
+// and reports throughput plus an HDR-style latency histogram of the
+// send→ack round trips as JSON.
+//
+//	sketchd serve -listen 127.0.0.1:7070 &
+//	sketchbench -addr 127.0.0.1:7070 -sessions 4 -duration 10s \
+//	            -batch 256 -zipf 1.0 -deletes 0.1 > run.json
+//
+// Each session is its own connection and site (site-0, site-1, ...),
+// so the coordinator's per-connection handler goroutines — and with
+// them the server's real multi-core behavior — are exercised exactly
+// as a fleet of sketchd stream sites would. scripts/bench.sh sweeps
+// -sessions against server GOMAXPROCS to produce BENCH_e2e.json.
+//
+// All sessions must agree with the server on the stored-coins
+// parameters (-copies, -s, -wise, -coin-seed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"setsketch/internal/core"
+	"setsketch/internal/datagen"
+	"setsketch/internal/distributed"
+	"setsketch/internal/hashing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchbench:", err)
+		os.Exit(1)
+	}
+}
+
+// latency histogram: HDR-style log-spaced buckets — every power of two
+// of nanoseconds is split into 32 sub-buckets, so quantiles carry at
+// most ~3% quantization error at any magnitude, in constant memory,
+// with no per-observation allocation. Merging is element-wise
+// addition, so per-session histograms combine exactly.
+
+const (
+	histSubBits = 5 // sub-buckets per octave: 32
+	histSub     = 1 << histSubBits
+	histBuckets = 64 * histSub // covers all of uint64 nanoseconds
+)
+
+type latHist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// bucketIdx maps a nanosecond value to its bucket.
+func bucketIdx(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 - histSubBits
+	return (e+1)<<histSubBits + int((v>>uint(e))&(histSub-1))
+}
+
+// bucketLow is the inclusive lower bound of bucket i, the inverse of
+// bucketIdx on bucket boundaries.
+func bucketLow(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	e := i>>histSubBits - 1
+	return (histSub + uint64(i&(histSub-1))) << uint(e)
+}
+
+func (h *latHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIdx(uint64(d))]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the q-quantile (0 < q <= 1), interpolated within
+// the containing bucket.
+func (h *latHist) quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target >= h.n {
+		return h.max
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if cum+c > target {
+			lo := bucketLow(i)
+			width := bucketLow(i+1) - lo
+			frac := float64(target-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(width))
+		}
+		cum += c
+	}
+	return h.max
+}
+
+func (h *latHist) mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// report is the JSON result of one run; scripts/bench.sh aggregates
+// these into BENCH_e2e.json.
+type report struct {
+	Benchmark     string   `json:"benchmark"`
+	Addr          string   `json:"addr"`
+	Sessions      int      `json:"sessions"`
+	ClientProcs   int      `json:"client_gomaxprocs"`
+	Batch         int      `json:"batch"`
+	Streams       []string `json:"streams"`
+	Support       int      `json:"support"`
+	Zipf          float64  `json:"zipf"`
+	Deletes       float64  `json:"deletes"`
+	WarmupSec     float64  `json:"warmup_sec"`
+	DurationSec   float64  `json:"duration_sec"`
+	Updates       uint64   `json:"updates"`
+	Batches       uint64   `json:"batches"`
+	UpdatesPerSec float64  `json:"updates_per_s"`
+	Latency       latency  `json:"round_trip_us"`
+	Histogram     []bucket `json:"round_trip_hist_us"`
+}
+
+type latency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// bucket is one non-empty histogram bucket: round trips with latency
+// in [Ge, Lt) microseconds.
+type bucket struct {
+	Ge    float64 `json:"ge"`
+	Lt    float64 `json:"lt"`
+	Count uint64  `json:"count"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// sessionResult is one worker's contribution: measured-window counts
+// and its latency histogram, or the error that ended it.
+type sessionResult struct {
+	updates uint64
+	batches uint64
+	hist    latHist
+	err     error
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sketchbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7070", "coordinator address")
+		sessions = fs.Int("sessions", 1, "concurrent streaming sessions (each its own connection and site)")
+		duration = fs.Duration("duration", 10*time.Second, "measured load duration")
+		warmup   = fs.Duration("warmup", time.Second, "ramp-up before measurement starts (connections opened, buffers grown)")
+		batch    = fs.Int("batch", 256, "updates per batch frame")
+		streams  = fs.String("streams", "A,B,C", "comma-separated stream names the load rotates through")
+		support  = fs.Int("support", 1<<14, "distinct-element support of the workload")
+		zipf     = fs.Float64("zipf", 1.0, "Zipf skew theta over the support (0 = uniform)")
+		deletes  = fs.Float64("deletes", 0.1, "fraction of updates that delete a live element")
+		seed     = fs.Uint64("seed", 1, "workload seed (each session derives its own stream from it)")
+		out      = fs.String("out", "-", "JSON report file (- for stdout)")
+		hist     = fs.Bool("hist", true, "include the full latency histogram in the report")
+
+		copies   = fs.Int("copies", 512, "sketch copies r per stream (must match the server)")
+		s        = fs.Int("s", 32, "second-level hash functions (must match the server)")
+		wise     = fs.Int("wise", 8, "first-level independence degree (must match the server)")
+		coinSeed = fs.Uint64("coin-seed", 1, "stored-coins master seed (must match the server)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sessions < 1 {
+		return fmt.Errorf("-sessions %d < 1", *sessions)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("-duration must be positive")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch %d < 1", *batch)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SecondLevel = *s
+	cfg.FirstWise = *wise
+	coins := distributed.Coins{Config: cfg, Seed: *coinSeed, Copies: *copies}
+	spec := datagen.LoadSpec{
+		Streams: strings.Split(*streams, ","),
+		Domain:  datagen.DomainUniform,
+		Support: *support,
+		Theta:   *zipf,
+		Deletes: *deletes,
+	}
+	// Validate the workload once up front, before opening connections.
+	if _, err := datagen.NewLoadGen(spec, hashing.NewRNG(*seed)); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	measureStart := start.Add(*warmup)
+	end := measureStart.Add(*duration)
+	results := make([]sessionResult, *sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = runSession(id, *addr, coins, spec, *seed, *batch, measureStart, end)
+		}(i)
+	}
+	wg.Wait()
+
+	var total sessionResult
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return fmt.Errorf("session %d: %w", i, r.err)
+		}
+		total.updates += r.updates
+		total.batches += r.batches
+		total.hist.merge(&r.hist)
+	}
+
+	rep := report{
+		Benchmark:     "sketchbench: concurrent streaming sessions forwarding raw update batches over TCP",
+		Addr:          *addr,
+		Sessions:      *sessions,
+		ClientProcs:   runtime.GOMAXPROCS(0),
+		Batch:         *batch,
+		Streams:       spec.Streams,
+		Support:       *support,
+		Zipf:          *zipf,
+		Deletes:       *deletes,
+		WarmupSec:     warmup.Seconds(),
+		DurationSec:   duration.Seconds(),
+		Updates:       total.updates,
+		Batches:       total.batches,
+		UpdatesPerSec: float64(total.updates) / duration.Seconds(),
+		Latency: latency{
+			P50:  us(total.hist.quantile(0.50)),
+			P90:  us(total.hist.quantile(0.90)),
+			P99:  us(total.hist.quantile(0.99)),
+			P999: us(total.hist.quantile(0.999)),
+			Max:  us(total.hist.max),
+			Mean: us(total.hist.mean()),
+		},
+	}
+	if *hist {
+		for i, c := range total.hist.counts {
+			if c > 0 {
+				rep.Histogram = append(rep.Histogram, bucket{
+					Ge:    float64(bucketLow(i)) / 1e3,
+					Lt:    float64(bucketLow(i+1)) / 1e3,
+					Count: c,
+				})
+			}
+		}
+	}
+
+	dst := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "sketchbench: %d sessions, %d updates in %s: %.0f updates/s, p50 %.0fµs p99 %.0fµs\n",
+		*sessions, rep.Updates, duration, rep.UpdatesPerSec, rep.Latency.P50, rep.Latency.P99)
+	return nil
+}
+
+// runSession opens one connection + streaming session and forwards
+// batches until the shared deadline, timing each send→ack round trip.
+// Batches sent before measureStart warm the connection and scratch
+// buffers but are not counted.
+func runSession(id int, addr string, coins distributed.Coins, spec datagen.LoadSpec,
+	seed uint64, batch int, measureStart, end time.Time) sessionResult {
+	var res sessionResult
+	fail := func(err error) sessionResult {
+		res.err = err
+		return res
+	}
+	// Each session gets a decorrelated but deterministic workload.
+	g, err := datagen.NewLoadGen(spec, hashing.NewRNG(seed+uint64(id)*0x9e3779b97f4a7c15))
+	if err != nil {
+		return fail(err)
+	}
+	cli, err := distributed.Dial(addr)
+	if err != nil {
+		return fail(err)
+	}
+	defer cli.Close()
+	sess, err := cli.OpenStream(fmt.Sprintf("site-%d", id), coins)
+	if err != nil {
+		return fail(err)
+	}
+	buf := make([]datagen.Update, batch)
+	var sent uint64
+	for {
+		now := time.Now()
+		if !now.Before(end) {
+			break
+		}
+		g.Fill(buf)
+		t0 := time.Now()
+		if _, err := sess.SendUpdates(buf); err != nil {
+			return fail(err)
+		}
+		rt := time.Since(t0)
+		sent += uint64(len(buf))
+		if t0.After(measureStart) {
+			res.hist.observe(rt)
+			res.updates += uint64(len(buf))
+			res.batches++
+		}
+	}
+	// The final heartbeat's accepted total audits the ack protocol:
+	// every update this session sent must have been counted.
+	accepted, err := sess.Heartbeat()
+	if err != nil {
+		return fail(err)
+	}
+	if accepted != sent {
+		return fail(fmt.Errorf("coordinator accepted %d updates, session sent %d", accepted, sent))
+	}
+	return res
+}

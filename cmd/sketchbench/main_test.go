@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"setsketch/internal/core"
+	"setsketch/internal/distributed"
+)
+
+func testCoins() distributed.Coins {
+	cfg := core.DefaultConfig()
+	cfg.SecondLevel = 16
+	cfg.FirstWise = 8
+	return distributed.Coins{Config: cfg, Seed: 5, Copies: 64}
+}
+
+// startServer runs an in-process coordinator server on a loopback port.
+func startServer(t *testing.T, coins distributed.Coins) (addr string, coord *distributed.Coordinator) {
+	t.Helper()
+	coord, err := distributed.NewCoordinator(coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := distributed.NewServer(coord)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("server: %v", err)
+		}
+	})
+	return l.Addr().String(), coord
+}
+
+// coinArgs renders the stored-coins flags matching testCoins.
+func coinArgs() []string {
+	c := testCoins()
+	return []string{
+		"-copies", fmt.Sprint(c.Copies),
+		"-s", fmt.Sprint(c.Config.SecondLevel),
+		"-wise", fmt.Sprint(c.Config.FirstWise),
+		"-coin-seed", fmt.Sprint(c.Seed),
+	}
+}
+
+// TestRunAgainstServer drives concurrent sessions against a real
+// server over TCP and checks the report: every sent batch was acked,
+// the coordinator saw the streams, and the latency summary is coherent.
+// Under -race this is the required concurrency pass over the client.
+func TestRunAgainstServer(t *testing.T) {
+	addr, coord := startServer(t, testCoins())
+	var stdout, stderr bytes.Buffer
+	args := append([]string{
+		"-addr", addr, "-sessions", "3", "-batch", "64",
+		"-warmup", "100ms", "-duration", "400ms",
+		"-streams", "A,B", "-support", "1024", "-zipf", "1.0", "-deletes", "0.2",
+	}, coinArgs()...)
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Sessions != 3 || rep.Batch != 64 {
+		t.Fatalf("report config echo wrong: %+v", rep)
+	}
+	if rep.Updates == 0 || rep.Batches == 0 {
+		t.Fatalf("no measured load: %+v", rep)
+	}
+	if rep.Updates != rep.Batches*64 {
+		t.Errorf("updates %d != batches %d × 64", rep.Updates, rep.Batches)
+	}
+	if rep.UpdatesPerSec <= 0 {
+		t.Errorf("updates_per_s = %g", rep.UpdatesPerSec)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
+		t.Errorf("incoherent latency summary: %+v", rep.Latency)
+	}
+	var histTotal uint64
+	for _, b := range rep.Histogram {
+		histTotal += b.Count
+	}
+	if histTotal != rep.Batches {
+		t.Errorf("histogram counts %d round trips, report says %d batches", histTotal, rep.Batches)
+	}
+	// The coordinator sketched what we sent.
+	streams := coord.Streams()
+	if len(streams) != 2 {
+		t.Errorf("coordinator streams = %v, want A and B", streams)
+	}
+	if est, err := coord.Estimate("A | B", 0.2); err != nil || est.Value <= 0 {
+		t.Errorf("coordinator estimate after load: %+v, %v", est, err)
+	}
+}
+
+// TestRunCoinsMismatch: a session whose coins disagree with the server
+// must fail loudly, not silently sketch with the wrong hash functions.
+func TestRunCoinsMismatch(t *testing.T) {
+	addr, _ := startServer(t, testCoins())
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", addr, "-duration", "200ms", "-warmup", "0s",
+		"-copies", "32", "-s", "16", "-wise", "8", "-coin-seed", "5",
+	}
+	if err := run(args, &stdout, &stderr); err == nil {
+		t.Fatal("mismatched coins accepted")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{"-sessions", "0"},
+		{"-duration", "0s"},
+		{"-batch", "0"},
+		{"-deletes", "1.5"},
+		{"-streams", ""},
+		{"-badflag"},
+		{"-addr", "127.0.0.1:1", "-duration", "100ms"}, // nothing listening
+	}
+	for _, args := range cases {
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestHistBuckets pins the histogram's bucket geometry: bucketLow is
+// the exact inverse of bucketIdx on boundaries, indices are monotone,
+// and relative bucket width stays within the HDR resolution bound.
+func TestHistBuckets(t *testing.T) {
+	for _, v := range []uint64{0, 1, histSub - 1, histSub, histSub + 1, 1000, 1 << 20, 1<<40 + 12345} {
+		i := bucketIdx(v)
+		if lo := bucketLow(i); lo > v || v >= bucketLow(i+1) {
+			t.Errorf("value %d maps to bucket %d = [%d, %d)", v, i, lo, bucketLow(i+1))
+		}
+	}
+	prev := -1
+	for e := 0; e < 63; e++ {
+		v := uint64(1) << e
+		i := bucketIdx(v)
+		if i <= prev {
+			t.Fatalf("bucketIdx not monotone at 2^%d: %d <= %d", e, i, prev)
+		}
+		prev = i
+	}
+	// Relative width ≤ 1/32 above the first octave.
+	for _, v := range []uint64{100, 10_000, 5_000_000} {
+		i := bucketIdx(v)
+		width := bucketLow(i+1) - bucketLow(i)
+		if float64(width)/float64(v) > 1.0/float64(histSub)+1e-9 {
+			t.Errorf("bucket width %d at value %d exceeds the resolution bound", width, v)
+		}
+	}
+}
+
+// TestHistQuantile feeds a known distribution and checks the summary.
+func TestHistQuantile(t *testing.T) {
+	var h latHist
+	for i := 1; i <= 1000; i++ {
+		h.observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.n != 1000 {
+		t.Fatalf("n = %d", h.n)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Microsecond},
+		{0.9, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := h.quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.9)
+		hi := time.Duration(float64(tc.want) * 1.1)
+		if got < lo || got > hi {
+			t.Errorf("quantile(%g) = %v, want ≈ %v", tc.q, got, tc.want)
+		}
+	}
+	if h.max != 1000*time.Microsecond {
+		t.Errorf("max = %v", h.max)
+	}
+	if m := h.mean(); m < 490*time.Microsecond || m > 510*time.Microsecond {
+		t.Errorf("mean = %v, want ≈ 500µs", m)
+	}
+	var merged latHist
+	merged.merge(&h)
+	merged.merge(&h)
+	if merged.n != 2000 || merged.max != h.max {
+		t.Errorf("merge broken: n=%d max=%v", merged.n, merged.max)
+	}
+}

@@ -99,3 +99,69 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunLoadMode(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "load.txt")
+	var stderr bytes.Buffer
+	err := run([]string{
+		"-updates", "20000", "-streams", "X,Y", "-support", "1024",
+		"-zipf", "1.0", "-deletes", "0.2", "-seed", "11", "-out", out,
+	}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ups, err := streamio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 20000 {
+		t.Fatalf("wrote %d updates, want 20000", len(ups))
+	}
+	// Replay must be legal: the load generator only deletes live
+	// elements, so every prefix keeps all net frequencies non-negative.
+	ms := map[string]*multiset.Multiset{}
+	deletions := 0
+	for i, u := range ups {
+		m, ok := ms[u.Stream]
+		if !ok {
+			m = multiset.New()
+			ms[u.Stream] = m
+		}
+		if err := m.Update(u.Elem, u.Delta); err != nil {
+			t.Fatalf("illegal update at line %d: %v", i+1, err)
+		}
+		if u.Delta < 0 {
+			deletions++
+		}
+	}
+	if len(ms) != 2 {
+		t.Fatalf("generated %d streams, want 2", len(ms))
+	}
+	if deletions == 0 {
+		t.Error("-deletes 0.2 produced no deletions")
+	}
+	if !strings.Contains(stderr.String(), "pairs live at end") {
+		t.Errorf("missing load summary on stderr: %q", stderr.String())
+	}
+}
+
+func TestRunLoadModeErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	cases := [][]string{
+		{"-updates", "10", "-streams", ""},  // empty stream name
+		{"-updates", "10", "-support", "0"}, // bad support
+		{"-updates", "10", "-deletes", "2"}, // bad delete ratio
+		{"-updates", "10", "-zipf", "-0.5"}, // bad skew
+	}
+	for _, args := range cases {
+		if err := run(args, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

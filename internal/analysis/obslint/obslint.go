@@ -1,8 +1,8 @@
 // Package obslint replaces the grep-based docs lint with AST-level
 // truth: every obs metric registered in code must follow the naming
-// scheme and be documented in OPERATIONS.md, every sketchd flag must be
-// documented in OPERATIONS.md or QUERIES.md, and every query-language
-// keyword must appear in QUERIES.md.
+// scheme and be documented in OPERATIONS.md, every sketchd and
+// sketchbench flag must be documented in OPERATIONS.md or QUERIES.md,
+// and every query-language keyword must appear in QUERIES.md.
 //
 // Metric registrations are calls to Counter/Gauge/Histogram/
 // CounterFunc/GaugeFunc on an obs.Registry. The series name is
@@ -17,9 +17,9 @@
 // must not end in _total.
 //
 // Flags are fs.String/Bool/... registrations in package main under a
-// directory named sketchd; each must appear as `-name` in
-// OPERATIONS.md or QUERIES.md. Keywords are ALL-CAPS string literals
-// in packages cq and expr; each must appear in QUERIES.md.
+// directory named sketchd or sketchbench; each must appear as `-name`
+// in OPERATIONS.md or QUERIES.md. Keywords are ALL-CAPS string
+// literals in packages cq and expr; each must appear in QUERIES.md.
 package obslint
 
 import (
@@ -64,6 +64,13 @@ var (
 	keywordRe = regexp.MustCompile(`^[A-Z]{2,}$`)
 )
 
+// flagCheckedDirs are the command directories whose flags must be
+// documented: the operator-facing daemons and tools.
+var flagCheckedDirs = map[string]bool{
+	"sketchd":     true,
+	"sketchbench": true,
+}
+
 // flagMethods are the *flag.FlagSet registration methods whose first
 // argument is the flag name.
 var flagMethods = map[string]bool{
@@ -74,7 +81,7 @@ var flagMethods = map[string]bool{
 func run(pass *analysis.Pass) error {
 	docs := newDocSet(pass.ModDir)
 	checkMetrics(pass, docs)
-	if pass.Pkg.Name() == "main" && filepath.Base(pass.Dir) == "sketchd" {
+	if pass.Pkg.Name() == "main" && flagCheckedDirs[filepath.Base(pass.Dir)] {
 		checkFlags(pass, docs)
 	}
 	if name := pass.Pkg.Name(); name == "cq" || name == "expr" {

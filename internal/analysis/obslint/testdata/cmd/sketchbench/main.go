@@ -1,0 +1,14 @@
+// Command sketchbench (fixture) exercises obslint's flag checks on the
+// load-generator command directory.
+package main
+
+import "flag"
+
+func main() {
+	fs := flag.NewFlagSet("sketchbench", flag.ContinueOnError)
+	// Good: documented flag.
+	fs.Int("sessions", 1, "concurrent streaming sessions")
+	// Bad: undocumented flag.
+	fs.Float64("hidden-ratio", 0, "undocumented ratio") // want "flag -hidden-ratio is not documented in OPERATIONS.md or QUERIES.md"
+	_ = fs
+}

@@ -20,18 +20,24 @@ import (
 //
 // All r copies' counters live in two family-owned contiguous slices;
 // the copies are views into them (copy i's totals occupy
-// totals[i·Buckets : (i+1)·Buckets], likewise counts). The flat layout
-// turns Merge, Reset, and Equal into single linear passes and keeps the
-// update path walking one cache-friendly arena instead of r separately
-// allocated counter arrays. The serialized form is unchanged: WriteTo
-// still walks copy-by-copy, so the wire bytes are identical to the
-// per-copy layout's.
+// totals[i·strideTotals, i·strideTotals+Buckets), likewise counts).
+// The flat layout turns Merge, Reset, and Equal into single linear
+// passes and keeps the update path walking one cache-friendly arena
+// instead of r separately allocated counter arrays. Per-copy strides
+// are rounded up to a whole cache line (see padStride) so that copies
+// never share a line: the ingest workers mutate disjoint copy ranges
+// of one family concurrently, and an unpadded 61-bucket totals array
+// would put the seam between two workers' shards mid-line, making
+// every update at the boundary a coherence miss. The padding lanes are
+// always zero and are invisible to the serialized form: WriteTo still
+// walks copy-by-copy, so the wire bytes are identical to the unpadded
+// layout's.
 type Family struct {
 	cfg    Config
 	seed   uint64
 	copies []*Sketch
-	totals []int64 // len r·Buckets; copy i at [i·Buckets, (i+1)·Buckets)
-	counts []int64 // len r·counters(); copy i at [i·counters(), (i+1)·counters())
+	totals []int64 // len r·strideTotals; copy i at [i·st, i·st+Buckets)
+	counts []int64 // len r·strideCounts; copy i at [i·sc, i·sc+counters())
 
 	// version counts counter mutations (Update/Merge/Reset …) and gates
 	// the lazily rebuilt query view (see queryview.go). It is a shared
@@ -56,8 +62,8 @@ func NewFamily(cfg Config, seed uint64, r int) (*Family, error) {
 		cfg:     cfg,
 		seed:    seed,
 		copies:  make([]*Sketch, r),
-		totals:  make([]int64, r*cfg.Buckets),
-		counts:  make([]int64, r*cfg.counters()),
+		totals:  make([]int64, r*cfg.strideTotals()),
+		counts:  make([]int64, r*cfg.strideCounts()),
 		version: new(atomic.Uint64),
 	}
 	for i := range f.copies {
@@ -67,17 +73,35 @@ func NewFamily(cfg Config, seed uint64, r int) (*Family, error) {
 	return f, nil
 }
 
+// arenaAlign is the arena alignment unit in int64s: 8 counters = 64
+// bytes, one cache line on every target this repo benches on.
+const arenaAlign = 8
+
+// padStride rounds a per-copy counter count up to a whole cache line so
+// consecutive copies in the flat arenas never share a line. The padding
+// lanes are never written (copy views are length-capped) and so stay
+// zero for the family's lifetime — which is what lets Merge, Reset, and
+// Equal keep running over the full padded arenas.
+func padStride(n int) int { return (n + arenaAlign - 1) &^ (arenaAlign - 1) }
+
+// strideTotals is the padded per-copy stride of the totals arena.
+func (c Config) strideTotals() int { return padStride(c.Buckets) }
+
+// strideCounts is the padded per-copy stride of the counts arena.
+func (c Config) strideCounts() int { return padStride(c.counters()) }
+
 // copyTotals returns copy i's slice of the flat totals arena, capped so
-// an erroneous append cannot bleed into the next copy's counters.
+// an erroneous append cannot bleed into the padding or the next copy's
+// counters.
 func (f *Family) copyTotals(i int) []int64 {
-	nb := f.cfg.Buckets
-	return f.totals[i*nb : (i+1)*nb : (i+1)*nb]
+	st, nb := f.cfg.strideTotals(), f.cfg.Buckets
+	return f.totals[i*st : i*st+nb : i*st+nb]
 }
 
 // copyCounts returns copy i's slice of the flat counts arena.
 func (f *Family) copyCounts(i int) []int64 {
-	nc := f.cfg.counters()
-	return f.counts[i*nc : (i+1)*nc : (i+1)*nc]
+	sc, nc := f.cfg.strideCounts(), f.cfg.counters()
+	return f.counts[i*sc : i*sc+nc : i*sc+nc]
 }
 
 // Config returns the family's sketch configuration.
@@ -187,12 +211,14 @@ func (f *Family) MergeRange(lo, hi int, g *Family) error {
 	if len(f.copies) != len(g.copies) {
 		return fmt.Errorf("core: merging families with %d and %d copies", len(f.copies), len(g.copies))
 	}
-	nb, nc := f.cfg.Buckets, f.cfg.counters()
-	for i, t := range g.totals[lo*nb : hi*nb] {
-		f.totals[lo*nb+i] += t
+	// Padded strides: the ranged-over slices include the padding lanes,
+	// which are zero on both sides, so adding them is a no-op.
+	st, sc := f.cfg.strideTotals(), f.cfg.strideCounts()
+	for i, t := range g.totals[lo*st : hi*st] {
+		f.totals[lo*st+i] += t
 	}
-	for i, c := range g.counts[lo*nc : hi*nc] {
-		f.counts[lo*nc+i] += c
+	for i, c := range g.counts[lo*sc : hi*sc] {
+		f.counts[lo*sc+i] += c
 	}
 	f.bumpVersion()
 	return nil
@@ -276,8 +302,8 @@ func (f *Family) Truncate(r int) (*Family, error) {
 		cfg:    f.cfg,
 		seed:   f.seed,
 		copies: f.copies[:r],
-		totals: f.totals[:r*f.cfg.Buckets],
-		counts: f.counts[:r*f.cfg.counters()],
+		totals: f.totals[:r*f.cfg.strideTotals()],
+		counts: f.counts[:r*f.cfg.strideCounts()],
 		// Share the parent's version counter: the view aliases the
 		// parent's counter storage, so mutations through either must
 		// invalidate both caches. The view cache itself is per-view
@@ -315,7 +341,13 @@ func (f *Family) Validate() error {
 	return nil
 }
 
-// MemoryBytes reports the total counter footprint across all copies.
+// MemoryBytes reports the total counter footprint across all copies —
+// the quantity the paper's space theorems bound, excluding the arena
+// alignment padding (which is an implementation artifact, not synopsis
+// state) and the O(t log M) hash-seed storage.
 func (f *Family) MemoryBytes() int {
-	return 8 * (len(f.totals) + len(f.counts))
+	if len(f.totals) == 0 && len(f.counts) == 0 {
+		return 0 // per-copy storage (ToCounters views) reports as before
+	}
+	return 8 * len(f.copies) * (f.cfg.Buckets + f.cfg.counters())
 }

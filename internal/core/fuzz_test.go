@@ -27,15 +27,20 @@ func FuzzDigestEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 		viaDigest, _ := NewFamily(cfg, seed, r)
+		viaBatch, _ := NewFamily(cfg, seed, r)
 		// Decode the byte stream as alternating (element, delta) nibbles:
 		// a tiny element domain forces collisions, repeated elements, and
 		// counters that return to zero.
+		elems := make([]uint64, 0, len(data))
+		deltas := make([]int64, 0, len(data))
 		for i, b := range data {
 			e := uint64(b >> 4)
 			v := int64(b&7) - 3 // deltas in [−3, +4]
 			if v == 0 {
 				v = 4
 			}
+			elems = append(elems, e)
+			deltas = append(deltas, v)
 			direct.Update(e, v)
 			d := viaDigest.Digest(e)
 			mid := i % (r + 1)
@@ -44,6 +49,26 @@ func FuzzDigestEquivalence(f *testing.F) {
 		}
 		if !direct.Equal(viaDigest) {
 			t.Fatalf("digest path diverged from direct path (cfg %+v, seed %d, %d updates)",
+				cfg, seed, len(data))
+		}
+		// The batch kernel must agree too: batch-computed digests are
+		// word-for-word the scalar digests, and a split-range batch
+		// replay rebuilds the same counters.
+		ds := viaBatch.DigestBatch(elems)
+		for k, e := range elems {
+			want := direct.Digest(e)
+			for i := range want {
+				if ds[k][i] != want[i] {
+					t.Fatalf("DigestBatch[%d][%d] = %#x, scalar Digest = %#x (elem %d)",
+						k, i, ds[k][i], want[i], e)
+				}
+			}
+		}
+		mid := len(data) % (r + 1)
+		viaBatch.UpdateRangeBatchDigest(0, mid, ds, deltas)
+		viaBatch.UpdateRangeBatchDigest(mid, r, ds, deltas)
+		if !direct.Equal(viaBatch) {
+			t.Fatalf("batch digest path diverged from direct path (cfg %+v, seed %d, %d updates)",
 				cfg, seed, len(data))
 		}
 	})

@@ -35,67 +35,100 @@ const (
 // not a serialized sketch family or fails its checksum.
 var ErrBadFormat = errors.New("core: malformed sketch-family encoding")
 
-// crcWriter tees writes into a CRC32 accumulator.
-type crcWriter struct {
-	w   io.Writer
-	crc uint32
-	n   int64
-}
-
-func (cw *crcWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
-	cw.n += int64(n)
-	return n, err
-}
-
-// WriteTo serializes the family. It implements io.WriterTo.
-func (f *Family) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(familyMagic); err != nil {
-		return 0, err
-	}
-	cw := &crcWriter{w: bw}
+// AppendTo appends the family's serialization to buf and returns the
+// extended slice — the allocation-free encoder behind WriteTo, for
+// callers that manage their own scratch buffers (the wire hot path).
+func (f *Family) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, familyMagic...)
 	var header [15]byte
 	header[0] = familyVersion
 	binary.LittleEndian.PutUint16(header[1:], uint16(f.cfg.Buckets))
 	binary.LittleEndian.PutUint16(header[3:], uint16(f.cfg.SecondLevel))
 	binary.LittleEndian.PutUint16(header[5:], uint16(f.cfg.FirstWise))
 	binary.LittleEndian.PutUint64(header[7:], f.seed)
-	if _, err := cw.Write(header[:]); err != nil {
-		return cw.n + 4, err
+	buf = append(buf, header[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.copies)))
+	for _, x := range f.copies {
+		for _, c := range x.totals {
+			buf = binary.AppendVarint(buf, c)
+		}
+		for _, c := range x.counts {
+			buf = binary.AppendVarint(buf, c)
+		}
 	}
-	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], uint32(len(f.copies)))
-	if _, err := cw.Write(u32[:]); err != nil {
-		return cw.n + 4, err
+	crc := crc32.ChecksumIEEE(buf[start+4:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// WriteTo serializes the family. It implements io.WriterTo.
+func (f *Family) WriteTo(w io.Writer) (int64, error) {
+	buf := f.AppendTo(nil)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// DecodeFamily deserializes a family from a complete in-memory encoding
+// written by AppendTo/WriteTo — the slice-based twin of ReadFamily for
+// delimited payloads (wire frames), skipping the buffered-reader
+// machinery. Beyond the family itself it does not allocate.
+func DecodeFamily(data []byte) (*Family, error) {
+	const minLen = 4 + 15 + 4 + 4 // magic + header + copies + crc
+	if len(data) < minLen {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrBadFormat, len(data))
 	}
-	var buf [binary.MaxVarintLen64]byte
-	writeCounters := func(cs []int64) error {
-		for _, c := range cs {
-			n := binary.PutVarint(buf[:], c)
-			if _, err := cw.Write(buf[:n]); err != nil {
-				return err
+	if string(data[:4]) != familyMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, data[:4])
+	}
+	body := data[4 : len(data)-4]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(data[len(data)-4:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %#x, want %#x)", ErrBadFormat, want, got)
+	}
+	if body[0] != familyVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, body[0])
+	}
+	cfg := Config{
+		Buckets:     int(binary.LittleEndian.Uint16(body[1:])),
+		SecondLevel: int(binary.LittleEndian.Uint16(body[3:])),
+		FirstWise:   int(binary.LittleEndian.Uint16(body[5:])),
+	}
+	seed := binary.LittleEndian.Uint64(body[7:])
+	copies := int(binary.LittleEndian.Uint32(body[15:]))
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	const maxCopies = 1 << 20
+	if copies < 1 || copies > maxCopies {
+		return nil, fmt.Errorf("%w: copy count %d out of range", ErrBadFormat, copies)
+	}
+	fam, err := NewFamily(cfg, seed, copies)
+	if err != nil {
+		return nil, err
+	}
+	p := body[19:]
+	readCounters := func(cs []int64) error {
+		for i := range cs {
+			v, n := binary.Varint(p)
+			if n <= 0 {
+				return fmt.Errorf("%w: truncated counters", ErrBadFormat)
 			}
+			cs[i] = v
+			p = p[n:]
 		}
 		return nil
 	}
-	for _, x := range f.copies {
-		if err := writeCounters(x.totals); err != nil {
-			return cw.n + 4, err
+	for _, x := range fam.copies {
+		if err := readCounters(x.totals); err != nil {
+			return nil, err
 		}
-		if err := writeCounters(x.counts); err != nil {
-			return cw.n + 4, err
+		if err := readCounters(x.counts); err != nil {
+			return nil, err
 		}
 	}
-	binary.LittleEndian.PutUint32(u32[:], cw.crc)
-	if _, err := bw.Write(u32[:]); err != nil {
-		return cw.n + 4, err
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFormat, len(p))
 	}
-	if err := bw.Flush(); err != nil {
-		return cw.n + 8, err
-	}
-	return cw.n + 8, nil
+	return fam, nil
 }
 
 // crcReader tees reads into a CRC32 accumulator.

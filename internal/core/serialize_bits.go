@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -13,44 +14,33 @@ import (
 
 const bitFamilyMagic = "2LHB"
 
-// WriteTo serializes the bit family. It implements io.WriterTo.
-func (f *BitFamily) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(bitFamilyMagic); err != nil {
-		return 0, err
-	}
-	cw := &crcWriter{w: bw}
+// AppendTo appends the bit family's serialization to buf and returns
+// the extended slice, mirroring Family.AppendTo.
+func (f *BitFamily) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, bitFamilyMagic...)
 	var header [15]byte
 	header[0] = familyVersion
 	binary.LittleEndian.PutUint16(header[1:], uint16(f.cfg.Buckets))
 	binary.LittleEndian.PutUint16(header[3:], uint16(f.cfg.SecondLevel))
 	binary.LittleEndian.PutUint16(header[5:], uint16(f.cfg.FirstWise))
 	binary.LittleEndian.PutUint64(header[7:], f.seed)
-	if _, err := cw.Write(header[:]); err != nil {
-		return cw.n + 4, err
-	}
-	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], uint32(len(f.copies)))
-	if _, err := cw.Write(u32[:]); err != nil {
-		return cw.n + 4, err
-	}
-	var buf [binary.MaxVarintLen64]byte
+	buf = append(buf, header[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.copies)))
 	for _, x := range f.copies {
 		for _, word := range x.bits {
-			n := binary.PutUvarint(buf[:], word)
-			if _, err := cw.Write(buf[:n]); err != nil {
-				return cw.n + 4, err
-			}
+			buf = binary.AppendUvarint(buf, word)
 		}
 	}
-	binary.LittleEndian.PutUint32(u32[:], cw.crc)
-	if _, err := bw.Write(u32[:]); err != nil {
-		return cw.n + 4, err
-	}
-	if err := bw.Flush(); err != nil {
-		return cw.n + 8, err
-	}
-	return cw.n + 8, nil
+	crc := crc32.ChecksumIEEE(buf[start+4:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// WriteTo serializes the bit family. It implements io.WriterTo.
+func (f *BitFamily) WriteTo(w io.Writer) (int64, error) {
+	buf := f.AppendTo(nil)
+	n, err := w.Write(buf)
+	return int64(n), err
 }
 
 // ReadBitFamily deserializes a bit family written by WriteTo,

@@ -85,6 +85,10 @@ type Sketch struct {
 	seed uint64
 	h    *hashing.Poly
 	g    []*hashing.PairBit
+	// gbank is g flattened into contiguous coefficient arrays for the
+	// batch digest kernel; nil when s > 64 (shape not digest-packable,
+	// so the batch kernel never runs). Same functions, same bits.
+	gbank *hashing.PairBitBank
 
 	// totals[b] is the sum of net frequencies of all elements in
 	// first-level bucket b — the single O(log N) counter per bucket
@@ -116,11 +120,16 @@ func newSketchView(cfg Config, seed uint64, totals, counts []int64) *Sketch {
 	for j := range g {
 		g[j] = hashing.NewPairBit(hashing.DeriveSeed(seed, 1, uint64(j)))
 	}
+	var bank *hashing.PairBitBank
+	if cfg.SecondLevel <= 64 {
+		bank = hashing.NewPairBitBank(g)
+	}
 	return &Sketch{
 		cfg:    cfg,
 		seed:   seed,
 		h:      hashing.NewPoly(hashing.DeriveSeed(seed, 0), cfg.FirstWise),
 		g:      g,
+		gbank:  bank,
 		totals: totals,
 		counts: counts,
 	}
@@ -131,7 +140,8 @@ func newSketchView(cfg Config, seed uint64, totals, counts []int64) *Sketch {
 // re-uses the already-derived coins this way instead of re-running the
 // seed derivation r·(s+1) times.
 func (x *Sketch) viewWith(totals, counts []int64) *Sketch {
-	return &Sketch{cfg: x.cfg, seed: x.seed, h: x.h, g: x.g, totals: totals, counts: counts}
+	return &Sketch{cfg: x.cfg, seed: x.seed, h: x.h, g: x.g, gbank: x.gbank,
+		totals: totals, counts: counts}
 }
 
 // Config returns the sketch's configuration.
@@ -183,13 +193,17 @@ func (x *Sketch) digestWord(er uint64) uint64 {
 
 // applyDigest replays a packed digest word as s+1 counter additions.
 // By construction it touches exactly the counters updateReduced would.
+// The bucket's counter pairs are re-sliced into a window first so the
+// loop's index arithmetic is provably in-bounds (j+1 < len(c)), letting
+// the compiler drop the per-counter bounds checks on the hot path.
 func (x *Sketch) applyDigest(w uint64, v int64) {
 	b := int(w & digestBucketMask)
 	x.totals[b] += v
-	base := b * x.cfg.SecondLevel * 2
+	s2 := x.cfg.SecondLevel * 2
+	c := x.counts[b*s2 : b*s2+s2]
 	bits := w >> digestBucketBits
-	for j := 0; j < x.cfg.SecondLevel; j++ {
-		x.counts[base+2*j+int(bits&1)] += v
+	for j := 0; j+2 <= len(c); j += 2 {
+		c[j+int(bits&1)] += v
 		bits >>= 1
 	}
 }

@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"testing"
+
+	"setsketch/internal/hashing"
+)
+
+func testLoadSpec() LoadSpec {
+	return LoadSpec{
+		Streams: []string{"A", "B", "C"},
+		Domain:  DomainUniform,
+		Support: 1 << 10,
+		Theta:   1.0,
+		Deletes: 0.3,
+	}
+}
+
+// TestLoadGenLegal drives the generator hard and checks the strict
+// update model of §2.1: no prefix of the emitted stream takes any
+// (stream, element) net frequency negative, every delta is ±1, and the
+// generator's Live() matches an independent recount.
+func TestLoadGenLegal(t *testing.T) {
+	g, err := NewLoadGen(testLoadSpec(), hashing.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := make(map[liveKey]int64)
+	deletions := 0
+	for i := 0; i < 200000; i++ {
+		u := g.Next()
+		if u.Delta != 1 && u.Delta != -1 {
+			t.Fatalf("update %d: delta %d, want ±1", i, u.Delta)
+		}
+		if u.Delta < 0 {
+			deletions++
+		}
+		k := liveKey{u.Stream, u.Elem}
+		net[k] += u.Delta
+		if net[k] < 0 {
+			t.Fatalf("update %d: net frequency of %v went negative", i, k)
+		}
+	}
+	live := 0
+	for _, n := range net {
+		if n > 0 {
+			live++
+		}
+	}
+	if live != g.Live() {
+		t.Fatalf("Live() = %d, recount = %d", g.Live(), live)
+	}
+	// With a warm live set the delete ratio should be roughly honored.
+	if deletions < 40000 || deletions > 80000 {
+		t.Fatalf("deletions = %d of 200000, want ≈ 60000", deletions)
+	}
+}
+
+// TestLoadGenDeterministic: same spec and seed, same stream.
+func TestLoadGenDeterministic(t *testing.T) {
+	mk := func() []Update {
+		g, err := NewLoadGen(testLoadSpec(), hashing.NewRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Updates(5000)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("update %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLoadGenSkew: under Zipf(1.0) the update volume concentrates on
+// few elements — far fewer distinct elements than updates.
+func TestLoadGenSkew(t *testing.T) {
+	spec := testLoadSpec()
+	spec.Deletes = 0
+	g, err := NewLoadGen(spec, hashing.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]struct{})
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		seen[g.Next().Elem] = struct{}{}
+	}
+	if len(seen) > n/3 {
+		t.Fatalf("Zipf(1.0): %d distinct elements in %d updates, want heavy repetition", len(seen), n)
+	}
+}
+
+// TestLoadGenValidation rejects bad specs.
+func TestLoadGenValidation(t *testing.T) {
+	rng := hashing.NewRNG(1)
+	for _, spec := range []LoadSpec{
+		{Streams: nil, Support: 8},
+		{Streams: []string{""}, Support: 8},
+		{Streams: []string{"A"}, Support: 0},
+		{Streams: []string{"A"}, Support: 8, Theta: -1},
+		{Streams: []string{"A"}, Support: 8, Deletes: 1.5},
+		{Streams: []string{"A"}, Support: 8, Deletes: -0.1},
+	} {
+		if _, err := NewLoadGen(spec, rng); err == nil {
+			t.Errorf("NewLoadGen(%+v) accepted a bad spec", spec)
+		}
+	}
+}
+
+// TestLoadGenDeleteOnly: Deletes = 1 still makes progress (inserts when
+// nothing is live) and never goes negative.
+func TestLoadGenDeleteOnly(t *testing.T) {
+	spec := testLoadSpec()
+	spec.Deletes = 1
+	g, err := NewLoadGen(spec, hashing.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := make(map[liveKey]int64)
+	for i := 0; i < 10000; i++ {
+		u := g.Next()
+		k := liveKey{u.Stream, u.Elem}
+		net[k] += u.Delta
+		if net[k] < 0 {
+			t.Fatalf("update %d: net frequency of %v went negative", i, k)
+		}
+	}
+	if g.Live() > 1 {
+		t.Fatalf("delete-only load keeps %d live pairs, want ≤ 1", g.Live())
+	}
+}

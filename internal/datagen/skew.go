@@ -2,8 +2,6 @@ package datagen
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"setsketch/internal/hashing"
 )
@@ -109,30 +107,13 @@ func Elements(d Domain, n int, rng *hashing.RNG) ([]uint64, error) {
 // The returned slice is an update stream (repeats expected), not an
 // element set.
 func ZipfStream(d Domain, support, n int, theta float64, rng *hashing.RNG) ([]uint64, error) {
-	if support < 1 {
-		return nil, fmt.Errorf("datagen: Zipf support %d < 1", support)
-	}
-	if theta < 0 {
-		return nil, fmt.Errorf("datagen: Zipf skew %g < 0", theta)
-	}
-	elems, err := Elements(d, support, rng)
+	z, err := newZipfSampler(d, support, theta, rng)
 	if err != nil {
 		return nil, err
 	}
-	// Inverse-CDF sampling over the precomputed cumulative weights.
-	cum := make([]float64, support)
-	var total float64
-	for i := range cum {
-		total += 1 / math.Pow(float64(i+1), theta)
-		cum[i] = total
-	}
 	out := make([]uint64, n)
 	for i := range out {
-		j := sort.SearchFloat64s(cum, rng.Float64()*total)
-		if j >= support {
-			j = support - 1
-		}
-		out[i] = elems[j]
+		out[i] = z.draw(rng)
 	}
 	return out, nil
 }

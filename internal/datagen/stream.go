@@ -2,6 +2,7 @@ package datagen
 
 import (
 	"fmt"
+	"sort"
 
 	"setsketch/internal/hashing"
 )
@@ -46,8 +47,17 @@ func RenderUpdates(w *Workload, churn ChurnSpec, rng *hashing.RNG) ([]Update, er
 	if offset == 0 {
 		offset = 1 << 40
 	}
+	// Iterate streams in sorted-name order: map order would make the
+	// output depend on Go's per-process map seed, breaking the
+	// same-seed-same-stream contract.
+	names := make([]string, 0, len(w.Streams))
+	for name := range w.Streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var ups []Update
-	for name, elems := range w.Streams {
+	for _, name := range names {
+		elems := w.Streams[name]
 		for _, e := range elems {
 			if churn.Overcount > 0 && rng.Float64() < churn.Overcount {
 				// ⟨+3⟩ then ⟨−2⟩: net one insertion, with a partial

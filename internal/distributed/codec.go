@@ -1,0 +1,230 @@
+package distributed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"setsketch/internal/datagen"
+)
+
+// Hand-rolled binary codec for the session hot path. The high-rate
+// frames — update batches, synopsis deltas, heartbeats, and their acks —
+// bypass gob entirely: payloads are fixed-width little-endian integers
+// plus uvarint-prefixed strings, encoded by appending into reusable
+// scratch buffers and decoded by slicing the frame payload in place.
+// With the per-connection frame reader below, a steady-state session
+// moves update batches with zero allocations per frame on both ends
+// (pinned by TestSessionFrameCodecAllocFree). Low-rate control frames
+// (hello, query, watch, views) stay gob-encoded.
+//
+// Payload layouts (little-endian):
+//
+//	updateBatch  seq u64, count uvarint,
+//	             then per update: len uvarint, stream bytes, elem u64, delta u64
+//	delta        seq u64, count u64, len uvarint, stream bytes, synopsis bytes
+//	heartbeat    seq u64
+//	ack          seq u64, accepted u64
+//
+// The delta synopsis runs to the end of the payload (core.AppendTo
+// framing, with its own checksum); deltas are self-delimiting because
+// the frame header carries the payload length.
+
+var errShortFrame = fmt.Errorf("distributed: truncated session frame")
+
+// appendFrame appends a complete wire frame (type, big-endian length,
+// payload) to buf.
+func appendFrame(buf []byte, typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > maxFrame {
+		return buf, fmt.Errorf("distributed: frame of %d bytes exceeds limit", len(payload))
+	}
+	buf = append(buf, typ, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[len(buf)-4:], uint32(len(payload)))
+	return append(buf, payload...), nil
+}
+
+// finishFrame patches the length field of a frame whose payload was
+// built in place after a 5-byte header (frame[0] = type).
+func finishFrame(frame []byte) ([]byte, error) {
+	if len(frame)-frameHeaderLen > maxFrame {
+		return nil, fmt.Errorf("distributed: frame of %d bytes exceeds limit", len(frame)-frameHeaderLen)
+	}
+	binary.BigEndian.PutUint32(frame[1:frameHeaderLen], uint32(len(frame)-frameHeaderLen))
+	return frame, nil
+}
+
+const frameHeaderLen = 5
+
+// frameReader reads length-prefixed frames into a reusable buffer, so
+// a long-lived connection stops allocating per frame once the buffer
+// has grown to its working size. The returned payload aliases the
+// buffer and is valid only until the next read.
+type frameReader struct {
+	// hdr lives in the struct rather than on read's stack: a stack
+	// array's slice would escape into the io.ReadFull interface call
+	// and cost one allocation per frame.
+	hdr [frameHeaderLen]byte
+	buf []byte
+}
+
+func (fr *frameReader) read(r io.Reader) (byte, []byte, error) {
+	if _, err := io.ReadFull(r, fr.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(fr.hdr[1:]))
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("distributed: frame of %d bytes exceeds limit", n)
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return fr.hdr[0], payload, nil
+}
+
+// appendUpdateBatch encodes an updateBatch payload.
+func appendUpdateBatch(buf []byte, seq uint64, ups []datagen.Update) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(ups)))
+	for _, u := range ups {
+		buf = binary.AppendUvarint(buf, uint64(len(u.Stream)))
+		buf = append(buf, u.Stream...)
+		buf = binary.LittleEndian.AppendUint64(buf, u.Elem)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(u.Delta))
+	}
+	return buf
+}
+
+// appendDeltaHeader encodes everything of a delta payload up to the
+// synopsis bytes, which the caller appends (core.Family.AppendTo).
+func appendDeltaHeader(buf []byte, seq uint64, stream string, count uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, count)
+	buf = binary.AppendUvarint(buf, uint64(len(stream)))
+	return append(buf, stream...)
+}
+
+// appendHeartbeat encodes a heartbeat payload.
+func appendHeartbeat(buf []byte, seq uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, seq)
+}
+
+// appendAck encodes an ack payload.
+func appendAck(buf []byte, seq, accepted uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	return binary.LittleEndian.AppendUint64(buf, accepted)
+}
+
+// decodeUint64 slices one fixed-width integer off the payload.
+func decodeUint64(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, errShortFrame
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+// decodeBytes slices one uvarint-prefixed byte string off the payload.
+// The result aliases p.
+func decodeBytes(p []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(p)
+	if k <= 0 || n > uint64(len(p)-k) {
+		return nil, nil, errShortFrame
+	}
+	return p[k : k+int(n)], p[k+int(n):], nil
+}
+
+// decodeUpdateBatch parses an updateBatch payload, appending the
+// updates to ups (typically a reset scratch slice) with stream names
+// resolved through intern, and returns the sequence number and the
+// extended slice. Nothing in the result aliases p.
+func decodeUpdateBatch(p []byte, ups []datagen.Update, intern func([]byte) string) (uint64, []datagen.Update, error) {
+	seq, p, err := decodeUint64(p)
+	if err != nil {
+		return 0, ups, err
+	}
+	count, k := binary.Uvarint(p)
+	if k <= 0 {
+		return 0, ups, errShortFrame
+	}
+	p = p[k:]
+	for i := uint64(0); i < count; i++ {
+		name, rest, err := decodeBytes(p)
+		if err != nil {
+			return 0, ups, err
+		}
+		var u datagen.Update
+		u.Stream = intern(name)
+		if u.Elem, rest, err = decodeUint64(rest); err != nil {
+			return 0, ups, err
+		}
+		var d uint64
+		if d, rest, err = decodeUint64(rest); err != nil {
+			return 0, ups, err
+		}
+		u.Delta = int64(d)
+		ups = append(ups, u)
+		p = rest
+	}
+	if len(p) != 0 {
+		return 0, ups, fmt.Errorf("distributed: %d trailing bytes in update batch", len(p))
+	}
+	return seq, ups, nil
+}
+
+// decodeDelta parses a delta payload. stream and synopsis alias p.
+func decodeDelta(p []byte) (seq, count uint64, stream, synopsis []byte, err error) {
+	if seq, p, err = decodeUint64(p); err != nil {
+		return
+	}
+	if count, p, err = decodeUint64(p); err != nil {
+		return
+	}
+	if stream, p, err = decodeBytes(p); err != nil {
+		return
+	}
+	return seq, count, stream, p, nil
+}
+
+// decodeHeartbeat parses a heartbeat payload.
+func decodeHeartbeat(p []byte) (uint64, error) {
+	seq, _, err := decodeUint64(p)
+	return seq, err
+}
+
+// decodeAck parses an ack payload.
+func decodeAck(p []byte) (seq, accepted uint64, err error) {
+	if seq, p, err = decodeUint64(p); err != nil {
+		return
+	}
+	accepted, _, err = decodeUint64(p)
+	return
+}
+
+// interner deduplicates stream names decoded from the wire, so a
+// session that streams updates for a bounded set of streams allocates
+// each name string once per connection instead of once per update.
+// Lookups with a byte-slice key do not allocate (the compiler elides
+// the string conversion in map reads); capacity is bounded to keep a
+// misbehaving peer from growing the table without limit.
+type interner struct {
+	names map[string]string
+}
+
+const maxInterned = 1 << 16
+
+func (in *interner) intern(b []byte) string {
+	if s, ok := in.names[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if in.names == nil {
+		in.names = make(map[string]string)
+	}
+	if len(in.names) < maxInterned {
+		in.names[s] = s
+	}
+	return s
+}

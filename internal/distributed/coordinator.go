@@ -36,6 +36,14 @@ type Coordinator struct {
 	// coordinator serves traffic; nil means durability is off.
 	wlog *wal.Log
 
+	// smu guards scratch, the digest-evaluation family for the live
+	// raw-update path when no WAL is attached (the WAL keeps its own
+	// scratch). Never taken under mu: digests are computed before the
+	// state lock so the hash bill stays outside the critical section.
+	smu sync.Mutex
+	// guarded by: smu
+	scratch *core.Family
+
 	mu sync.RWMutex
 	// fams holds the merged per-stream synopses.
 	// guarded by: mu
@@ -320,19 +328,33 @@ func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
 		return nil
 	}
 	var rec *wal.Record
-	if c.wlog != nil {
+	switch {
+	case c.wlog != nil:
 		// Build (and digest-pack) the record outside the lock; the
 		// append itself happens under c.mu so log order is apply order.
 		rec = c.wlog.BuildUpdates(site, ups)
+	case c.coins.Config.DigestPackable():
+		// No WAL, but the same batch amortization applies: pay the
+		// hash bill once, copy-major, outside the state lock, and
+		// apply pure counter adds under it (an unlogged RecDigests).
+		c.smu.Lock()
+		if c.scratch == nil {
+			c.scratch, _ = c.coins.NewFamily() // coins validated at construction
+		}
+		digs := wal.DigestUpdates(c.scratch, ups)
+		c.smu.Unlock()
+		rec = &wal.Record{Type: wal.RecDigests, Site: site, Count: uint64(len(ups)), Digests: digs}
 	}
 	c.mu.Lock()
 	if err := c.logRecordLocked(rec); err != nil {
 		c.mu.Unlock()
 		return err // not logged: not applied, not acked
 	}
-	if rec != nil && rec.Type == wal.RecDigests {
-		// Reuse the digests just logged: the hash bill was paid once in
-		// BuildUpdates, application is pure counter adds.
+	if rec != nil {
+		// Reuse the digests just computed (and, with a WAL, just
+		// logged): the hash bill was paid once, application is pure
+		// counter adds. RecUpdates records (digest-unpackable coins)
+		// take the direct per-update path inside.
 		if err := c.applyUpdateRecordLocked(rec); err != nil {
 			c.mu.Unlock()
 			return err

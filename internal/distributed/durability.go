@@ -36,11 +36,12 @@ func (c *Coordinator) WAL() *wal.Log { return c.wlog }
 
 // logRecordLocked appends one record (built by the caller outside the
 // lock) to the attached WAL. Called under c.mu before the matching
-// state mutation; a nil record (no WAL attached) is a no-op. On error
-// the caller must not apply: the batch is not acked and the
-// write-ahead guarantee holds.
+// state mutation; a nil record, or no attached WAL (the live path
+// also builds unlogged digest records purely to batch the hash bill),
+// is a no-op. On error the caller must not apply: the batch is not
+// acked and the write-ahead guarantee holds.
 func (c *Coordinator) logRecordLocked(rec *wal.Record) error {
-	if rec == nil {
+	if c.wlog == nil || rec == nil {
 		return nil
 	}
 	if _, err := c.wlog.Append(rec); err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"setsketch/internal/core"
 	"setsketch/internal/datagen"
 	"setsketch/internal/hashing"
 	"setsketch/internal/wal"
@@ -131,6 +132,55 @@ func TestCoordinatorWALRecovery(t *testing.T) {
 		t.Errorf("estimates diverge after recovery: %v vs %v", e1.Value, e2.Value)
 	}
 	l1.Close()
+}
+
+// TestApplyUpdatesDigestPathBitIdentical pins the live non-WAL raw
+// update path: with digest-packable coins, ApplyUpdates coalesces each
+// batch and pays the hash bill once through the shared digest kernel
+// (wal.DigestUpdates), and the resulting synopses must be
+// bit-identical to per-element direct updates.
+func TestApplyUpdatesDigestPathBitIdentical(t *testing.T) {
+	if !testCoins.Config.DigestPackable() {
+		t.Fatal("test coins must be digest-packable to cover the batched path")
+	}
+	c, _ := NewCoordinator(testCoins)
+	g, err := datagen.NewLoadGen(datagen.LoadSpec{
+		Streams: []string{"A", "B"},
+		Domain:  datagen.DomainUniform,
+		Support: 1 << 10,
+		Theta:   1.0,
+		Deletes: 0.3,
+	}, hashing.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := g.Updates(4096)
+	want := map[string]*core.Family{}
+	for _, name := range []string{"A", "B"} {
+		want[name], _ = testCoins.NewFamily()
+		for _, u := range ups {
+			if u.Stream == name {
+				want[name].Update(u.Elem, u.Delta)
+			}
+		}
+	}
+	for i := 0; i < len(ups); i += 256 {
+		end := i + 256
+		if end > len(ups) {
+			end = len(ups)
+		}
+		if err := c.ApplyUpdates("site", ups[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"A", "B"} {
+		if !c.Family(name).Equal(want[name]) {
+			t.Errorf("stream %q: batched digest path diverges from direct updates", name)
+		}
+	}
+	if c.Updates() != uint64(len(ups)) {
+		t.Errorf("updates credited: want %d, got %d", len(ups), c.Updates())
+	}
 }
 
 // TestCoordinatorSnapshotRecovery: recovery = last snapshot + WAL

@@ -22,18 +22,20 @@ import (
 //	length u32 (big-endian, payload bytes)
 //	payload
 //
-// Payloads are gob-encoded message structs; synopsis bytes inside a
-// push are the core serialization format (with its own checksum).
-// Every request frame receives exactly one reply frame.
+// Control payloads are gob-encoded message structs; the session hot
+// path (update batches, deltas, heartbeats, acks) uses the hand-rolled
+// binary codec in codec.go. Synopsis bytes inside a push or delta are
+// the core serialization format (with its own checksum). Every request
+// frame receives exactly one reply frame.
 
 const (
 	msgPush        = 0x01 // pushMsg: site ships one stream's synopsis
 	msgQuery       = 0x02 // queryMsg: estimate a set expression
 	msgStreams     = 0x03 // no payload: list merged stream names
 	msgHello       = 0x04 // helloMsg: open a streaming session (stream.go)
-	msgUpdateBatch = 0x05 // updateBatchMsg: raw update batch within a session
-	msgDelta       = 0x06 // deltaMsg: counted synopsis delta within a session
-	msgHeartbeat   = 0x07 // heartbeatMsg: session keep-alive
+	msgUpdateBatch = 0x05 // binary update batch within a session (codec.go)
+	msgDelta       = 0x06 // binary counted synopsis delta within a session (codec.go)
+	msgHeartbeat   = 0x07 // binary session keep-alive (codec.go)
 	msgWatch       = 0x08 // watchMsg: register standing continuous queries
 	msgCreateView  = 0x09 // createViewMsg: register a continuous view
 	msgDropView    = 0x0a // dropViewMsg: remove a continuous view
@@ -41,7 +43,7 @@ const (
 	msgOK          = 0x10 // empty reply to a successful push/hello/watch/view change
 	msgEstimate    = 0x11 // estimateMsg reply to a query
 	msgNames       = 0x12 // namesMsg reply to a streams request
-	msgAck         = 0x13 // ackMsg: session frame accepted
+	msgAck         = 0x13 // binary ack: session frame accepted (codec.go)
 	msgWatchResult = 0x14 // watchResultMsg: streamed continuous-query result
 	msgViews       = 0x15 // viewsMsg reply to a list-views request
 	msgError       = 0x7f // errorMsg: request failed
@@ -381,7 +383,9 @@ func (s *Server) handle(conn net.Conn) {
 		if closed {
 			return
 		}
-		typ, payload, err := readFrame(conn)
+		// The payload views the connection's reusable read buffer;
+		// handlers copy anything they keep past dispatch.
+		typ, payload, err := st.fr.read(conn)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() && !s.closing() {
 				s.met.heartbeatMisses.Inc()
@@ -429,7 +433,7 @@ func (s *Server) dispatch(st *connState, typ byte, payload []byte) (reply []byte
 		if err := decodeGob(payload, &m); err != nil {
 			return fail(err)
 		}
-		fam, err := core.ReadFamily(bytes.NewReader(m.Synopsis))
+		fam, err := core.DecodeFamily(m.Synopsis)
 		if err != nil {
 			return fail(err)
 		}
@@ -507,7 +511,42 @@ func (s *Server) dispatch(st *connState, typ byte, payload []byte) (reply []byte
 type Client struct {
 	mu       sync.Mutex
 	conn     net.Conn
-	watching bool // connection dedicated to a watch result stream
+	watching bool        // connection dedicated to a watch result stream
+	fr       frameReader // session reply buffer (guarded by mu)
+}
+
+// sessionExchange writes one pre-built session frame and decodes its
+// binary ack, all under the connection lock so the reply buffer is
+// never shared between concurrent exchanges. Returns the coordinator's
+// accepted-update total for the session.
+func (c *Client) sessionExchange(frame []byte, seq uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.watching {
+		return 0, errors.New("distributed: connection is dedicated to a watch result stream")
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return 0, err
+	}
+	typ, reply, err := c.fr.read(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	switch typ {
+	case msgAck:
+		ackSeq, accepted, err := decodeAck(reply)
+		if err != nil {
+			return 0, err
+		}
+		if ackSeq != seq {
+			return 0, fmt.Errorf("distributed: ack for frame %d, want %d", ackSeq, seq)
+		}
+		return accepted, nil
+	case msgError:
+		return 0, remoteError(reply)
+	default:
+		return 0, fmt.Errorf("distributed: unexpected reply type %#x in session", typ)
+	}
 }
 
 // Dial connects to a coordinator server.
@@ -544,13 +583,16 @@ func remoteError(payload []byte) error {
 	return fmt.Errorf("distributed: coordinator: %s", m.Message)
 }
 
+// synopsisPool recycles encode buffers for one-shot synopsis shipping
+// (Push); streaming sessions use their own per-session scratch instead.
+var synopsisPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Push ships one stream's synopsis to the coordinator.
 func (c *Client) Push(site, stream string, fam *core.Family) error {
-	var buf bytes.Buffer
-	if _, err := fam.WriteTo(&buf); err != nil {
-		return err
-	}
-	payload, err := encodeGob(pushMsg{Site: site, Stream: stream, Synopsis: buf.Bytes()})
+	bp := synopsisPool.Get().(*[]byte)
+	defer synopsisPool.Put(bp)
+	*bp = fam.AppendTo((*bp)[:0])
+	payload, err := encodeGob(pushMsg{Site: site, Stream: stream, Synopsis: *bp})
 	if err != nil {
 		return err
 	}

@@ -1,7 +1,6 @@
 package distributed
 
 import (
-	"bytes"
 	"fmt"
 	"net"
 	"sort"
@@ -26,6 +25,12 @@ import (
 // ack, so a site can pipeline-and-verify. Deltas additionally report
 // how many local updates they summarize, keeping the coordinator's
 // update-count watch triggers accurate in delta mode.
+//
+// Session frames are encoded with the hand-rolled binary codec
+// (codec.go) rather than gob, and both ends run them through reusable
+// per-connection scratch buffers: a steady-state session neither
+// allocates to encode/decode an update batch, delta envelope, heartbeat
+// or ack, nor to read the frames off the wire.
 
 // defaultWatchWriteTimeout bounds how long a watch-result write may
 // block on a stalled client before the session is torn down.
@@ -36,31 +41,6 @@ type helloMsg struct {
 	Config core.Config
 	Seed   uint64
 	Copies int
-}
-
-type wireUpdate struct {
-	Stream string
-	Elem   uint64
-	Delta  int64
-}
-
-type updateBatchMsg struct {
-	Seq     uint64
-	Updates []wireUpdate
-}
-
-type deltaMsg struct {
-	Seq      uint64
-	Stream   string
-	Count    uint64 // local updates this delta summarizes
-	Synopsis []byte
-}
-
-type heartbeatMsg struct{ Seq uint64 }
-
-type ackMsg struct {
-	Seq      uint64
-	Accepted uint64 // updates credited to this session so far
 }
 
 type watchMsg struct {
@@ -83,13 +63,22 @@ type watchResultMsg struct {
 }
 
 // connState is the per-connection state of the server: a write mutex
-// shared by the request/reply path and the watch pusher, plus the
-// streaming-session identity once a hello has been accepted.
+// shared by the request/reply path and the watch pusher, the
+// streaming-session identity once a hello has been accepted, and the
+// scratch buffers that make the session hot path allocation-free. fr,
+// abuf, ups, and names belong to the handler goroutine; wframe is
+// guarded by wmu.
 type connState struct {
 	srv  *Server
 	conn net.Conn
 
-	wmu sync.Mutex
+	wmu    sync.Mutex
+	wframe []byte // whole-frame build buffer, one conn.Write per frame
+
+	fr    frameReader      // inbound frame payload buffer
+	abuf  []byte           // ack payload scratch
+	ups   []datagen.Update // update-batch decode scratch
+	names interner         // stream names seen on this connection
 
 	site     string
 	open     bool
@@ -102,11 +91,23 @@ type connState struct {
 func (st *connState) write(typ byte, payload []byte) error {
 	st.wmu.Lock()
 	defer st.wmu.Unlock()
-	err := writeFrame(st.conn, typ, payload)
-	if err == nil {
-		st.srv.met.out(typ).Inc()
+	return st.writeLocked(typ, payload)
+}
+
+// writeLocked frames the payload into the connection's write buffer and
+// ships it with a single conn.Write.
+// caller holds: wmu
+func (st *connState) writeLocked(typ byte, payload []byte) error {
+	frame, err := appendFrame(st.wframe[:0], typ, payload)
+	st.wframe = frame[:0]
+	if err != nil {
+		return err
 	}
-	return err
+	if _, err := st.conn.Write(frame); err != nil {
+		return err
+	}
+	st.srv.met.out(typ).Inc()
+	return nil
 }
 
 // writeDeadline writes one frame under a deadline, so a stalled peer
@@ -118,11 +119,7 @@ func (st *connState) writeDeadline(typ byte, payload []byte, d time.Duration) er
 		st.conn.SetWriteDeadline(time.Now().Add(d))
 		defer st.conn.SetWriteDeadline(time.Time{})
 	}
-	err := writeFrame(st.conn, typ, payload)
-	if err == nil {
-		st.srv.met.out(typ).Inc()
-	}
-	return err
+	return st.writeLocked(typ, payload)
 }
 
 func (st *connState) cleanup() {
@@ -142,11 +139,8 @@ func failReply(err error) ([]byte, byte) {
 }
 
 func (st *connState) ackReply(seq uint64) ([]byte, byte) {
-	out, err := encodeGob(ackMsg{Seq: seq, Accepted: st.accepted})
-	if err != nil {
-		return failReply(err)
-	}
-	return out, msgAck
+	st.abuf = appendAck(st.abuf[:0], seq, st.accepted)
+	return st.abuf, msgAck
 }
 
 // handleHello opens a streaming session after verifying the stored
@@ -192,47 +186,47 @@ func (s *Server) handleUpdateBatch(st *connState, payload []byte) ([]byte, byte)
 	if err := st.requireSession(); err != nil {
 		return failReply(err)
 	}
-	var m updateBatchMsg
-	if err := decodeGob(payload, &m); err != nil {
+	// Decode into the connection's scratch slice: ApplyUpdates copies
+	// what it keeps (coalesced WAL entries or direct counter updates),
+	// so the scratch is free for reuse as soon as it returns.
+	seq, ups, err := decodeUpdateBatch(payload, st.ups[:0], st.names.intern)
+	st.ups = ups[:0]
+	if err != nil {
 		return failReply(err)
-	}
-	ups := make([]datagen.Update, len(m.Updates))
-	for i, u := range m.Updates {
-		ups[i] = datagen.Update{Stream: u.Stream, Elem: u.Elem, Delta: u.Delta}
 	}
 	if err := s.coord.ApplyUpdates(st.site, ups); err != nil {
 		return failReply(err)
 	}
 	st.accepted += uint64(len(ups))
-	return st.ackReply(m.Seq)
+	return st.ackReply(seq)
 }
 
 func (s *Server) handleDelta(st *connState, payload []byte) ([]byte, byte) {
 	if err := st.requireSession(); err != nil {
 		return failReply(err)
 	}
-	var m deltaMsg
-	if err := decodeGob(payload, &m); err != nil {
-		return failReply(err)
-	}
-	fam, err := core.ReadFamily(bytes.NewReader(m.Synopsis))
+	seq, count, stream, synopsis, err := decodeDelta(payload)
 	if err != nil {
 		return failReply(err)
 	}
-	if err := s.coord.ApplyDelta(st.site, m.Stream, fam, m.Count); err != nil {
+	fam, err := core.DecodeFamily(synopsis)
+	if err != nil {
 		return failReply(err)
 	}
-	st.accepted += m.Count
-	return st.ackReply(m.Seq)
+	if err := s.coord.ApplyDelta(st.site, st.names.intern(stream), fam, count); err != nil {
+		return failReply(err)
+	}
+	st.accepted += count
+	return st.ackReply(seq)
 }
 
 func (s *Server) handleHeartbeat(st *connState, payload []byte) ([]byte, byte) {
-	var m heartbeatMsg
-	if err := decodeGob(payload, &m); err != nil {
+	seq, err := decodeHeartbeat(payload)
+	if err != nil {
 		return failReply(err)
 	}
 	s.met.heartbeats.Inc()
-	return st.ackReply(m.Seq)
+	return st.ackReply(seq)
 }
 
 // handleWatch registers the continuous queries and dedicates this
@@ -320,13 +314,15 @@ func (s *Server) pushWatchResults(st *connState, w *Watcher) {
 // hello handshake a site stays connected and interleaves raw update
 // batches, locally sketched deltas, and heartbeats for as long as it
 // likes. A session shares its Client's serialization; use one session
-// per Client.
+// per Client. Session frames are built in a reusable scratch buffer, so
+// a steady-state sender allocates nothing per frame.
 type StreamSession struct {
 	c    *Client
 	site string
 
-	mu  sync.Mutex
-	seq uint64
+	mu   sync.Mutex
+	seq  uint64
+	pbuf []byte // frame build scratch
 }
 
 // OpenStream performs the hello handshake and returns the session.
@@ -353,67 +349,46 @@ func (c *Client) OpenStream(site string, coins Coins) (*StreamSession, error) {
 // Site returns the session's site name.
 func (s *StreamSession) Site() string { return s.site }
 
-func (s *StreamSession) next() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// beginFrame starts a session frame of the given type in the scratch
+// buffer, claiming the next sequence number.
+// caller holds: mu
+func (s *StreamSession) beginFrame(typ byte) (frame []byte, seq uint64) {
 	s.seq++
-	return s.seq
+	return append(s.pbuf[:0], typ, 0, 0, 0, 0), s.seq
 }
 
-// sessionRoundTrip sends one sequenced session frame and verifies the
-// ack echoes the sequence number. It returns the coordinator's total
-// accepted-update count for this session.
-func (s *StreamSession) sessionRoundTrip(typ byte, payload []byte, seq uint64) (uint64, error) {
-	replyTyp, reply, err := s.c.roundTrip(typ, payload)
+// exchange finalizes the frame, sends it, and decodes the binary ack.
+// caller holds: mu (released only after the reply is decoded, so the
+// scratch buffers are never shared between in-flight frames)
+func (s *StreamSession) exchange(frame []byte, seq uint64) (uint64, error) {
+	s.pbuf = frame[:0]
+	frame, err := finishFrame(frame)
 	if err != nil {
 		return 0, err
 	}
-	switch replyTyp {
-	case msgAck:
-		var m ackMsg
-		if err := decodeGob(reply, &m); err != nil {
-			return 0, err
-		}
-		if m.Seq != seq {
-			return 0, fmt.Errorf("distributed: ack for frame %d, want %d", m.Seq, seq)
-		}
-		return m.Accepted, nil
-	case msgError:
-		return 0, remoteError(reply)
-	default:
-		return 0, fmt.Errorf("distributed: unexpected reply type %#x in session", replyTyp)
-	}
+	return s.c.sessionExchange(frame, seq)
 }
 
 // SendUpdates ships one batch of raw updates for the coordinator to
 // sketch centrally. It returns the session's accepted-update total.
 func (s *StreamSession) SendUpdates(ups []datagen.Update) (uint64, error) {
-	wire := make([]wireUpdate, len(ups))
-	for i, u := range ups {
-		wire[i] = wireUpdate{Stream: u.Stream, Elem: u.Elem, Delta: u.Delta}
-	}
-	seq := s.next()
-	payload, err := encodeGob(updateBatchMsg{Seq: seq, Updates: wire})
-	if err != nil {
-		return 0, err
-	}
-	return s.sessionRoundTrip(msgUpdateBatch, payload, seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frame, seq := s.beginFrame(msgUpdateBatch)
+	frame = appendUpdateBatch(frame, seq, ups)
+	return s.exchange(frame, seq)
 }
 
 // SendDelta ships one locally sketched synopsis delta, merged by
 // linearity at the coordinator. count reports how many local updates
 // the delta summarizes (for the coordinator's watch triggers).
 func (s *StreamSession) SendDelta(stream string, fam *core.Family, count uint64) (uint64, error) {
-	var buf bytes.Buffer
-	if _, err := fam.WriteTo(&buf); err != nil {
-		return 0, err
-	}
-	seq := s.next()
-	payload, err := encodeGob(deltaMsg{Seq: seq, Stream: stream, Count: count, Synopsis: buf.Bytes()})
-	if err != nil {
-		return 0, err
-	}
-	return s.sessionRoundTrip(msgDelta, payload, seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frame, seq := s.beginFrame(msgDelta)
+	frame = appendDeltaHeader(frame, seq, stream, count)
+	frame = fam.AppendTo(frame)
+	return s.exchange(frame, seq)
 }
 
 // SendFlush ships every stream of a flush (e.g. ingest.Engine.Flush),
@@ -438,12 +413,11 @@ func (s *StreamSession) SendFlush(deltas map[string]*core.Family, totalCount uin
 // Heartbeat probes session liveness and returns the accepted-update
 // total.
 func (s *StreamSession) Heartbeat() (uint64, error) {
-	seq := s.next()
-	payload, err := encodeGob(heartbeatMsg{Seq: seq})
-	if err != nil {
-		return 0, err
-	}
-	return s.sessionRoundTrip(msgHeartbeat, payload, seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frame, seq := s.beginFrame(msgHeartbeat)
+	frame = appendHeartbeat(frame, seq)
+	return s.exchange(frame, seq)
 }
 
 // WatchEvent is one continuous-query result delivered to a watching

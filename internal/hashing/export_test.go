@@ -1,0 +1,16 @@
+package hashing
+
+// SetAVX512ForTest toggles the assembly PackColumns kernel so tests can
+// compare both paths on hosts that have it. Returns a restore func.
+func SetAVX512ForTest(on bool) (restore func()) {
+	old := useAVX512
+	if on && !old {
+		// Never force the kernel on where detection said no.
+		return func() {}
+	}
+	useAVX512 = on
+	return func() { useAVX512 = old }
+}
+
+// HasAVX512ForTest reports whether the assembly kernel is active.
+func HasAVX512ForTest() bool { return useAVX512 }

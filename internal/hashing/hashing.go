@@ -123,6 +123,38 @@ func (p *Poly) HashReduced(x uint64) uint64 {
 	return acc
 }
 
+// HashReducedBatch evaluates the polynomial at every reduced input in
+// xs, writing dst[k] = HashReduced(xs[k]). Horner's rule is a serial
+// multiply-add chain per element, so evaluating one element at a time
+// leaves the multiplier idle between dependent steps; the batch form
+// runs four independent chains at once with their accumulators held in
+// registers (unroll-and-jam), filling those stalls, and loads each
+// coefficient once per four elements instead of once per element.
+// dst and xs must have equal length and may not alias.
+func (p *Poly) HashReducedBatch(dst, xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	top := p.coef[len(p.coef)-1]
+	k := 0
+	for ; k+4 <= len(xs); k += 4 {
+		x0, x1, x2, x3 := xs[k], xs[k+1], xs[k+2], xs[k+3]
+		a0, a1, a2, a3 := top, top, top, top
+		for i := len(p.coef) - 2; i >= 0; i-- {
+			c := p.coef[i]
+			a0 = addmod61(mulmod61(a0, x0), c)
+			a1 = addmod61(mulmod61(a1, x1), c)
+			a2 = addmod61(mulmod61(a2, x2), c)
+			a3 = addmod61(mulmod61(a3, x3), c)
+		}
+		dst[k], dst[k+1], dst[k+2], dst[k+3] = a0, a1, a2, a3
+	}
+	for ; k < len(xs); k++ {
+		dst[k] = p.HashReduced(xs[k])
+	}
+}
+
 // Bits reports the output width (61 for the Mersenne field).
 func (p *Poly) Bits() int { return FieldBits }
 
@@ -160,6 +192,106 @@ func (g *PairBit) Bit(x uint64) int {
 func (g *PairBit) BitReduced(x uint64) int {
 	v := addmod61(mulmod61(g.a, x), g.b)
 	return int(v >> (FieldBits - 1))
+}
+
+// PairBitBank is a bank of pairwise-independent bit functions with the
+// (a, b) coefficient pairs stored in two flat arrays instead of s
+// separately allocated PairBit objects. The batch digest kernel walks
+// all s functions for every element of a batch; with the boxed layout
+// that is s pointer chases per element, where the bank's contiguous
+// coefficient arrays stream through the prefetcher. Evaluation is
+// bit-identical to calling each PairBit in turn.
+type PairBitBank struct {
+	a, b []uint64
+	// alo/ahi are a's 32-bit halves, precomputed for the SIMD kernel
+	// (whose 32×32→64 multiplies want split operands).
+	alo, ahi []uint64
+}
+
+// NewPairBitBank flattens gs into a bank. len(gs) must be ≤ 64 so the
+// packed bit vector fits one word.
+func NewPairBitBank(gs []*PairBit) *PairBitBank {
+	if len(gs) > 64 {
+		panic(fmt.Sprintf("hashing: pair-bit bank of %d functions does not pack into a word", len(gs)))
+	}
+	bk := &PairBitBank{
+		a:   make([]uint64, len(gs)),
+		b:   make([]uint64, len(gs)),
+		alo: make([]uint64, len(gs)),
+		ahi: make([]uint64, len(gs)),
+	}
+	for j, g := range gs {
+		bk.a[j], bk.b[j] = g.a, g.b
+		bk.alo[j], bk.ahi[j] = g.a&0xffffffff, g.a>>32
+	}
+	return bk
+}
+
+// Len reports the number of functions in the bank.
+func (bk *PairBitBank) Len() int { return len(bk.a) }
+
+// PackColumns evaluates every function in the bank at every reduced
+// input in xs and ORs function j's bit into dst[k] at position shift+j
+// — PackBits for a whole batch. The inner loop fuses the multiply and
+// the addition into one modular reduction: with a, x, b < p the value
+// u = 8·hi + (lo>>61) + (lo&p) + b is < 2^63 and ≡ a·x+b (mod p), so
+// one fold plus one conditional subtract lands in [0, p) exactly as
+// addmod61(mulmod61(a, x), b) does, three ALU ops cheaper. The packed
+// word accumulates in a register; dst is touched once per element.
+// dst and xs must have equal length and may not alias.
+func (bk *PairBitBank) PackColumns(dst, xs []uint64, shift uint) {
+	if len(xs) == 0 || len(bk.a) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	start := 0
+	if useAVX512 && len(xs) >= 8 {
+		start = len(xs) &^ 7
+		packColumnsAsm(&bk.alo[0], &bk.ahi[0], &bk.b[0], len(bk.a),
+			&xs[0], &dst[0], start, uint64(shift))
+	}
+	bk.packColumnsGeneric(dst[start:], xs[start:], shift)
+}
+
+// packColumnsGeneric is the portable PackColumns loop, also used for
+// the tail the 8-wide assembly kernel leaves behind.
+func (bk *PairBitBank) packColumnsGeneric(dst, xs []uint64, shift uint) {
+	as := bk.a
+	bs := bk.b[:len(as)] // one bounds proof for both coefficient loads
+	for k, x := range xs {
+		var w uint64
+		// Bits accumulate high-to-low through w<<1|bit so function j's
+		// bit ends at position j without a variable shift per step.
+		for j := len(as) - 1; j >= 0; j-- {
+			hi, lo := bits.Mul64(as[j], x)
+			u := 8*hi + (lo >> 61) + (lo & MersennePrime) + bs[j]
+			v := (u >> 61) + (u & MersennePrime)
+			if v >= MersennePrime {
+				v -= MersennePrime
+			}
+			w = w<<1 | v>>(FieldBits-1)
+		}
+		dst[k] |= w << shift
+	}
+}
+
+// BitColumnReduced evaluates g at every reduced input in xs and ORs the
+// resulting bit into dst[k] at position shift — one second-level
+// function's column of a batch of digest words. The digest batch kernel
+// iterates functions outer and elements inner so each function's (a, b)
+// pair stays in registers across the whole batch; callers are expected
+// to have zeroed (or bucket-initialized) dst beforehand. dst and xs
+// must have equal length and may not alias.
+func (g *PairBit) BitColumnReduced(dst, xs []uint64, shift uint) {
+	if len(xs) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	a, b := g.a, g.b
+	for k, x := range xs {
+		v := addmod61(mulmod61(a, x), b)
+		dst[k] |= (v >> (FieldBits - 1)) << shift
+	}
 }
 
 // PackBits evaluates every function in gs at the reduced input x and

@@ -393,3 +393,135 @@ func TestPackBitsMatchesBitReduced(t *testing.T) {
 		}
 	}
 }
+
+// TestHashReducedBatchMatchesScalar: the coefficient-outer batch
+// evaluation must be bit-identical to per-element Horner for every
+// independence degree and batch size, including empty and length-1
+// batches.
+func TestHashReducedBatchMatchesScalar(t *testing.T) {
+	for _, wise := range []int{1, 2, 4, 8, 16} {
+		p := NewPoly(DeriveSeed(31, uint64(wise)), wise)
+		rng := NewRNG(uint64(wise) * 7)
+		for _, n := range []int{0, 1, 2, 3, 64, 256, 1000} {
+			xs := make([]uint64, n)
+			for k := range xs {
+				xs[k] = Reduce61(rng.Uint64())
+			}
+			dst := make([]uint64, n)
+			p.HashReducedBatch(dst, xs)
+			for k, x := range xs {
+				if got, want := dst[k], p.HashReduced(x); got != want {
+					t.Fatalf("wise=%d n=%d: batch[%d] = %d, scalar = %d (x=%#x)", wise, n, k, got, want, x)
+				}
+			}
+		}
+	}
+}
+
+// TestBitColumnReducedMatchesScalar: the column form must set exactly
+// the scalar bit at the requested position and leave other bits alone.
+func TestBitColumnReducedMatchesScalar(t *testing.T) {
+	rng := NewRNG(44)
+	for _, shift := range []uint{0, 6, 31, 63} {
+		g := NewPairBit(DeriveSeed(12, uint64(shift)))
+		xs := make([]uint64, 300)
+		for k := range xs {
+			xs[k] = Reduce61(rng.Uint64())
+		}
+		dst := make([]uint64, len(xs))
+		base := uint64(0xa5) &^ (1 << shift) // pre-existing bits must survive
+		for k := range dst {
+			dst[k] = base
+		}
+		g.BitColumnReduced(dst, xs, shift)
+		for k, x := range xs {
+			want := base | uint64(g.BitReduced(x))<<shift
+			if dst[k] != want {
+				t.Fatalf("shift=%d: dst[%d] = %#x, want %#x (x=%#x)", shift, k, dst[k], want, x)
+			}
+		}
+		g.BitColumnReduced(nil, nil, shift) // empty batch is a no-op
+	}
+}
+
+// TestPackColumnsMatchesPackBits: the flattened-bank batch evaluation
+// (including its fused modular reduction) must reproduce PackBits
+// bit-for-bit, including at field boundary values.
+func TestPackColumnsMatchesPackBits(t *testing.T) {
+	rng := NewRNG(2)
+	for _, s := range []int{1, 2, 7, 32, 58, 64} {
+		gs := make([]*PairBit, s)
+		for j := range gs {
+			gs[j] = NewPairBit(DeriveSeed(3, uint64(s), uint64(j)))
+		}
+		bk := NewPairBitBank(gs)
+		if bk.Len() != s {
+			t.Fatalf("bank len %d, want %d", bk.Len(), s)
+		}
+		xs := []uint64{0, 1, 2, MersennePrime - 1, MersennePrime - 2, 1 << 60, (1 << 61) - 2}
+		for i := 0; i < 4000; i++ {
+			xs = append(xs, Reduce61(rng.Uint64()))
+		}
+		for _, shift := range []uint{0, 6} {
+			dst := make([]uint64, len(xs))
+			for k := range dst {
+				dst[k] = 1 // pre-existing low bit must survive shift>0
+			}
+			bk.PackColumns(dst, xs, shift)
+			for k, x := range xs {
+				want := uint64(1) | PackBits(gs, x)<<shift
+				if shift == 0 {
+					want = 1 | PackBits(gs, x)
+				}
+				if dst[k] != want {
+					t.Fatalf("s=%d shift=%d: PackColumns[%d] = %#x, want %#x (x=%#x)", s, shift, k, dst[k], want, x)
+				}
+			}
+		}
+	}
+}
+
+// TestPackColumnsAVX512MatchesGeneric: on hosts with the assembly
+// kernel, both PackColumns paths must agree bit-for-bit across shapes,
+// shifts, boundary inputs, and batch lengths straddling the 8-wide
+// blocking (tails exercise the generic loop after the kernel).
+func TestPackColumnsAVX512MatchesGeneric(t *testing.T) {
+	if !HasAVX512ForTest() {
+		t.Skip("no AVX-512 on this host")
+	}
+	rng := NewRNG(17)
+	for _, s := range []int{1, 2, 31, 32, 58, 64} {
+		gs := make([]*PairBit, s)
+		for j := range gs {
+			gs[j] = NewPairBit(DeriveSeed(8, uint64(s), uint64(j)))
+		}
+		bk := NewPairBitBank(gs)
+		for _, n := range []int{1, 7, 8, 9, 16, 255, 256, 1000} {
+			xs := make([]uint64, n)
+			for k := range xs {
+				switch k % 5 {
+				case 0:
+					xs[k] = MersennePrime - 1 - uint64(k)%3
+				case 1:
+					xs[k] = uint64(k) // tiny values
+				default:
+					xs[k] = Reduce61(rng.Uint64())
+				}
+			}
+			for _, shift := range []uint{0, 6} {
+				asm := make([]uint64, n)
+				gen := make([]uint64, n)
+				bk.PackColumns(asm, xs, shift)
+				restore := SetAVX512ForTest(false)
+				bk.PackColumns(gen, xs, shift)
+				restore()
+				for k := range xs {
+					if asm[k] != gen[k] {
+						t.Fatalf("s=%d n=%d shift=%d: asm[%d]=%#x generic=%#x (x=%#x)",
+							s, n, shift, k, asm[k], gen[k], xs[k])
+					}
+				}
+			}
+		}
+	}
+}

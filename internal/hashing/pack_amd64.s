@@ -1,0 +1,121 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func packColumnsAsm(alo, ahi, bs *uint64, s int, xs, dst *uint64, n int, shift uint64)
+//
+// 8 elements per ZMM register, one pairwise hash function per inner
+// iteration. Operands are < 2^61 and split into 32-bit halves, so with
+// xl/xh and al/ah the product is
+//
+//	a·x = al·xl + (al·xh + ah·xl)·2^32 + ah·xh·2^64
+//
+// and, using 2^61 ≡ 1 and 2^64 ≡ 8 (mod p = 2^61−1) plus
+// M·2^32 = (M>>29)·2^61 + (M&(2^29−1))·2^32:
+//
+//	u = (P0>>61) + (P0&p) + (M>>29) + (M&mask29)<<32 + 8·P3 + b
+//
+// with every addend < 2^61 (so u < 2^63+2^34, no 64-bit overflow), then
+// one fold v = (u>>61)+(u&p) ∈ [0, p+4] and one masked subtract give
+// the canonical residue — the same value the pure-Go loop computes.
+// Bits accumulate high-to-low through W = W<<1 | bit, matching the
+// generic path.
+//
+// Preconditions (enforced by the Go dispatch): n ≥ 8 and a multiple of
+// 8, s ≥ 1, all xs[k] < 2^61 (reduced).
+TEXT ·packColumnsAsm(SB), NOSPLIT, $0-64
+	MOVQ alo+0(FP), R8
+	MOVQ ahi+8(FP), R9
+	MOVQ bs+16(FP), R10
+	MOVQ s+24(FP), CX
+	MOVQ xs+32(FP), SI
+	MOVQ dst+40(FP), DI
+	MOVQ n+48(FP), DX
+	MOVQ shift+56(FP), AX
+	MOVQ AX, X13
+
+	MOVQ $0x1FFFFFFFFFFFFFFF, AX // p = 2^61 − 1
+	VPBROADCASTQ AX, Z0
+	MOVQ $0x1FFFFFFF, AX         // mask29 = 2^29 − 1
+	VPBROADCASTQ AX, Z1
+
+	MOVQ CX, R15
+	DECQ R15
+	SHLQ $3, R15                 // byte offset of coefficient s−1
+
+elemloop:
+	VMOVDQU64 (SI), Z2           // X (VPMULUDQ reads only the low 32 bits, so X doubles as xl)
+	VPSRLQ $32, Z2, Z3           // xh
+	VPXORQ Z4, Z4, Z4            // W = 0
+
+	LEAQ (R8)(R15*1), R12        // &alo[s−1], walking down
+	LEAQ (R9)(R15*1), R13
+	LEAQ (R10)(R15*1), R14
+	MOVQ CX, BX
+
+jloop:
+	VPBROADCASTQ (R12), Z5       // al
+	VPBROADCASTQ (R13), Z6       // ah
+	VPBROADCASTQ (R14), Z7       // b
+	VPMULUDQ Z2, Z5, Z8          // P0 = al·xl
+	VPMULUDQ Z3, Z5, Z9          // P1 = al·xh
+	VPMULUDQ Z2, Z6, Z10         // P2 = ah·xl
+	VPMULUDQ Z3, Z6, Z11         // P3 = ah·xh
+	VPADDQ Z10, Z9, Z9           // M = P1 + P2
+	VPSRLQ $29, Z9, Z10          // M >> 29
+	VPANDQ Z1, Z9, Z9            // M & mask29
+	VPSLLQ $32, Z9, Z9           // (M & mask29) << 32
+	VPSRLQ $61, Z8, Z12          // P0 >> 61
+	VPANDQ Z0, Z8, Z8            // P0 & p
+	VPADDQ Z12, Z8, Z8
+	VPSLLQ $3, Z11, Z11          // 8·P3
+	VPADDQ Z10, Z8, Z8
+	VPADDQ Z9, Z8, Z8
+	VPADDQ Z11, Z8, Z8
+	VPADDQ Z7, Z8, Z8            // u
+	VPSRLQ $61, Z8, Z12
+	VPANDQ Z0, Z8, Z8
+	VPADDQ Z12, Z8, Z8           // v ∈ [0, p+4]
+	VPCMPUQ $5, Z0, Z8, K1       // v ≥ p
+	VPSUBQ Z0, Z8, K1, Z8        // canonicalize into [0, p)
+	VPSRLQ $60, Z8, Z8           // top bit of the 61-bit value
+	VPADDQ Z4, Z4, Z4            // W <<= 1
+	VPORQ Z8, Z4, Z4             // W |= bit
+
+	SUBQ $8, R12
+	SUBQ $8, R13
+	SUBQ $8, R14
+	DECQ BX
+	JNZ  jloop
+
+	VPSLLQ X13, Z4, Z4           // W << shift
+	VMOVDQU64 (DI), Z8
+	VPORQ Z8, Z4, Z8
+	VMOVDQU64 Z8, (DI)
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, DX
+	JNZ  elemloop
+
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package hashing
+
+// Non-amd64 hosts always take the pure-Go PackColumns loop.
+var useAVX512 = false
+
+// packColumnsAsm is never called when useAVX512 is false; this stub
+// keeps the dispatch site compiling on every architecture.
+func packColumnsAsm(alo, ahi, bs *uint64, s int, xs, dst *uint64, n int, shift uint64) {
+	panic("hashing: packColumnsAsm on non-amd64 host")
+}

@@ -58,32 +58,36 @@ func (c *digestCache) slot(e uint64) uint64 {
 	return (z ^ (z >> 31)) & c.mask
 }
 
-// digest returns e's packed digest, computing and caching it on a miss.
-// fam may be any family built from the engine's coins — digests are a
-// property of the coins, not of one stream's counters. The returned
-// digest is immutable; callers may hand it to worker goroutines as-is.
-func (c *digestCache) digest(fam *core.Family, e uint64) core.Digest {
+// lookup returns e's cached digest, if present. The returned digest is
+// immutable; callers may hand it to worker goroutines as-is.
+func (c *digestCache) lookup(e uint64) (core.Digest, bool) {
 	s := c.slot(e)
 	if d := c.digs[s]; d != nil && c.elems[s] == e {
 		c.hits.Inc()
-		return d
+		return d, true
 	}
+	c.misses.Inc()
+	return nil, false
+}
+
+// install stores a freshly computed digest in e's slot, evicting
+// whatever lived there. d must never be mutated after install.
+func (c *digestCache) install(e uint64, d core.Digest) {
+	s := c.slot(e)
 	if c.digs[s] != nil {
 		c.evictions.Inc()
 	}
-	c.misses.Inc()
-	d := fam.Digest(e)
 	c.elems[s] = e
 	c.digs[s] = d
-	return d
 }
 
-// digestEntry is one coalesced, digest-resolved update ready for the
-// workers to replay onto their copy shards.
-type digestEntry struct {
-	fam   *core.Family
-	dig   core.Digest
-	delta int64
+// digestGroup is one family's worth of coalesced, digest-resolved
+// updates, shaped for the workers' copy-major batch replay
+// (core.Family.UpdateRangeBatchDigest).
+type digestGroup struct {
+	fam    *core.Family
+	digs   []core.Digest
+	deltas []int64
 }
 
 // coalKey identifies an update target within one batch.
@@ -94,33 +98,66 @@ type coalKey struct {
 
 // coalesceLocked folds a batch down to one net update per (stream,
 // element), drops entries whose deltas cancel exactly (linearity: a
-// net-zero update is a no-op on every counter), and resolves each
-// survivor to its digest through the cache. A Zipf-skewed batch with
-// many repeats of the hot elements pays one digest lookup and one
-// replay per distinct element instead of one per stream item.
+// net-zero update is a no-op on every counter), resolves each survivor
+// to its digest, and groups the survivors per family for copy-major
+// replay. Cache misses are resolved together through one
+// core.Family.DigestBatch call — digests are a property of the coins,
+// not of one stream's counters, so a single batched pass covers misses
+// from every family in the batch and pays the hash-constant memory
+// traffic once instead of once per element.
 // caller holds: mu
-func (e *Engine) coalesceLocked(batch []entry) []digestEntry {
+func (e *Engine) coalesceLocked(batch []entry) []digestGroup {
 	idx := make(map[coalKey]int, len(batch))
-	out := make([]digestEntry, 0, len(batch))
 	keys := make([]coalKey, 0, len(batch))
+	deltas := make([]int64, 0, len(batch))
 	for _, en := range batch {
 		k := coalKey{en.fam, en.elem}
 		if i, ok := idx[k]; ok {
-			out[i].delta += en.delta
+			deltas[i] += en.delta
 			continue
 		}
-		idx[k] = len(out)
+		idx[k] = len(keys)
 		keys = append(keys, k)
-		out = append(out, digestEntry{fam: en.fam, delta: en.delta})
+		deltas = append(deltas, en.delta)
 	}
-	kept := out[:0]
-	for i := range out {
-		if out[i].delta == 0 {
+	digs := make([]core.Digest, len(keys))
+	var missElems []uint64
+	var missIdx []int
+	kept := 0
+	for i := range keys {
+		if deltas[i] == 0 {
 			continue
 		}
-		out[i].dig = e.cache.digest(out[i].fam, keys[i].elem)
-		kept = append(kept, out[i])
+		kept++
+		if d, ok := e.cache.lookup(keys[i].elem); ok {
+			digs[i] = d
+			continue
+		}
+		missElems = append(missElems, keys[i].elem)
+		missIdx = append(missIdx, i)
 	}
-	e.met.coalesced.Add(uint64(len(batch) - len(kept)))
-	return kept
+	if len(missElems) > 0 {
+		md := keys[missIdx[0]].fam.DigestBatch(missElems)
+		for j, i := range missIdx {
+			digs[i] = md[j]
+			e.cache.install(keys[i].elem, md[j])
+		}
+	}
+	e.met.coalesced.Add(uint64(len(batch) - kept))
+	var groups []digestGroup
+	gidx := make(map[*core.Family]int, 4)
+	for i := range keys {
+		if deltas[i] == 0 {
+			continue
+		}
+		gi, ok := gidx[keys[i].fam]
+		if !ok {
+			gi = len(groups)
+			gidx[keys[i].fam] = gi
+			groups = append(groups, digestGroup{fam: keys[i].fam})
+		}
+		groups[gi].digs = append(groups[gi].digs, digs[i])
+		groups[gi].deltas = append(groups[gi].deltas, deltas[i])
+	}
+	return groups
 }

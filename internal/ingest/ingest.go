@@ -102,7 +102,7 @@ type entry struct {
 // is on), an optional delta merge, and/or a barrier to arm.
 type workItem struct {
 	entries []entry
-	digests []digestEntry
+	groups  []digestGroup
 	target  *core.Family // merge target (nil if no merge)
 	delta   *core.Family // aligned delta to add into target
 	barrier *sync.WaitGroup
@@ -126,14 +126,18 @@ func (w *worker) run(wg *sync.WaitGroup, fail func(error)) {
 			w.batches.Inc()
 			w.applied.Add(uint64(len(it.entries)))
 		}
-		if len(it.digests) > 0 {
+		if len(it.groups) > 0 {
 			// Digest replay: s+1 additions per copy in [lo, hi), no
-			// hashing — the digests were resolved by the producer.
-			for _, en := range it.digests {
-				en.fam.UpdateRangeDigest(w.lo, w.hi, en.dig, en.delta)
+			// hashing — the digests were resolved by the producer. Each
+			// group replays copy-major so a copy's counter slab streams
+			// through cache once per batch, not once per element.
+			n := 0
+			for _, g := range it.groups {
+				g.fam.UpdateRangeBatchDigest(w.lo, w.hi, g.digs, g.deltas)
+				n += len(g.digs)
 			}
 			w.batches.Inc()
-			w.applied.Add(uint64(len(it.digests)))
+			w.applied.Add(uint64(n))
 		}
 		if it.delta != nil {
 			// Alignment was validated at submit time; a failure here
@@ -350,8 +354,8 @@ func (e *Engine) flushPendingLocked() {
 	batch := e.pending
 	e.pending = make([]entry, 0, e.opts.BatchSize)
 	if e.cache != nil {
-		if reps := e.coalesceLocked(batch); len(reps) > 0 {
-			e.broadcastLocked(workItem{digests: reps})
+		if groups := e.coalesceLocked(batch); len(groups) > 0 {
+			e.broadcastLocked(workItem{groups: groups})
 		}
 	} else {
 		e.broadcastLocked(workItem{entries: batch})

@@ -11,19 +11,33 @@ package streamio
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
 
 	"setsketch/internal/datagen"
 )
 
+// AppendUpdate renders one update line into buf — the allocation-free
+// formatter behind Write, for callers (load generators, bench tools)
+// that stream millions of lines through one scratch buffer.
+func AppendUpdate(buf []byte, u datagen.Update) []byte {
+	buf = append(buf, u.Stream...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, u.Elem, 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, u.Delta, 10)
+	return append(buf, '\n')
+}
+
 // Write renders updates one per line.
 func Write(w io.Writer, updates []datagen.Update) error {
 	bw := bufio.NewWriter(w)
+	var line []byte
 	for _, u := range updates {
-		if _, err := fmt.Fprintf(bw, "%s %d %d\n", u.Stream, u.Elem, u.Delta); err != nil {
+		line = AppendUpdate(line[:0], u)
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 	}
@@ -41,18 +55,92 @@ func Write(w io.Writer, updates []datagen.Update) error {
 //		...
 //	}
 //	if err := sc.Err(); err != nil { ... }
+//
+// The parse loop works on the scanner's byte view of each line and
+// interns stream names, so scanning a long stream with a bounded set of
+// stream names is allocation-free at steady state — the iterator keeps
+// up with the batch kernel instead of feeding the garbage collector.
 type Scanner struct {
 	sc     *bufio.Scanner
 	lineNo int
 	u      datagen.Update
 	err    error
+	names  map[string]string // interned stream names
 }
 
 // NewScanner wraps r for incremental update parsing.
 func NewScanner(r io.Reader) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &Scanner{sc: sc}
+	return &Scanner{sc: sc, names: make(map[string]string)}
+}
+
+// splitField returns the first whitespace-delimited field of b and the
+// unconsumed remainder.
+func splitField(b []byte) (field, rest []byte) {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\r') {
+		i++
+	}
+	j := i
+	for j < len(b) && b[j] != ' ' && b[j] != '\t' && b[j] != '\r' {
+		j++
+	}
+	return b[i:j], b[j:]
+}
+
+// parseUint parses a decimal uint64 from bytes without the string
+// conversion strconv would force.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+// parseInt is parseUint with an optional sign.
+func parseInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	v, ok := parseUint(b)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, false
+		}
+		return -int64(v-1) - 1, true
+	}
+	if v > 1<<63-1 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// intern returns the canonical string for a stream name, allocating it
+// only the first time the name is seen.
+func (s *Scanner) intern(b []byte) string {
+	if name, ok := s.names[string(b)]; ok {
+		return name
+	}
+	name := string(b)
+	s.names[name] = name
+	return name
 }
 
 // Scan advances to the next update, skipping blank lines and '#'
@@ -64,30 +152,36 @@ func (s *Scanner) Scan() bool {
 	}
 	for s.sc.Scan() {
 		s.lineNo++
-		line := strings.TrimSpace(s.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(s.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			s.err = fmt.Errorf("streamio: line %d: want 3 fields, got %d", s.lineNo, len(fields))
+		name, rest := splitField(line)
+		elemF, rest := splitField(rest)
+		deltaF, rest := splitField(rest)
+		if extra, _ := splitField(rest); len(name) == 0 || len(elemF) == 0 || len(deltaF) == 0 || len(extra) != 0 {
+			n := 0
+			for f, r := splitField(line); len(f) > 0; f, r = splitField(r) {
+				n++
+			}
+			s.err = fmt.Errorf("streamio: line %d: want 3 fields, got %d", s.lineNo, n)
 			return false
 		}
-		elem, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			s.err = fmt.Errorf("streamio: line %d: bad element %q: %v", s.lineNo, fields[1], err)
+		elem, ok := parseUint(elemF)
+		if !ok {
+			s.err = fmt.Errorf("streamio: line %d: bad element %q", s.lineNo, elemF)
 			return false
 		}
-		delta, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			s.err = fmt.Errorf("streamio: line %d: bad delta %q: %v", s.lineNo, fields[2], err)
+		delta, ok := parseInt(deltaF)
+		if !ok {
+			s.err = fmt.Errorf("streamio: line %d: bad delta %q", s.lineNo, deltaF)
 			return false
 		}
 		if delta == 0 {
 			s.err = fmt.Errorf("streamio: line %d: zero delta", s.lineNo)
 			return false
 		}
-		s.u = datagen.Update{Stream: fields[0], Elem: elem, Delta: delta}
+		s.u = datagen.Update{Stream: s.intern(name), Elem: elem, Delta: delta}
 		return true
 	}
 	s.err = s.sc.Err()

@@ -497,7 +497,30 @@ func (l *Log) BuildUpdates(site string, ups []datagen.Update) *Record {
 		rec.Updates = ups
 		return rec
 	}
+	l.smu.Lock()
+	if l.scratch == nil {
+		// Coins were validated at Open; a scratch family only exists
+		// to evaluate the digest hash functions.
+		l.scratch, _ = core.NewFamily(l.opts.Config, l.opts.Seed, l.opts.Copies)
+	}
 	rec.Type = RecDigests
+	rec.Digests = DigestUpdates(l.scratch, ups)
+	l.smu.Unlock()
+	return rec
+}
+
+// DigestUpdates coalesces a raw update batch per (stream, element),
+// drops exact cancellations, and computes each survivor's packed
+// digest through fam's batch kernel (one copy-major pass instead of a
+// full hash-constant sweep per element — see core.Family.DigestBatch).
+// It is the shared front half of the batch-amortized update path:
+// BuildUpdates wraps the entries in a WAL record, and the
+// coordinator's live non-WAL path applies them directly. The caller
+// owns fam and its locking, and must have checked that fam's config is
+// DigestPackable. Applying the returned entries in order is exactly
+// equivalent to applying ups in order, by linearity of the sketch
+// counters.
+func DigestUpdates(fam *core.Family, ups []datagen.Update) []DigestUpdate {
 	type key struct {
 		stream string
 		elem   uint64
@@ -513,23 +536,24 @@ func (l *Log) BuildUpdates(site string, ups []datagen.Update) *Record {
 		idx[k] = len(entries)
 		entries = append(entries, DigestUpdate{Stream: u.Stream, Elem: u.Elem, Delta: u.Delta})
 	}
-	l.smu.Lock()
-	if l.scratch == nil {
-		// Coins were validated at Open; a scratch family only exists to
-		// evaluate the digest hash functions.
-		l.scratch, _ = core.NewFamily(l.opts.Config, l.opts.Seed, l.opts.Copies)
-	}
 	kept := entries[:0]
 	for i := range entries {
 		if entries[i].Delta == 0 {
 			continue // exact cancellation: a no-op on every counter
 		}
-		entries[i].Digest = l.scratch.Digest(entries[i].Elem)
 		kept = append(kept, entries[i])
 	}
-	l.smu.Unlock()
-	rec.Digests = kept
-	return rec
+	if len(kept) > 0 {
+		elems := make([]uint64, len(kept))
+		for i := range kept {
+			elems[i] = kept[i].Elem
+		}
+		digs := fam.DigestBatch(elems)
+		for i := range kept {
+			kept[i].Digest = digs[i]
+		}
+	}
+	return kept
 }
 
 // Append assigns the next sequence number to rec, frames it, and writes

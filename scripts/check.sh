@@ -36,6 +36,10 @@ go test -race ./...
 # package under -race -count=2 is minutes of statistical tests).
 echo "== go test -race -count=2 ./internal/ingest ./internal/distributed ./internal/cq"
 go test -race -count=2 ./internal/ingest ./internal/distributed ./internal/cq
+# sketchbench runs one goroutine per session against a live server in
+# its tests — the load-generator client itself must be race-clean.
+echo "== go test -race -count=2 ./cmd/sketchbench"
+go test -race -count=2 ./cmd/sketchbench
 echo "== go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core"
 go test -race -count=2 -run 'Compiled|Kernel|Parallel|View|Version' ./internal/core
 
@@ -49,11 +53,15 @@ go test -race -count=2 ./internal/wal
 echo "== go test -run 'TestCrashRecoveryBitIdentical|TestViewCatalogSurvivesCrash|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd"
 go test -run 'TestCrashRecoveryBitIdentical|TestViewCatalogSurvivesCrash|TestInspectWALCorruptSegment' -count=1 ./cmd/sketchd
 
-# Estimator bench smoke: the three query-kernel benchmarks must at
-# least compile and complete one iteration (full numbers come from
-# scripts/bench.sh).
+# Bench smokes: the query-kernel, batch-digest, and wire-frame
+# benchmarks must at least compile and complete one iteration (full
+# numbers come from scripts/bench.sh).
 echo "== go test -run=NONE -bench 'Estimate(Expression|Compiled|Parallel)$' -benchtime=1x ."
 go test -run=NONE -bench 'Estimate(Expression|Compiled|Parallel)$' -benchtime=1x .
+echo "== go test -run=NONE -bench 'UpdateDigestComputeBatch$' -benchtime=1x ."
+go test -run=NONE -bench 'UpdateDigestComputeBatch$' -benchtime=1x .
+echo "== go test -run=NONE -bench 'UpdateBatch(Encode|Decode)Frame$' -benchtime=1x ./internal/distributed"
+go test -run=NONE -bench 'UpdateBatch(Encode|Decode)Frame$' -benchtime=1x ./internal/distributed
 
 # Coverage floors on the operator-facing layers: the metrics/logging
 # layer is what operators debug everything else with, recovery
