@@ -10,7 +10,11 @@
 // Exit status: 0 when no benchmark regressed past the threshold, 1 on
 // a regression, 2 on usage or parse errors. Results present in only
 // one file are reported but never fail the gate (benchmarks come and
-// go); missing updates_per_s metrics are simply not compared.
+// go); missing updates_per_s metrics are simply not compared. A
+// missing or empty OLD file is likewise not an error: every NEW result
+// is then "new, not regressed", so a freshly added benchmark suite
+// passes the gate on its first run. A missing NEW file still fails —
+// the side being judged must exist.
 package main
 
 import (
@@ -46,9 +50,17 @@ type result struct {
 	UpdatesPerS float64 `json:"updates_per_s"`
 }
 
-func load(path string) (*benchFile, error) {
+// load parses one BENCH_*.json side. With allowMissing (the OLD side),
+// a nonexistent file or empty results array degrades to an empty
+// baseline instead of an error: every NEW result then compares as
+// "new", which never fails the gate.
+func load(path string, allowMissing bool, warn io.Writer) (*benchFile, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
+		if allowMissing && os.IsNotExist(err) {
+			fmt.Fprintf(warn, "benchdiff: %s does not exist; treating every result as new\n", path)
+			return &benchFile{}, nil
+		}
 		return nil, err
 	}
 	var f benchFile
@@ -56,6 +68,10 @@ func load(path string) (*benchFile, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(f.Results) == 0 {
+		if allowMissing {
+			fmt.Fprintf(warn, "benchdiff: %s has no results; treating every result as new\n", path)
+			return &benchFile{}, nil
+		}
 		return nil, fmt.Errorf("%s: no results array", path)
 	}
 	return &f, nil
@@ -71,11 +87,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("usage: benchdiff [-threshold pct] OLD.json NEW.json")
 	}
-	oldF, err := load(fs.Arg(0))
+	oldF, err := load(fs.Arg(0), true, stderr)
 	if err != nil {
 		return err
 	}
-	newF, err := load(fs.Arg(1))
+	newF, err := load(fs.Arg(1), false, stderr)
 	if err != nil {
 		return err
 	}

@@ -91,10 +91,40 @@ func TestDiffErrors(t *testing.T) {
 		{ok, filepath.Join(dir, "missing.json")},
 		{ok, empty},
 		{ok, bad},
+		{bad, ok}, // OLD may be missing, but not malformed
 		{"-badflag", ok, ok},
 	} {
 		if err := run(args, &stdout, &stderr); err == nil || err == errRegression {
 			t.Errorf("run(%v) = %v, want usage/parse error", args, err)
+		}
+	}
+}
+
+// TestDiffMissingOldIsAllNew: a NEW file with no OLD counterpart (a
+// freshly added benchmark suite) passes the gate — every result prints
+// as "new", never as a regression.
+func TestDiffMissingOldIsAllNew(t *testing.T) {
+	dir := t.TempDir()
+	n := writeBench(t, dir, "new.json", `{
+  "results": [
+    {"name": "BenchmarkFresh", "ns_per_op": 123},
+    {"name": "BenchmarkAlsoFresh", "ns_per_op": 456}
+  ]
+}`)
+	for _, old := range []string{
+		filepath.Join(dir, "missing.json"),
+		writeBench(t, dir, "empty-old.json", `{"results": []}`),
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{old, n}, &stdout, &stderr); err != nil {
+			t.Fatalf("run(%s, new) = %v, want pass\n%s", old, err, stderr.String())
+		}
+		out := stdout.String()
+		if strings.Count(out, "new") < 2 || strings.Contains(out, "REGRESSION") {
+			t.Errorf("old=%s: want both results marked new, no regressions:\n%s", old, out)
+		}
+		if !strings.Contains(stderr.String(), "treating every result as new") {
+			t.Errorf("old=%s: missing the all-new warning on stderr: %q", old, stderr.String())
 		}
 	}
 }

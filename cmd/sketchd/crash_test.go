@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -59,6 +60,10 @@ func TestHelperDaemon(t *testing.T) {
 	if walDir == "" || addrFile == "" {
 		t.Skip("helper process for the crash-recovery test; not a test")
 	}
+	// Optional shard/cache layout overrides, so the crash tests can
+	// crash under one layout and recover under another.
+	shards, _ := strconv.Atoi(os.Getenv("SKETCHD_HELPER_SHARDS"))
+	dcache, _ := strconv.Atoi(os.Getenv("SKETCHD_HELPER_DIGEST_CACHE"))
 	d, err := startDaemon(daemonConfig{
 		Listen:           "127.0.0.1:0",
 		AdminAddr:        "127.0.0.1:0",
@@ -68,6 +73,8 @@ func TestHelperDaemon(t *testing.T) {
 		Fsync:            "always",
 		SegmentSize:      256 << 10, // small: the workload spans several segments
 		SnapshotInterval: 75 * time.Millisecond,
+		Shards:           shards,
+		DigestCache:      dcache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "helper:", err)
@@ -86,8 +93,9 @@ func TestHelperDaemon(t *testing.T) {
 
 // startHelperDaemon re-execs the test binary as a daemon child on the
 // given WAL dir and returns the process plus its listen/admin
-// addresses.
-func startHelperDaemon(t *testing.T, walDir string) (*exec.Cmd, string, string) {
+// addresses. extraEnv entries ("KEY=value") configure the helper's
+// daemon beyond the defaults.
+func startHelperDaemon(t *testing.T, walDir string, extraEnv ...string) (*exec.Cmd, string, string) {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
 	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperDaemon$", "-test.v")
@@ -95,6 +103,7 @@ func startHelperDaemon(t *testing.T, walDir string) (*exec.Cmd, string, string) 
 		"SKETCHD_HELPER_WAL_DIR="+walDir,
 		"SKETCHD_HELPER_ADDR_FILE="+addrFile,
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -151,7 +160,13 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	batches := crashBatches()
 	batchSize := uint64(len(batches[0]))
 
-	cmd, addr, _ := startHelperDaemon(t, walDir)
+	// Crash under a sharded layout with the coordinator digest cache
+	// armed; recover below under the unsharded layout with the cache
+	// off. The WAL is layout-independent (FNV routing is a pure
+	// function of the stream name), so recovery must rebuild identical
+	// state regardless.
+	cmd, addr, _ := startHelperDaemon(t, walDir,
+		"SKETCHD_HELPER_SHARDS=4", "SKETCHD_HELPER_DIGEST_CACHE=1024")
 
 	// Ingest until the connection dies under us: a goroutine SIGKILLs
 	// the daemon once roughly half the workload is acked, so the kill
@@ -210,8 +225,10 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	}
 	f.Close()
 
-	// Restart on the same WAL dir; recovery = snapshot + suffix replay.
-	cmd2, addr2, admin2 := startHelperDaemon(t, walDir)
+	// Restart on the same WAL dir under a different shard layout;
+	// recovery = snapshot + suffix replay.
+	cmd2, addr2, admin2 := startHelperDaemon(t, walDir,
+		"SKETCHD_HELPER_SHARDS=1", "SKETCHD_HELPER_DIGEST_CACHE=-1")
 	applied := appliedUpdates(t, admin2)
 	if applied%batchSize != 0 {
 		t.Fatalf("recovered %d updates: not a whole number of %d-update batches", applied, batchSize)

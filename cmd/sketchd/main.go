@@ -9,7 +9,8 @@
 //	               [-wal-dir /var/lib/sketchd/wal] [-fsync always] \
 //	               [-segment-size 16777216] [-snapshot-interval 1m] \
 //	               [-cq-max-groups 4096] [-cq-group-sep :] \
-//	               [-cq-rotate-interval 1s]
+//	               [-cq-rotate-interval 1s] [-shards 0] [-digest-cache 0] \
+//	               [-mutex-profile-fraction 0] [-block-profile-rate 0]
 //	sketchd push   -addr host:7070 -site edge1 -in updates.txt [...coins]
 //	sketchd stream -addr host:7070 -site edge1 -in updates.txt \
 //	               [-mode sketch|forward] [-workers N] [-flush-updates 10000] \
@@ -58,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -181,15 +183,45 @@ type daemonConfig struct {
 	CQMaxGroups      int
 	CQGroupSep       string
 	CQRotateInterval time.Duration
+
+	// Shards partitions coordinator state into this many lock stripes
+	// (rounded up to a power of two; 0 = GOMAXPROCS-derived default;
+	// 1 = the unsharded layout, bit-identical to the pre-sharding
+	// coordinator). DigestCache arms the coordinator-side element-digest
+	// cache on the raw-update path (0 = default 8192 entries, negative =
+	// disabled).
+	Shards      int
+	DigestCache int
+
+	// MutexProfileFraction and BlockProfileRate feed the corresponding
+	// runtime profilers so /debug/pprof/mutex and /debug/pprof/block can
+	// attribute lock contention (see OPERATIONS.md, "Walkthrough:
+	// coordinator lock contention"). 0 leaves each profiler off.
+	MutexProfileFraction int
+	BlockProfileRate     int
 }
 
 // startDaemon listens, wires observability into the coordinator and
 // server, recovers durable state when a WAL directory is configured,
 // and begins serving.
 func startDaemon(cfg daemonConfig) (*daemon, error) {
+	if cfg.MutexProfileFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexProfileFraction)
+	}
+	if cfg.BlockProfileRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockProfileRate)
+	}
 	coord, err := distributed.NewCoordinator(cfg.Coins)
 	if err != nil {
 		return nil, err
+	}
+	// Repartition before anything can create state: resharding does not
+	// migrate streams, so SetShards refuses once the coordinator holds
+	// any.
+	if cfg.Shards != 0 {
+		if err := coord.SetShards(cfg.Shards); err != nil {
+			return nil, err
+		}
 	}
 	// Reconfigure the continuous-view engine before recovery so replayed
 	// CREATE VIEW statements land in an engine with the right group
@@ -205,6 +237,9 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 	reg := obs.NewRegistry()
 	coord.SetObservability(reg, cfg.Log)
+	// After SetObservability: the cache binds the coord_digest_cache_*
+	// counters at creation.
+	coord.SetDigestCache(cfg.DigestCache)
 	if cfg.EstWorkers != 0 {
 		n := cfg.EstWorkers
 		if n < 0 {
@@ -318,6 +353,10 @@ func runServe(args []string) error {
 	cqMaxGroups := fs.Int("cq-max-groups", 0, "live groups per grouped continuous view before LRU eviction (0 = default 4096, negative = unbounded)")
 	cqGroupSep := fs.String("cq-group-sep", "", "separator splitting physical stream names into group:logical for GROUP BY views (default \":\")")
 	cqRotate := fs.Duration("cq-rotate-interval", time.Second, "sweep windowed continuous views this often so idle views still age out buckets (0 disables the sweep)")
+	shards := fs.Int("shards", 0, "lock-striped coordinator state shards, rounded up to a power of two (0 = GOMAXPROCS-derived default, 1 = unsharded layout)")
+	digestCache := fs.Int("digest-cache", 0, "coordinator element-digest cache entries for the raw-update path, rounded up to a power of two (0 = default 8192, negative = disable)")
+	mutexFrac := fs.Int("mutex-profile-fraction", 0, "sample 1/n mutex contention events into /debug/pprof/mutex (0 disables)")
+	blockRate := fs.Int("block-profile-rate", 0, "sample blocking events of >= n ns into /debug/pprof/block (0 disables)")
 	mkLog := logFlags(fs)
 	coins := coinFlags(fs)
 	fs.Parse(args)
@@ -327,19 +366,23 @@ func runServe(args []string) error {
 		return err
 	}
 	d, err := startDaemon(daemonConfig{
-		Listen:           *listen,
-		AdminAddr:        *admin,
-		Coins:            coins(),
-		IdleTimeout:      *idle,
-		EstWorkers:       *estWorkers,
-		Log:              log,
-		WALDir:           *walDir,
-		Fsync:            *fsync,
-		SegmentSize:      *segSize,
-		SnapshotInterval: *snapInterval,
-		CQMaxGroups:      *cqMaxGroups,
-		CQGroupSep:       *cqGroupSep,
-		CQRotateInterval: *cqRotate,
+		Listen:               *listen,
+		AdminAddr:            *admin,
+		Coins:                coins(),
+		IdleTimeout:          *idle,
+		EstWorkers:           *estWorkers,
+		Log:                  log,
+		WALDir:               *walDir,
+		Fsync:                *fsync,
+		SegmentSize:          *segSize,
+		SnapshotInterval:     *snapInterval,
+		CQMaxGroups:          *cqMaxGroups,
+		CQGroupSep:           *cqGroupSep,
+		CQRotateInterval:     *cqRotate,
+		Shards:               *shards,
+		DigestCache:          *digestCache,
+		MutexProfileFraction: *mutexFrac,
+		BlockProfileRate:     *blockRate,
 	})
 	if err != nil {
 		return err

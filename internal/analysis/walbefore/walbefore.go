@@ -54,6 +54,9 @@ var readAllowlist = map[string]bool{
 	"View": true, "Views": true, "Counts": true, "Statements": true,
 	"Specs": true, "Evaluate": true, "Now": true, "Len": true,
 	"Keys": true, "Get": true, "String": true, "Snapshot": true,
+	// Load is the read half of the atomic types (atomic.Uint64 counters
+	// annotated as WAL state); Add/Store remain mutations.
+	"Load": true,
 }
 
 // funcFacts summarizes one function body for the fixed-point pass.

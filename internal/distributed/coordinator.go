@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"setsketch/internal/core"
 	"setsketch/internal/cq"
 	"setsketch/internal/datagen"
 	"setsketch/internal/expr"
+	"setsketch/internal/ingest"
 	"setsketch/internal/obs"
 	"setsketch/internal/wal"
 )
@@ -19,7 +21,9 @@ import (
 // stream by sketch linearity — and answers set-expression cardinality
 // queries over the merged collection. It also hosts the standing
 // continuous queries of watch.go, re-evaluated as updates accumulate.
-// A Coordinator is safe for concurrent use.
+// A Coordinator is safe for concurrent use; per-stream state is
+// partitioned into lock-striped shards (shard.go) so sessions writing
+// disjoint streams proceed in parallel.
 type Coordinator struct {
 	coins Coins
 
@@ -36,36 +40,55 @@ type Coordinator struct {
 	// coordinator serves traffic; nil means durability is off.
 	wlog *wal.Log
 
-	// smu guards scratch, the digest-evaluation family for the live
-	// raw-update path when no WAL is attached (the WAL keeps its own
-	// scratch). Never taken under mu: digests are computed before the
-	// state lock so the hash bill stays outside the critical section.
-	smu sync.Mutex
-	// guarded by: smu
-	scratch *core.Family
+	// fence is the cross-shard consistency fence. Every mutation batch
+	// holds it shared for its whole append+apply window (writers stay
+	// concurrent with each other); whole-state operations — snapshots,
+	// view-catalog changes, recovery installs — take it exclusively,
+	// so they see no batch half-done anywhere and a WAL sequence
+	// number consistent with every shard. Lock order: fence, then
+	// shard mu (ascending), then vmu, then the WAL's internal lock.
+	fence sync.RWMutex
 
-	mu sync.RWMutex
-	// fams holds the merged per-stream synopses.
-	// guarded by: mu
-	// wal: state
-	fams map[string]*core.Family
-	// sites counts pushes accepted per site, for diagnostics.
-	// guarded by: mu
-	// wal: state
-	sites map[string]int
+	// shards stripe the merged per-stream state (fams, site accounting,
+	// version stamps); see shard.go for the locking rules.
+	shards    []coordShard
+	shardMask uint64
+
+	// read is the copy-on-write union of every shard's family map.
+	// Published maps are immutable; a new map is built (under rmu, and
+	// the creating stream's shard write lock) only when a stream first
+	// appears, so the estimate path reads the whole collection with
+	// one atomic load and zero allocations.
+	read atomic.Pointer[map[string]*core.Family]
+	rmu  sync.Mutex // serializes copy-on-write rebuilds of read
+
 	// updates counts stream updates credited so far (watch triggers).
-	// guarded by: mu
 	// wal: state
-	updates uint64
+	updates atomic.Uint64
 
-	// cqe holds the continuous-view catalog and all window/group sketch
-	// state (views.go). The engine does no locking of its own: every
-	// mutation happens under c.mu's write lock, in the same critical
-	// section as the family-map mutation it mirrors, and evaluation
-	// under the read lock.
-	// guarded by: mu
+	// vmu guards the continuous-view engine, which holds the view
+	// catalog and all window/group sketch state (views.go). Batch
+	// writers take it — inside their shard critical section, around
+	// the WAL append — only when views exist, so the engine observes
+	// mutations in log order; evaluation takes it shared.
+	vmu sync.RWMutex
+	// guarded by: vmu
 	// wal: state
 	cqe *cq.Engine
+	// hasViews mirrors "the catalog is non-empty". It flips only while
+	// the catalog change holds the fence exclusively, so a batch
+	// (fence shared) can skip the whole view path with one load.
+	hasViews atomic.Bool
+
+	// dmu serializes the optional coordinator-side digest cache shared
+	// by all sessions' Appliers (SetDigestCache); two short critical
+	// sections per batch: probe and refill. nil dcache = cache off.
+	dmu    sync.Mutex
+	dcache *ingest.DigestCache
+
+	// apool backs the one-off Coordinator.ApplyUpdates entry point;
+	// streaming sessions hold their own Applier instead (stream.go).
+	apool sync.Pool
 
 	// cmu guards the ad-hoc query compile cache: Estimate(string) hits
 	// it so repeated queries skip parse + compile. Watchers bypass it —
@@ -89,6 +112,11 @@ type compiledExpr struct {
 	src  string
 	node expr.Node
 	q    *core.Query
+	// locks is the ascending, deduplicated list of shard indexes
+	// owning the expression's referenced streams: the estimate path
+	// RLocks exactly these, so reads are consistent against
+	// multi-shard batches without touching unrelated stripes.
+	locks []int
 }
 
 // compileCacheMax bounds the ad-hoc compile cache. Eviction is an
@@ -100,23 +128,26 @@ const compileCacheMax = 1024
 // coordMetrics is the coordinator's instrument set; per obs's contract
 // every instrument works (uncollected) when no registry is attached.
 type coordMetrics struct {
-	deltasMerged   *obs.Counter
-	rawBatches     *obs.Counter
-	rawUpdates     *obs.Counter
-	estimates      *obs.Counter
-	estimateErrors *obs.Counter
-	estimateSecs   *obs.Histogram
-	compileHits    *obs.Counter
-	compileMisses  *obs.Counter
-	watchRounds    *obs.Counter
-	watchEvals     *obs.Counter
-	watchSkipped   *obs.Counter
-	watchDelivered *obs.Counter
-	watchDropped   *obs.Counter
-	watchSlowDrops *obs.Counter
-	cqViewRounds   *obs.Counter
-	cqViewResults  *obs.Counter
-	cqViewErrors   *obs.Counter
+	deltasMerged         *obs.Counter
+	rawBatches           *obs.Counter
+	rawUpdates           *obs.Counter
+	estimates            *obs.Counter
+	estimateErrors       *obs.Counter
+	estimateSecs         *obs.Histogram
+	compileHits          *obs.Counter
+	compileMisses        *obs.Counter
+	digestCacheHits      *obs.Counter
+	digestCacheMisses    *obs.Counter
+	digestCacheEvictions *obs.Counter
+	watchRounds          *obs.Counter
+	watchEvals           *obs.Counter
+	watchSkipped         *obs.Counter
+	watchDelivered       *obs.Counter
+	watchDropped         *obs.Counter
+	watchSlowDrops       *obs.Counter
+	cqViewRounds         *obs.Counter
+	cqViewResults        *obs.Counter
+	cqViewErrors         *obs.Counter
 }
 
 func newCoordMetrics(reg *obs.Registry) coordMetrics {
@@ -137,6 +168,12 @@ func newCoordMetrics(reg *obs.Registry) coordMetrics {
 			"Ad-hoc estimate expressions served from the parse+compile cache."),
 		compileMisses: reg.Counter("coord_compile_cache_misses_total",
 			"Ad-hoc estimate expressions parsed and compiled fresh."),
+		digestCacheHits: reg.Counter("coord_digest_cache_hits_total",
+			"Raw-update digests served from the coordinator digest cache (hash bill skipped)."),
+		digestCacheMisses: reg.Counter("coord_digest_cache_misses_total",
+			"Coordinator digest-cache lookups that missed and were batch-computed on session scratch."),
+		digestCacheEvictions: reg.Counter("coord_digest_cache_evictions_total",
+			"Coordinator digest-cache slots overwritten by a colliding element (direct-mapped eviction)."),
 		watchRounds: reg.Counter("watch_rounds_total",
 			"Continuous-query evaluation rounds fired (update-count, interval, and Tick rounds)."),
 		watchEvals: reg.Counter("watch_evaluations_total",
@@ -161,36 +198,37 @@ func newCoordMetrics(reg *obs.Registry) coordMetrics {
 // SetObservability attaches a metrics registry and logger to the
 // coordinator, exporting the coord_*, watch_*, and estimator_* series
 // documented in OPERATIONS.md. Call it once, before the coordinator
-// serves traffic; either argument may be nil.
+// serves traffic (and before SetDigestCache, which binds the cache
+// counters at creation); either argument may be nil.
 //
 //sketchvet:wal-exempt pre-traffic setup: wires instruments, mutates no recovered state
 func (c *Coordinator) SetObservability(reg *obs.Registry, log *obs.Logger) {
 	c.met = newCoordMetrics(reg)
 	c.log = log.Named("coord")
-	c.mu.Lock()
+	c.vmu.Lock()
 	c.cqe.SetObservability(reg, log)
-	c.mu.Unlock()
+	c.vmu.Unlock()
 	reg.GaugeFunc("cq_views",
 		"Continuous views registered in the catalog.",
 		func() float64 {
-			c.mu.RLock()
-			defer c.mu.RUnlock()
+			c.vmu.RLock()
+			defer c.vmu.RUnlock()
 			v, _, _ := c.cqe.Counts()
 			return float64(v)
 		})
 	reg.GaugeFunc("cq_window_buckets",
 		"Live (non-empty) window-ring buckets across all views and groups.",
 		func() float64 {
-			c.mu.RLock()
-			defer c.mu.RUnlock()
+			c.vmu.RLock()
+			defer c.vmu.RUnlock()
 			_, b, _ := c.cqe.Counts()
 			return float64(b)
 		})
 	reg.GaugeFunc("cq_groups",
 		"Live keyed groups across all grouped views (bounded by -cq-max-groups per view).",
 		func() float64 {
-			c.mu.RLock()
-			defer c.mu.RUnlock()
+			c.vmu.RLock()
+			defer c.vmu.RUnlock()
 			_, _, g := c.cqe.Counts()
 			return float64(g)
 		})
@@ -199,11 +237,10 @@ func (c *Coordinator) SetObservability(reg *obs.Registry, log *obs.Logger) {
 		c.Updates)
 	reg.GaugeFunc("coord_streams",
 		"Distinct streams with merged synopses.",
-		func() float64 {
-			c.mu.RLock()
-			defer c.mu.RUnlock()
-			return float64(len(c.fams))
-		})
+		func() float64 { return float64(len(*c.read.Load())) })
+	reg.GaugeFunc("coord_shards",
+		"Lock-striped state shards the coordinator is partitioned into (-shards).",
+		func() float64 { return float64(len(c.shards)) })
 	reg.GaugeFunc("watch_active",
 		"Standing continuous queries currently registered.",
 		func() float64 { return float64(c.Watchers()) })
@@ -236,7 +273,10 @@ func (c *Coordinator) SetObservability(reg *obs.Registry, log *obs.Logger) {
 }
 
 // NewCoordinator creates a coordinator expecting synopses built from
-// the given coins.
+// the given coins, partitioned into the GOMAXPROCS-derived default
+// shard count (override with SetShards before serving traffic).
+//
+//sketchvet:wal-exempt construction: builds empty shards, nothing to log yet
 func NewCoordinator(coins Coins) (*Coordinator, error) {
 	if err := coins.Validate(); err != nil {
 		return nil, err
@@ -245,16 +285,17 @@ func NewCoordinator(coins Coins) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		coins:        coins,
 		met:          newCoordMetrics(nil), // unregistered instruments until SetObservability
 		estOpts:      core.DefaultEstimateOptions(),
-		fams:         make(map[string]*core.Family),
-		sites:        make(map[string]int),
 		cqe:          cqe,
 		compileCache: make(map[string]compiledExpr),
 		watchers:     make(map[int]*Watcher),
-	}, nil
+	}
+	c.initShards(defaultShardCount())
+	c.apool.New = func() any { return c.NewApplier() }
+	return c, nil
 }
 
 // SetEstimateOptions tunes the query kernel for all estimates this
@@ -295,108 +336,82 @@ func (c *Coordinator) ApplyDelta(site, stream string, fam *core.Family, count ui
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	if err := c.logRecordLocked(rec); err != nil {
-		c.mu.Unlock()
-		return err // not logged: not applied, not acked
+	lo := c.shardIndex(stream)
+	hi := c.shardIndex(site)
+	if lo > hi {
+		lo, hi = hi, lo
 	}
-	if err := c.famLocked(stream).Merge(fam); err != nil {
-		c.mu.Unlock()
-		return err
+	c.fence.RLock()
+	c.shards[lo].mu.Lock()
+	if hi != lo {
+		c.shards[hi].mu.Lock()
 	}
-	if err := c.cqe.MergeDelta(stream, fam); err != nil {
-		c.mu.Unlock()
-		return err
+	total, err := c.applyDeltaShards(rec, site, stream, fam, count)
+	if hi != lo {
+		c.shards[hi].mu.Unlock()
 	}
-	c.sites[site]++
-	c.updates += count
-	total := c.updates
-	c.mu.Unlock()
+	c.shards[lo].mu.Unlock()
+	c.fence.RUnlock()
+	if err != nil {
+		return err // not logged or not applied: not acked
+	}
 	c.met.deltasMerged.Inc()
 	c.evalDue(total)
 	return nil
 }
 
-// ApplyUpdates applies raw stream updates directly to the coordinator's
-// synopses — the server side of a msgUpdateBatch streaming session,
-// where thin clients forward updates for the coordinator to sketch
-// centrally instead of sketching locally and shipping deltas.
-//
-//sketchvet:wal-handler
-func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
-	if len(ups) == 0 {
-		return nil
-	}
-	var rec *wal.Record
-	switch {
-	case c.wlog != nil:
-		// Build (and digest-pack) the record outside the lock; the
-		// append itself happens under c.mu so log order is apply order.
-		rec = c.wlog.BuildUpdates(site, ups)
-	case c.coins.Config.DigestPackable():
-		// No WAL, but the same batch amortization applies: pay the
-		// hash bill once, copy-major, outside the state lock, and
-		// apply pure counter adds under it (an unlogged RecDigests).
-		c.smu.Lock()
-		if c.scratch == nil {
-			c.scratch, _ = c.coins.NewFamily() // coins validated at construction
+// applyDeltaShards logs and applies one synopsis delta under the
+// stream's (and site stripe's) write locks: append-before-apply, with
+// the view engine fed in log order when views exist.
+// caller holds: mu
+func (c *Coordinator) applyDeltaShards(rec *wal.Record, site, stream string, fam *core.Family, count uint64) (uint64, error) {
+	if c.hasViews.Load() {
+		c.vmu.Lock()
+		err := c.logRecord(rec)
+		if err == nil {
+			err = c.cqe.MergeDelta(stream, fam)
 		}
-		digs := wal.DigestUpdates(c.scratch, ups)
-		c.smu.Unlock()
-		rec = &wal.Record{Type: wal.RecDigests, Site: site, Count: uint64(len(ups)), Digests: digs}
-	}
-	c.mu.Lock()
-	if err := c.logRecordLocked(rec); err != nil {
-		c.mu.Unlock()
-		return err // not logged: not applied, not acked
-	}
-	if rec != nil {
-		// Reuse the digests just computed (and, with a WAL, just
-		// logged): the hash bill was paid once, application is pure
-		// counter adds. RecUpdates records (digest-unpackable coins)
-		// take the direct per-update path inside.
-		if err := c.applyUpdateRecordLocked(rec); err != nil {
-			c.mu.Unlock()
-			return err
+		c.vmu.Unlock()
+		if err != nil {
+			return 0, err
 		}
-	} else {
-		for _, u := range ups {
-			c.famLocked(u.Stream).Update(u.Elem, u.Delta)
-			if err := c.cqe.Observe(u.Stream, u.Elem, u.Delta); err != nil {
-				c.mu.Unlock()
-				return err
-			}
-		}
+	} else if err := c.logRecord(rec); err != nil {
+		return 0, err
 	}
-	c.sites[site]++
-	c.updates += uint64(len(ups))
-	total := c.updates
-	c.mu.Unlock()
-	c.met.rawBatches.Inc()
-	c.met.rawUpdates.Add(uint64(len(ups)))
-	c.evalDue(total)
+	if err := c.mergeDeltaLocked(stream, fam); err != nil {
+		return 0, err
+	}
+	return c.creditLocked(site, count), nil
+}
+
+// mergeDeltaLocked merges one delta synopsis into its stream's merged
+// family, bumping the stripe's version stamp.
+// caller holds: mu
+func (c *Coordinator) mergeDeltaLocked(stream string, fam *core.Family) error {
+	sh := c.shardFor(stream)
+	if err := c.famLocked(sh, stream).Merge(fam); err != nil {
+		return err
+	}
+	sh.version++
 	return nil
 }
 
-// famLocked returns the merged synopsis for a stream, creating an
-// empty one on first reference.
-// caller holds: mu
-func (c *Coordinator) famLocked(stream string) *core.Family {
-	f, ok := c.fams[stream]
-	if !ok {
-		f, _ = c.coins.NewFamily() // coins validated at construction
-		c.fams[stream] = f
-	}
-	return f
+// ApplyUpdates applies raw stream updates directly to the coordinator's
+// synopses. One-off entry point that borrows a pooled Applier;
+// streaming sessions hold their own (NewApplier) so batches on
+// different connections never share digest scratch.
+func (c *Coordinator) ApplyUpdates(site string, ups []datagen.Update) error {
+	a := c.apool.Get().(*Applier)
+	err := a.ApplyUpdates(site, ups)
+	c.apool.Put(a)
+	return err
 }
 
 // Updates returns how many stream updates have been credited so far
 // (raw updates individually; pushes and deltas by their reported
 // counts).
 func (c *Coordinator) Updates() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.updates
+	return c.updates.Load()
 }
 
 // PushSnapshot pushes every stream of a site snapshot.
@@ -417,10 +432,9 @@ func (c *Coordinator) PushSnapshot(site string, snap map[string]*core.Family) er
 
 // Streams returns the names of all streams with merged synopses, sorted.
 func (c *Coordinator) Streams() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.fams))
-	for name := range c.fams {
+	fams := *c.read.Load()
+	out := make([]string, 0, len(fams))
+	for name := range fams {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -429,11 +443,14 @@ func (c *Coordinator) Streams() []string {
 
 // Pushes returns how many synopsis pushes each site has contributed.
 func (c *Coordinator) Pushes() map[string]int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make(map[string]int, len(c.sites))
-	for k, v := range c.sites {
-		out[k] = v
+	out := make(map[string]int)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.sites {
+			out[k] += v
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -474,6 +491,7 @@ func (c *Coordinator) compiled(expression string) (compiledExpr, error) {
 	if q, err := core.CompileQuery(node); err == nil {
 		ce.q = q
 	}
+	ce.locks = c.shardLockSet(expr.Streams(node))
 	c.cmu.Lock()
 	if len(c.compileCache) >= compileCacheMax {
 		for k := range c.compileCache {
@@ -488,19 +506,29 @@ func (c *Coordinator) compiled(expression string) (compiledExpr, error) {
 
 // estimateCompiled runs one estimate through the query kernel,
 // recording latency and error metrics. Shared by ad-hoc queries and
-// watch rounds.
+// watch rounds. It RLocks only the shards owning the expression's
+// referenced streams, in ascending order: batch writers hold all their
+// destination shards for the whole append+apply window, so the reader
+// either sees a batch entirely or not at all — the same consistency
+// the old single state lock gave, without stalling writers on
+// unrelated stripes.
 func (c *Coordinator) estimateCompiled(ce compiledExpr, eps float64) (core.Estimate, error) {
 	c.met.estimates.Inc()
 	start := time.Now()
-	c.mu.RLock()
+	for _, si := range ce.locks {
+		c.shards[si].mu.RLock()
+	}
+	fams := *c.read.Load()
 	var est core.Estimate
 	var err error
 	if ce.q != nil {
-		est, err = ce.q.Estimate(c.fams, eps, true, c.estOpts)
+		est, err = ce.q.Estimate(fams, eps, true, c.estOpts)
 	} else {
-		est, err = core.EstimateExpressionOpts(ce.node, c.fams, eps, true, c.estOpts)
+		est, err = core.EstimateExpressionOpts(ce.node, fams, eps, true, c.estOpts)
 	}
-	c.mu.RUnlock()
+	for _, si := range ce.locks {
+		c.shards[si].mu.RUnlock()
+	}
 	c.met.estimateSecs.ObserveSince(start)
 	if err != nil {
 		c.met.estimateErrors.Inc()
@@ -514,23 +542,25 @@ func (c *Coordinator) estimateCompiled(ce compiledExpr, eps float64) (core.Estim
 // mutation version offset by 1 (so appearance itself is a change).
 // Watchers compare stamps between rounds to skip no-op re-evaluations.
 func (c *Coordinator) streamVersions(names []string, out []uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	for i, name := range names {
-		if f, ok := c.fams[name]; ok {
+		sh := c.shardFor(name)
+		sh.mu.RLock()
+		if f, ok := sh.fams[name]; ok {
 			out[i] = f.Version() + 1
 		} else {
 			out[i] = 0
 		}
+		sh.mu.RUnlock()
 	}
 }
 
 // Family returns a deep copy of the merged synopsis for a stream, or
 // nil if unknown.
 func (c *Coordinator) Family(stream string) *core.Family {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if f, ok := c.fams[stream]; ok {
+	sh := c.shardFor(stream)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if f, ok := sh.fams[stream]; ok {
 		return f.Clone()
 	}
 	return nil

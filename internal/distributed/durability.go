@@ -7,11 +7,14 @@ package distributed
 // counter is a sum of per-update contributions, so coordinator state
 // is a pure function of the multiset of accepted mutations. The WAL
 // records exactly that multiset (raw updates, packed digests, or
-// serialized deltas), appended under the coordinator's write lock
-// *before* the state mutation — so the log order is the application
-// order, an acknowledged frame is always in the log, and replaying a
-// suffix of the log over a snapshot of the prefix reconstructs the
-// exact (bit-identical) counters, not an approximation of them.
+// serialized deltas), appended under the destination shards' write
+// locks *before* the state mutation — so per-stream log order is
+// apply order, an acknowledged frame is always in the log, and
+// replaying a suffix of the log over a snapshot of the prefix
+// reconstructs the exact (bit-identical) counters, not an
+// approximation of them. Replay is shard-layout-independent: records
+// carry streams by name, so a log written under -shards N recovers
+// bit-identically under any other shard count.
 
 import (
 	"bytes"
@@ -34,13 +37,12 @@ func (c *Coordinator) AttachWAL(l *wal.Log) { c.wlog = l }
 // off.
 func (c *Coordinator) WAL() *wal.Log { return c.wlog }
 
-// logRecordLocked appends one record (built by the caller outside the
-// lock) to the attached WAL. Called under c.mu before the matching
-// state mutation; a nil record, or no attached WAL (the live path
-// also builds unlogged digest records purely to batch the hash bill),
-// is a no-op. On error the caller must not apply: the batch is not
-// acked and the write-ahead guarantee holds.
-func (c *Coordinator) logRecordLocked(rec *wal.Record) error {
+// logRecord appends one record (built by the caller outside the shard
+// locks) to the attached WAL. Called with the destination shards'
+// write locks held, before the matching state mutation; a nil record,
+// or no attached WAL, is a no-op. On error the caller must not apply:
+// the batch is not acked and the write-ahead guarantee holds.
+func (c *Coordinator) logRecord(rec *wal.Record) error {
 	if c.wlog == nil || rec == nil {
 		return nil
 	}
@@ -51,7 +53,7 @@ func (c *Coordinator) logRecordLocked(rec *wal.Record) error {
 }
 
 // deltaRecord renders a synopsis delta as a WAL record, or nil when no
-// WAL is attached. Serialization happens outside c.mu.
+// WAL is attached. Serialization happens outside every lock.
 func (c *Coordinator) deltaRecord(site, stream string, fam *core.Family, count uint64) (*wal.Record, error) {
 	if c.wlog == nil {
 		return nil, nil
@@ -63,50 +65,45 @@ func (c *Coordinator) deltaRecord(site, stream string, fam *core.Family, count u
 	return &wal.Record{Type: wal.RecDelta, Site: site, Stream: stream, Count: count, Synopsis: buf.Bytes()}, nil
 }
 
-// applyUpdateRecordLocked applies a RecUpdates/RecDigests record to
-// the family map. Digest entries skip hashing entirely — the record
-// carries each element's per-copy contribution words, and by linearity
-// adding them rebuilds exactly the state direct updates would have
-// built. Shared by the live path (reusing the digests just logged) and
-// recovery replay.
-// caller holds: mu
-func (c *Coordinator) applyUpdateRecordLocked(rec *wal.Record) error {
-	switch rec.Type {
-	case wal.RecUpdates:
-		for _, u := range rec.Updates {
-			c.famLocked(u.Stream).Update(u.Elem, u.Delta)
-			if err := c.cqe.Observe(u.Stream, u.Elem, u.Delta); err != nil {
-				return err
-			}
-		}
-	case wal.RecDigests:
-		for _, d := range rec.Digests {
-			if len(d.Digest) != c.coins.Copies {
-				return fmt.Errorf("distributed: record %d: digest has %d words for %d copies",
-					rec.Seq, len(d.Digest), c.coins.Copies)
-			}
-			c.famLocked(d.Stream).UpdateDigest(d.Digest, d.Delta)
-			// Digests depend only on the stored coins, so the logged
-			// words apply unchanged to view bucket families.
-			if err := c.cqe.ObserveDigest(d.Stream, d.Digest, d.Delta); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+func errDigestWidth(got, want int) error {
+	return fmt.Errorf("distributed: digest has %d words for %d copies", got, want)
 }
 
 // applyWALRecord applies one replayed record — the recovery-side twin
 // of the Apply* entry points, minus re-logging and watch triggers.
+// Replay is single-threaded, but it takes the same locks as the live
+// path so the lock discipline holds everywhere it is machine-checked.
 //
 //sketchvet:wal-exempt recovery replay applies already-logged records
 func (c *Coordinator) applyWALRecord(rec *wal.Record) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.fence.RLock()
+	defer c.fence.RUnlock()
+	c.lockAllShards()
+	defer c.unlockAllShards()
 	switch rec.Type {
-	case wal.RecUpdates, wal.RecDigests:
-		if err := c.applyUpdateRecordLocked(rec); err != nil {
-			return err
+	case wal.RecUpdates:
+		c.applyRawLocked(rec.Updates)
+		if c.hasViews.Load() {
+			c.vmu.Lock()
+			err := c.observeRawLocked(rec.Updates)
+			c.vmu.Unlock()
+			if err != nil {
+				return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+			}
+		}
+	case wal.RecDigests:
+		if err := c.applyDigestsLocked(rec.Digests); err != nil {
+			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+		}
+		if c.hasViews.Load() {
+			// Digests depend only on the stored coins, so the logged
+			// words apply unchanged to view bucket families.
+			c.vmu.Lock()
+			err := c.observeDigestsLocked(rec.Digests)
+			c.vmu.Unlock()
+			if err != nil {
+				return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+			}
 		}
 	case wal.RecDelta:
 		fam, err := core.ReadFamily(bytes.NewReader(rec.Synopsis))
@@ -116,26 +113,34 @@ func (c *Coordinator) applyWALRecord(rec *wal.Record) error {
 		if fam.Config() != c.coins.Config || fam.Seed() != c.coins.Seed || fam.Copies() != c.coins.Copies {
 			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, core.ErrNotAligned)
 		}
-		if err := c.famLocked(rec.Stream).Merge(fam); err != nil {
+		if err := c.mergeDeltaLocked(rec.Stream, fam); err != nil {
 			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
 		}
-		if err := c.cqe.MergeDelta(rec.Stream, fam); err != nil {
-			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+		if c.hasViews.Load() {
+			c.vmu.Lock()
+			err := c.cqe.MergeDelta(rec.Stream, fam)
+			c.vmu.Unlock()
+			if err != nil {
+				return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
+			}
 		}
 	case wal.RecMark:
 		return nil // site-local flush marks carry no coordinator state
 	case wal.RecView:
 		// Re-apply the catalog statement without re-logging it. A view
 		// credits no sites/updates, so return before the accounting.
-		if err := c.applyViewStatementLocked(rec.Statement); err != nil {
+		c.vmu.Lock()
+		err := c.applyViewStatementLocked(rec.Statement)
+		c.refreshHasViewsLocked()
+		c.vmu.Unlock()
+		if err != nil {
 			return fmt.Errorf("distributed: replay seq %d: %w", rec.Seq, err)
 		}
 		return nil
 	default:
 		return fmt.Errorf("distributed: replay seq %d: unknown record type %d", rec.Seq, rec.Type)
 	}
-	c.sites[rec.Site]++
-	c.updates += rec.Count
+	c.creditLocked(rec.Site, rec.Count)
 	return nil
 }
 
@@ -183,7 +188,8 @@ func (c *Coordinator) Recover(l *wal.Log) (RecoveryStats, error) {
 // InstallSnapshot replaces the coordinator's state with a snapshot's.
 // The snapshot's families are adopted directly (LoadLatestSnapshot
 // already deep-read them from disk); they must match the coordinator's
-// stored coins.
+// stored coins. Streams are routed to shards by name, so a snapshot
+// written under any shard count installs under any other.
 //
 //sketchvet:wal-exempt snapshot install replaces state with an already-durable image
 func (c *Coordinator) InstallSnapshot(snap *wal.Snapshot) error {
@@ -192,59 +198,87 @@ func (c *Coordinator) InstallSnapshot(snap *wal.Snapshot) error {
 			return fmt.Errorf("distributed: snapshot stream %q: %w", name, core.ErrNotAligned)
 		}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.fams = make(map[string]*core.Family, len(snap.Streams))
+	c.fence.Lock()
+	defer c.fence.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.fams = make(map[string]*core.Family)
+		sh.sites = make(map[string]int)
+		sh.version++
+		sh.mu.Unlock()
+	}
+	read := make(map[string]*core.Family, len(snap.Streams))
 	for name, fam := range snap.Streams {
-		c.fams[name] = fam
+		sh := c.shardFor(name)
+		sh.mu.Lock()
+		sh.fams[name] = fam
+		sh.mu.Unlock()
+		read[name] = fam
 	}
-	c.sites = make(map[string]int, len(snap.Sites))
 	for site, n := range snap.Sites {
-		c.sites[site] = n
+		sh := c.shardFor(site)
+		sh.mu.Lock()
+		sh.sites[site] = n
+		sh.mu.Unlock()
 	}
-	c.updates = snap.Updates
+	c.rmu.Lock()
+	c.read.Store(&read)
+	c.rmu.Unlock()
+	c.updates.Store(snap.Updates)
 	// Re-register the view catalog. Window/group sketch state is NOT
 	// snapshotted — views refill from the replayed WAL suffix only,
 	// landing in the bucket current at replay time, and re-converge
 	// over one window of live traffic (see DESIGN.md "Continuous
 	// queries" for the trade-off).
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
 	for _, stmt := range snap.Views {
 		if err := c.applyViewStatementLocked(stmt); err != nil {
 			return fmt.Errorf("distributed: snapshot view: %w", err)
 		}
 	}
+	c.refreshHasViewsLocked()
 	return nil
 }
 
 // WriteSnapshot writes one snapshot of the current state through the
 // attached WAL and prunes segments the snapshot covers. The state is
-// cloned under the read lock — appends are excluded while it is held,
-// so the captured families correspond exactly to the captured covering
-// sequence — and the (slow) disk write proceeds without any
-// coordinator lock. A no-op when nothing was logged since the last
-// snapshot.
+// captured under the exclusive fence — every in-flight batch holds the
+// fence shared for its whole append+apply window, so the captured
+// families, site counts, view catalog, and covering WAL sequence are
+// mutually consistent across all shards — and the (slow) disk write
+// proceeds without any coordinator lock. A no-op when nothing was
+// logged since the last snapshot.
 func (c *Coordinator) WriteSnapshot() error {
 	l := c.wlog
 	if l == nil {
 		return fmt.Errorf("distributed: no WAL attached")
 	}
-	c.mu.RLock()
+	c.fence.Lock()
 	seq := l.LastSeq()
-	updates := c.updates
-	sites := make(map[string]int, len(c.sites))
-	for site, n := range c.sites {
-		sites[site] = n
+	total := c.updates.Load()
+	siteCounts := make(map[string]int)
+	famClones := make(map[string]*core.Family)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for name, f := range sh.fams {
+			famClones[name] = f.Clone()
+		}
+		for site, n := range sh.sites {
+			siteCounts[site] += n
+		}
+		sh.mu.RUnlock()
 	}
-	fams := make(map[string]*core.Family, len(c.fams))
-	for name, f := range c.fams {
-		fams[name] = f.Clone()
-	}
+	c.vmu.RLock()
 	views := c.cqe.Statements()
-	c.mu.RUnlock()
+	c.vmu.RUnlock()
+	c.fence.Unlock()
 	if seq == 0 || seq == l.LastSnapshotSeq() {
 		return nil
 	}
-	return l.WriteSnapshot(seq, updates, sites, fams, views)
+	return l.WriteSnapshot(seq, total, siteCounts, famClones, views)
 }
 
 // Snapshotter periodically snapshots coordinator state so recovery

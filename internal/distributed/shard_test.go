@@ -1,0 +1,511 @@
+package distributed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"setsketch/internal/core"
+	"setsketch/internal/datagen"
+	"setsketch/internal/hashing"
+)
+
+// Differential pins for the lock-striped coordinator: any shard count
+// must converge to state bit-identical to the unsharded (-shards 1)
+// layout — under concurrent sessions, across WAL recovery with a
+// different stripe count, and with the coordinator digest cache on or
+// off — and the warm cached-digest apply path must not allocate.
+
+// TestSetShardsValidation: rounding, clamps, and the refuse-once-live
+// contract.
+func TestSetShardsValidation(t *testing.T) {
+	c, err := NewCoordinator(testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ ask, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {16, 16}, {65, 128}, {maxShards + 1, maxShards},
+	} {
+		if err := c.SetShards(tc.ask); err != nil {
+			t.Fatalf("SetShards(%d): %v", tc.ask, err)
+		}
+		if got := c.Shards(); got != tc.want {
+			t.Errorf("SetShards(%d) -> %d stripes, want %d", tc.ask, got, tc.want)
+		}
+	}
+	if err := c.SetShards(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Shards(); got&(got-1) != 0 || got < 1 {
+		t.Errorf("default shard count %d is not a power of two", got)
+	}
+	// Once any state exists, repartitioning must refuse: routing is not
+	// migrated.
+	if err := c.ApplyUpdates("site", []datagen.Update{{Stream: "A", Elem: 1, Delta: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetShards(4); err == nil {
+		t.Fatal("SetShards succeeded on a coordinator holding state")
+	}
+}
+
+// TestShardRoutingStable: the stream->stripe routing is a pure function
+// of the name and the stripe count — independent of the coordinator
+// instance, so recovery on a new process lands streams deterministically.
+func TestShardRoutingStable(t *testing.T) {
+	a, _ := NewCoordinator(testCoins)
+	b, _ := NewCoordinator(testCoins)
+	for _, c := range []*Coordinator{a, b} {
+		if err := c.SetShards(16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("stream-%d", i)
+		ia, ib := a.shardIndex(name), b.shardIndex(name)
+		if ia != ib {
+			t.Fatalf("routing for %q differs across instances: %d vs %d", name, ia, ib)
+		}
+		if ia < 0 || ia >= a.Shards() {
+			t.Fatalf("routing for %q out of range: %d", name, ia)
+		}
+	}
+}
+
+// shardWorkload builds per-session batches over a shared, overlapping
+// stream population with skewed element multiplicities (heavy hitters
+// repeat, exercising the digest cache) plus per-session private
+// streams (exercising disjoint-stripe parallelism).
+func shardWorkload(sessions, batches, batchSize int) [][][]datagen.Update {
+	rng := hashing.NewRNG(7)
+	out := make([][][]datagen.Update, sessions)
+	for s := range out {
+		out[s] = make([][]datagen.Update, batches)
+		for b := range out[s] {
+			ups := make([]datagen.Update, batchSize)
+			for i := range ups {
+				u := &ups[i]
+				switch rng.Uint64n(4) {
+				case 0:
+					u.Stream = fmt.Sprintf("private%d", s)
+				case 1:
+					u.Stream = "A"
+				case 2:
+					u.Stream = "B"
+				default:
+					u.Stream = fmt.Sprintf("shared%d", rng.Uint64n(8))
+				}
+				if rng.Uint64n(3) == 0 {
+					u.Elem = rng.Uint64n(32) // heavy hitters: cache fodder
+				} else {
+					u.Elem = rng.Uint64n(1 << 16)
+				}
+				u.Delta = 1
+				if rng.Uint64n(8) == 0 {
+					u.Delta = -1
+				}
+			}
+			out[s][b] = ups
+		}
+	}
+	return out
+}
+
+// applyWorkloadSequential drives the whole workload through one
+// coordinator session by session — the single-threaded reference.
+func applyWorkloadSequential(t *testing.T, c *Coordinator, work [][][]datagen.Update) {
+	t.Helper()
+	for s, session := range work {
+		site := fmt.Sprintf("site-%d", s)
+		for _, batch := range session {
+			if err := c.ApplyUpdates(site, batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestShardedBitIdenticalConcurrent is the tentpole differential pin:
+// for stripe counts 1, 4, and 16 — with the coordinator digest cache
+// armed — concurrent sessions (one Applier each, like real streaming
+// connections) racing ad-hoc estimates and a standing watcher must
+// leave state bit-identical to the sequential unsharded reference.
+// Counter linearity makes this exact: every counter is a sum of
+// per-update contributions, so apply order cannot matter.
+func TestShardedBitIdenticalConcurrent(t *testing.T) {
+	work := shardWorkload(8, 12, 100)
+
+	ref, err := NewCoordinator(testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetShards(1); err != nil {
+		t.Fatal(err)
+	}
+	applyWorkloadSequential(t, ref, work)
+	refEst, err := ref.Estimate("(A | B) - shared3", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c, err := NewCoordinator(testCoins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetShards(shards); err != nil {
+				t.Fatal(err)
+			}
+			c.SetDigestCache(1024)
+
+			w, err := c.Watch(WatchSpec{
+				Exprs:        []string{"A & B", "shared0 | shared1"},
+				EveryUpdates: 500,
+				Buffer:       4, // small on purpose: drops must not corrupt state
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() {
+				for range w.C { // drain slowly-ish; losses are fine
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for s := range work {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					a := c.NewApplier() // per-session, like stream.go
+					site := fmt.Sprintf("site-%d", s)
+					for _, batch := range work[s] {
+						if err := a.ApplyUpdates(site, batch); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			// Concurrent readers: ad-hoc estimates racing the writers.
+			stop := make(chan struct{})
+			var rg sync.WaitGroup
+			rg.Add(1)
+			go func() {
+				defer rg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Early rounds may fail (streams not seen yet) —
+					// only crashes/races are failures here.
+					c.Estimate("A | B", 0.3)
+					c.StateVersion()
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			rg.Wait()
+			w.Close()
+
+			// The cross-shard version fence: quiescent now, so two
+			// readings must agree.
+			if v1, v2 := c.StateVersion(), c.StateVersion(); v1 != v2 {
+				t.Fatalf("StateVersion unstable at quiescence: %d then %d", v1, v2)
+			}
+			requireSameState(t, ref, c)
+			got, err := c.Estimate("(A | B) - shared3", 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != refEst {
+				t.Errorf("estimate diverges from unsharded reference:\n got %+v\nwant %+v", got, refEst)
+			}
+		})
+	}
+}
+
+// TestShardedWALRecoveryBitIdentical: a WAL written under one stripe
+// layout must recover bit-identically under any other — the log speaks
+// streams, not stripes.
+func TestShardedWALRecoveryBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	work := shardWorkload(4, 6, 80)
+
+	writer, err := NewCoordinator(testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	writer.SetDigestCache(512)
+	l := openTestLog(t, dir)
+	writer.AttachWAL(l)
+	applyWorkloadSequential(t, writer, work)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 16} {
+		c, err := NewCoordinator(testCoins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetShards(shards); err != nil {
+			t.Fatal(err)
+		}
+		l2 := openTestLog(t, dir)
+		if _, err := c.Recover(l2); err != nil {
+			t.Fatalf("recovery into %d shards: %v", shards, err)
+		}
+		requireSameState(t, writer, c)
+		l2.Close()
+	}
+}
+
+// TestApplierCachedDigestAllocFree pins the warm hot path: with the
+// coordinator digest cache armed, no WAL, and every element already
+// cached, a session's ApplyUpdates performs zero allocations —
+// coalescing, cache probes, shard routing, and counter application all
+// run in the Applier's reused buffers.
+func TestApplierCachedDigestAllocFree(t *testing.T) {
+	c, err := NewCoordinator(testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	c.SetDigestCache(4096)
+	a := c.NewApplier()
+	seed := make([]datagen.Update, 96)
+	for i := range seed {
+		stream := "A"
+		if i%2 == 1 {
+			stream = "B"
+		}
+		seed[i] = datagen.Update{Stream: stream, Elem: uint64(i % 48), Delta: 1}
+	}
+	// Warm: first batch computes + installs every digest, creates the
+	// streams and site accounting entries.
+	if err := a.ApplyUpdates("pin", seed); err != nil {
+		t.Fatal(err)
+	}
+	// The cache is direct-mapped: two elements hashing to one slot evict
+	// each other forever, and the recompute on every pass allocates by
+	// design. Pin the batch to the collision-free survivors (the batch
+	// any heavy-hitter steady state converges to).
+	ups := seed[:0:0]
+	for _, u := range seed {
+		if c.dcache.Contains(u.Elem) {
+			ups = append(ups, u)
+		}
+	}
+	if len(ups) < len(seed)/2 {
+		t.Fatalf("cache retained only %d of %d warm elements", len(ups), len(seed))
+	}
+	if err := a.ApplyUpdates("pin", ups); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := a.ApplyUpdates("pin", ups); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm cached-digest ApplyUpdates allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCoordDigestCacheMetrics: every coalesced entry is a hit or a
+// miss, a warm second pass is all hits, and the counters add up.
+func TestCoordDigestCacheMetrics(t *testing.T) {
+	c, err := NewCoordinator(testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDigestCache(1024)
+	ups := make([]datagen.Update, 64)
+	for i := range ups {
+		ups[i] = datagen.Update{Stream: "A", Elem: uint64(i), Delta: 1}
+	}
+	if err := c.ApplyUpdates("edge", ups); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.met.digestCacheHits.Value(), c.met.digestCacheMisses.Value(); hits != 0 || misses != 64 {
+		t.Fatalf("cold batch: hits=%d misses=%d, want 0/64", hits, misses)
+	}
+	// Direct-mapped collisions may have evicted a few elements; the warm
+	// pass hits exactly the survivors and misses the rest.
+	cached := uint64(0)
+	for i := range ups {
+		if c.dcache.Contains(ups[i].Elem) {
+			cached++
+		}
+	}
+	if err := c.ApplyUpdates("edge", ups); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.met.digestCacheHits.Value(), c.met.digestCacheMisses.Value()
+	if hits != cached || misses != 64+(64-cached) {
+		t.Fatalf("warm batch: hits=%d misses=%d, want %d/%d", hits, misses, cached, 64+(64-cached))
+	}
+	if hits+misses != 128 {
+		t.Fatalf("lookup accounting: %d hits + %d misses != 128 lookups", hits, misses)
+	}
+	// Disabled cache: no lookups counted at all.
+	c2, _ := NewCoordinator(testCoins)
+	c2.SetDigestCache(-1)
+	if err := c2.ApplyUpdates("edge", ups); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c2.met.digestCacheHits.Value(), c2.met.digestCacheMisses.Value(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache counted lookups: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestEstimateConsistentCut: an estimate over streams owned by
+// different stripes must never observe a batch half-applied. Writers
+// apply batches that keep "L" and "R" equal (same elements both
+// sides); a reader evaluating L - R under the estimate path's shard
+// RLocks must always see an empty difference.
+func TestEstimateConsistentCut(t *testing.T) {
+	c, err := NewCoordinator(testCoins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetShards(16); err != nil {
+		t.Fatal(err)
+	}
+	// Seed both streams so the expression compiles against live state.
+	seed := []datagen.Update{{Stream: "L", Elem: 0, Delta: 1}, {Stream: "R", Elem: 0, Delta: 1}}
+	if err := c.ApplyUpdates("w", seed); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a := c.NewApplier()
+		e := uint64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := []datagen.Update{
+				{Stream: "L", Elem: e % 4096, Delta: 1},
+				{Stream: "R", Elem: e % 4096, Delta: 1},
+			}
+			if err := a.ApplyUpdates("w", batch); err != nil {
+				t.Error(err)
+				return
+			}
+			e++
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		est, err := c.Estimate("L - R", 0.2)
+		if err != nil {
+			if err == core.ErrNoObservations {
+				continue // an empty difference may yield no witnesses
+			}
+			t.Fatal(err)
+		}
+		if est.Value != 0 {
+			t.Fatalf("round %d: L - R estimated %v on identical streams (torn read)", i, est.Value)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkCoordApplyDigestCache measures the coordinator's raw-update
+// apply path with the digest cache off and on — the cache trades the
+// per-element hash bill (r first-level polynomials + r*s second-level
+// bits) for one mutex-guarded probe.
+func BenchmarkCoordApplyDigestCache(b *testing.B) {
+	ups := make([]datagen.Update, 256)
+	rng := hashing.NewRNG(3)
+	for i := range ups {
+		// Zipf-ish: half the volume from 64 heavy hitters.
+		e := rng.Uint64n(1 << 16)
+		if i%2 == 0 {
+			e = rng.Uint64n(64)
+		}
+		ups[i] = datagen.Update{Stream: "A", Elem: e, Delta: 1}
+	}
+	for _, cache := range []int{-1, 8192} {
+		name := "cache=off"
+		if cache > 0 {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, err := NewCoordinator(testCoins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.SetDigestCache(cache)
+			a := c.NewApplier()
+			if err := a.ApplyUpdates("bench", ups); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(ups)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.ApplyUpdates("bench", ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoordApplyShardsParallel drives concurrent sessions on
+// disjoint streams through 1..16 stripes — the contention surface the
+// sharding exists to remove. On a multi-core host the sharded layouts
+// scale with RunParallel's workers; shards=1 serializes them.
+func BenchmarkCoordApplyShardsParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := NewCoordinator(testCoins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.SetShards(shards); err != nil {
+				b.Fatal(err)
+			}
+			c.SetDigestCache(8192)
+			var sid int64
+			var mu sync.Mutex
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				sid++
+				site := fmt.Sprintf("site-%d", sid)
+				mu.Unlock()
+				a := c.NewApplier()
+				ups := make([]datagen.Update, 128)
+				rng := hashing.NewRNG(uint64(sid))
+				for i := range ups {
+					ups[i] = datagen.Update{
+						Stream: site + "-stream", // disjoint per session
+						Elem:   rng.Uint64n(1 << 12),
+						Delta:  1,
+					}
+				}
+				for pb.Next() {
+					if err := a.ApplyUpdates(site, ups); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

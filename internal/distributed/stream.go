@@ -83,6 +83,10 @@ type connState struct {
 	site     string
 	open     bool
 	accepted uint64
+	// app is this session's private apply path (digest scratch +
+	// coalesce buffers), created at hello so concurrent sessions never
+	// serialize on shared scratch.
+	app *Applier
 
 	watcher *Watcher
 	watchWG sync.WaitGroup
@@ -161,6 +165,7 @@ func (s *Server) handleHello(st *connState, payload []byte) ([]byte, byte) {
 	}
 	st.site = m.Site
 	st.open = true
+	st.app = s.coord.NewApplier()
 	s.mu.Lock()
 	seen := s.seenSites[m.Site]
 	s.seenSites[m.Site]++
@@ -194,7 +199,7 @@ func (s *Server) handleUpdateBatch(st *connState, payload []byte) ([]byte, byte)
 	if err != nil {
 		return failReply(err)
 	}
-	if err := s.coord.ApplyUpdates(st.site, ups); err != nil {
+	if err := st.app.ApplyUpdates(st.site, ups); err != nil {
 		return failReply(err)
 	}
 	st.accepted += uint64(len(ups))

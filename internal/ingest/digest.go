@@ -18,14 +18,19 @@ import (
 //
 // The cache is direct-mapped over a power-of-two slot array, keyed by a
 // seed-derived mix of the element so adversarial element sets cannot be
-// aimed at one slot. It is only touched by the producer side under the
-// engine mutex; the worker goroutines never see it. Entries are
-// immutable once built: an eviction installs a freshly allocated digest
-// and abandons the old one to the garbage collector, so digests already
-// riding in queued work items stay valid without copying or locking.
+// aimed at one slot. It carries no lock of its own: the ingest engine
+// touches it only on the producer side under the engine mutex, and the
+// distributed coordinator shares one across sessions under its dmu.
+// Entries are immutable once built: an eviction installs a freshly
+// allocated digest and abandons the old one to the garbage collector,
+// so digests already riding in queued work items stay valid without
+// copying or locking.
 
-// digestCache maps elements to their packed family digests.
-type digestCache struct {
+// DigestCache maps elements to their packed family digests. It is
+// exported for the distributed coordinator's raw-update path, which
+// fronts its per-session digest scratch with one shared cache;
+// synchronization is the caller's job.
+type DigestCache struct {
 	mask  uint64
 	mix   uint64 // seed-derived slot-hash key
 	elems []uint64
@@ -36,31 +41,39 @@ type digestCache struct {
 	evictions *obs.Counter
 }
 
-// newDigestCache builds a cache with size slots (a power of two).
-func newDigestCache(size int, seed uint64, m metrics) *digestCache {
-	return &digestCache{
-		mask:      uint64(size - 1),
+// NewDigestCache builds a cache with at least size slots (rounded up to
+// a power of two so slot selection is a mask), keyed by the family
+// seed. The three counters record lookups served, lookups missed, and
+// slots overwritten; they must be non-nil (obs instruments work
+// uncollected when no registry is attached).
+func NewDigestCache(size int, seed uint64, hits, misses, evictions *obs.Counter) *DigestCache {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &DigestCache{
+		mask:      uint64(n - 1),
 		mix:       hashing.DeriveSeed(seed, 0xd16e57),
-		elems:     make([]uint64, size),
-		digs:      make([]core.Digest, size),
-		hits:      m.cacheHits,
-		misses:    m.cacheMisses,
-		evictions: m.cacheEvictions,
+		elems:     make([]uint64, n),
+		digs:      make([]core.Digest, n),
+		hits:      hits,
+		misses:    misses,
+		evictions: evictions,
 	}
 }
 
 // slot picks the element's home slot with a splitmix64-style finalizer
 // over the seed-keyed element.
-func (c *digestCache) slot(e uint64) uint64 {
+func (c *DigestCache) slot(e uint64) uint64 {
 	z := e ^ c.mix
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return (z ^ (z >> 31)) & c.mask
 }
 
-// lookup returns e's cached digest, if present. The returned digest is
-// immutable; callers may hand it to worker goroutines as-is.
-func (c *digestCache) lookup(e uint64) (core.Digest, bool) {
+// Lookup returns e's cached digest, if present. The returned digest is
+// immutable; callers may hand it to other goroutines as-is.
+func (c *DigestCache) Lookup(e uint64) (core.Digest, bool) {
 	s := c.slot(e)
 	if d := c.digs[s]; d != nil && c.elems[s] == e {
 		c.hits.Inc()
@@ -70,9 +83,17 @@ func (c *digestCache) lookup(e uint64) (core.Digest, bool) {
 	return nil, false
 }
 
-// install stores a freshly computed digest in e's slot, evicting
-// whatever lived there. d must never be mutated after install.
-func (c *digestCache) install(e uint64, d core.Digest) {
+// Contains reports whether e's digest is currently cached, without
+// touching the hit/miss counters — a diagnostics and test helper for
+// reasoning about direct-mapped collisions.
+func (c *DigestCache) Contains(e uint64) bool {
+	s := c.slot(e)
+	return c.digs[s] != nil && c.elems[s] == e
+}
+
+// Install stores a freshly computed digest in e's slot, evicting
+// whatever lived there. d must never be mutated after Install.
+func (c *DigestCache) Install(e uint64, d core.Digest) {
 	s := c.slot(e)
 	if c.digs[s] != nil {
 		c.evictions.Inc()
@@ -129,7 +150,7 @@ func (e *Engine) coalesceLocked(batch []entry) []digestGroup {
 			continue
 		}
 		kept++
-		if d, ok := e.cache.lookup(keys[i].elem); ok {
+		if d, ok := e.cache.Lookup(keys[i].elem); ok {
 			digs[i] = d
 			continue
 		}
@@ -140,7 +161,7 @@ func (e *Engine) coalesceLocked(batch []entry) []digestGroup {
 		md := keys[missIdx[0]].fam.DigestBatch(missElems)
 		for j, i := range missIdx {
 			digs[i] = md[j]
-			e.cache.install(keys[i].elem, md[j])
+			e.cache.Install(keys[i].elem, md[j])
 		}
 	}
 	e.met.coalesced.Add(uint64(len(batch) - kept))

@@ -216,7 +216,7 @@ type Engine struct {
 	// path is disabled (Options.DigestCache < 0 or an unpackable shape).
 	// Only the producer side touches it.
 	// guarded by: mu
-	cache *digestCache
+	cache *DigestCache
 
 	mu sync.Mutex
 	// guarded by: mu
@@ -254,7 +254,8 @@ func New(cfg core.Config, seed uint64, copies int, opts Options) (*Engine, error
 		fams:   make(map[string]*core.Family),
 	}
 	if opts.DigestCache > 0 && cfg.DigestPackable() {
-		e.cache = newDigestCache(opts.DigestCache, seed, e.met)
+		e.cache = NewDigestCache(opts.DigestCache, seed,
+			e.met.cacheHits, e.met.cacheMisses, e.met.cacheEvictions)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{
